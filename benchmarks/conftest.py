@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``-s`` to see the tables inline); the headline
+numbers also land in each benchmark's ``extra_info`` so they appear in
+pytest-benchmark's JSON output.
+
+Simulated cycles — not host wall time — are the measurement that maps
+to the paper; wall time here just tracks how long the simulation takes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    The experiments are deterministic (simulated clock), so repeated
+    rounds would measure Python overhead only.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

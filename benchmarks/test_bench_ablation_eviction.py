@@ -1,0 +1,32 @@
+"""A1 — ablation: FIFO (the prototype's evictor) vs the fault-frequency
+alternative §5.1.4 sketches, on a tight-budget Memcached."""
+
+from repro.experiments import ablation_eviction
+from repro.runtime.self_paging import EvictionOrder
+
+from conftest import run_once
+
+
+def test_bench_eviction_orders(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablation_eviction.run(requests=2_000))
+    print("\n" + ablation_eviction.format_table(rows))
+
+    by_key = {(r.order, r.distribution): r for r in rows}
+    for r in rows:
+        benchmark.extra_info[f"{r.order}_{r.distribution}_faults"] = \
+            r.faults
+
+    # Under heavy cold traffic the frequency evictor protects the hot
+    # set: fewer faults, higher throughput.
+    fifo = by_key[("fifo", "hotspot(0.5)")]
+    freq = by_key[("fault_frequency", "hotspot(0.5)")]
+    assert freq.faults < fifo.faults
+    assert freq.throughput > fifo.throughput
+
+    # With a 99%-hot workload the hot set never leaves under either
+    # order: the choice stops mattering.
+    fifo99 = by_key[("fifo", "hotspot(0.99)")]
+    freq99 = by_key[("fault_frequency", "hotspot(0.99)")]
+    assert abs(freq99.faults - fifo99.faults) <= \
+        max(8, fifo99.faults // 4)

@@ -1,0 +1,30 @@
+"""A2 — ablation: exitless vs exit-based host calls, SGX1 vs SGX2
+paging, and the §5.1.3 hardware optimizations."""
+
+from repro.experiments import ablation_paths
+
+from conftest import run_once
+
+
+def test_bench_path_variants(benchmark):
+    rows = run_once(benchmark, lambda: ablation_paths.run(faults=600))
+    print("\n" + ablation_paths.format_table(rows))
+
+    cost = {r.variant: r.cycles_per_fault for r in rows}
+    for variant, cycles in cost.items():
+        benchmark.extra_info[variant.replace(" ", "_")] = round(cycles)
+
+    # Exitless beats exit-based for both SGX versions (§6's choice).
+    assert cost["sgx1 exitless (default)"] < \
+        cost["sgx1 exit-based ocalls"]
+    assert cost["sgx2 exitless"] < cost["sgx2 exit-based ocalls"]
+
+    # SGX1 paging beats SGX2 (§7.1's choice).
+    assert cost["sgx1 exitless (default)"] < cost["sgx2 exitless"]
+
+    # Each hardware optimization helps; full elision beats even the
+    # unprotected baseline (the Figure 5 discussion).
+    assert cost["sgx1 + in-enclave resume"] < \
+        cost["sgx1 exitless (default)"]
+    assert cost["sgx1 + elide AEX"] < cost["sgx1 + in-enclave resume"]
+    assert cost["sgx1 + elide AEX"] < cost["unprotected baseline"]

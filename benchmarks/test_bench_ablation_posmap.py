@@ -1,0 +1,36 @@
+"""A3 (extension) — ORAM position-map strategies: Autarky's pinned
+flat map vs CoSMIX scans vs the recursive construction."""
+
+from repro.experiments import ablation_posmap
+
+from conftest import run_once
+
+
+def test_bench_posmap_strategies(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablation_posmap.run(accesses=200))
+    print("\n" + ablation_posmap.format_table(rows))
+
+    by = {r.strategy.split(" ")[0] if "recursive" in r.strategy
+          else r.strategy.split(" (")[0]: r for r in rows}
+    flat_pinned = next(r for r in rows if "pinned" in r.strategy)
+    flat_scanned = next(r for r in rows if "scanned" in r.strategy)
+    recursive = next(r for r in rows if r.strategy == "recursive")
+
+    for r in rows:
+        benchmark.extra_info[r.strategy.replace(" ", "_")] = \
+            round(r.cycles_per_access)
+
+    # The ordering the design space predicts.
+    assert flat_pinned.cycles_per_access \
+        < recursive.cycles_per_access \
+        < flat_scanned.cycles_per_access
+    # Scans are not just slower — they are orders of magnitude off.
+    assert flat_scanned.cycles_per_access \
+        > 20 * recursive.cycles_per_access
+    # Recursion trades bounded extra paths for O(1) pinned state.
+    assert recursive.pinned_entries < flat_pinned.pinned_entries / 100
+    assert recursive.cycles_per_access < \
+        flat_pinned.cycles_per_access * (
+            2 * recursive.recursion_depth + 2
+        )

@@ -1,0 +1,51 @@
+"""E2 — Figure 5: paging latency breakdown (SGX1 vs SGX2).
+
+Paper: fault latency ≈27k cycles (SGX1) with the two enclave
+transition pairs at 40-50%; SGX2 paths are costlier, so the evaluation
+defaults to SGX1; eliding the AEX "would make Autarky secure paging
+faster than today's unprotected paging".
+"""
+
+from repro.experiments import fig5_microbench
+from repro.sgx.params import SgxVersion
+
+from conftest import run_once
+
+
+def test_bench_fig5_breakdown(benchmark):
+    rows = run_once(benchmark,
+                    lambda: fig5_microbench.run(iterations=1_000))
+    print("\n" + fig5_microbench.format_table(rows))
+
+    totals = fig5_microbench.totals(rows)
+    for (op, version), cycles in totals.items():
+        benchmark.extra_info[f"{op}_{version}_cycles"] = round(cycles)
+
+    # Shape assertions from the paper.
+    assert totals[("fault", "SGX2")] > totals[("fault", "SGX1")]
+    assert totals[("evict", "SGX2")] > totals[("evict", "SGX1")]
+    assert 20_000 < totals[("fault", "SGX1")] < 40_000
+
+    transition_components = (
+        "preempt (AEX+ERESUME)", "handler invoc. (EENTER+EEXIT)",
+    )
+    transitions = sum(
+        r.cycles_per_page for r in rows
+        if (r.operation, r.version) == ("fault", "SGX1")
+        and r.component in transition_components
+    )
+    assert 0.4 <= transitions / totals[("fault", "SGX1")] <= 0.5
+
+
+def test_bench_fig5_aex_elision(benchmark):
+    fault, _ = run_once(
+        benchmark,
+        lambda: fig5_microbench.run_version(
+            SgxVersion.SGX1, iterations=500, elide_aex=True,
+        ),
+    )
+    total = sum(fault.values())
+    benchmark.extra_info["elided_fault_cycles"] = round(total)
+    # No transitions at all: the OS is out of the loop.
+    assert fault["preempt (AEX+ERESUME)"] == 0
+    assert fault["handler invoc. (EENTER+EEXIT)"] == 0

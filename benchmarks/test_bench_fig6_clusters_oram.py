@@ -1,0 +1,59 @@
+"""E3 — Figure 6: uthash throughput vs cluster size, vs (un)cached ORAM.
+
+Paper: throughput is inversely proportional to cluster size; rehashing
+improves ~1.5x; cached ORAM breaks even with ~10-page clusters; the
+uncached (CoSMIX-style) configuration is 232x slower than cached.
+"""
+
+from repro.experiments import fig6_uthash
+
+from conftest import run_once
+
+SCALE = fig6_uthash.Fig6Scale(
+    data_bytes=431 * 1024 * 1024 // 16,
+    oram_tree_pages=262_144 // 16,
+    oram_cache_pages=32_768 // 16,
+    budget_pages=40_000 // 16,
+)
+
+
+def test_bench_fig6_clusters_and_oram(benchmark):
+    points = run_once(
+        benchmark, lambda: fig6_uthash.run(scale=SCALE, requests=800)
+    )
+    print("\n" + fig6_uthash.format_table(points))
+
+    by_key = {(p.series, p.cluster_pages): p.throughput for p in points}
+    benchmark.extra_info["clusters_10_rps"] = \
+        round(by_key[("clusters", 10)])
+    benchmark.extra_info["oram_rps"] = round(by_key[("oram", 0)])
+    benchmark.extra_info["oram_uncached_rps"] = \
+        round(by_key[("oram_uncached", 0)], 1)
+
+    # Cluster size inversely proportional to throughput.
+    series = sorted(
+        (p for p in points if p.series == "clusters"),
+        key=lambda p: p.cluster_pages,
+    )
+    assert all(a.throughput > b.throughput
+               for a, b in zip(series, series[1:]))
+
+    # Rehash improves throughput (paper: ~1.5x).
+    gains = []
+    for pages in fig6_uthash.CLUSTER_SIZES:
+        gains.append(by_key[("clusters_rehashed", pages)]
+                     / by_key[("clusters", pages)])
+    benchmark.extra_info["rehash_gain"] = round(
+        sum(gains) / len(gains), 2
+    )
+    assert all(g > 1.0 for g in gains)
+
+    # Break-even near 10 pages (paper: ~10).
+    crossover = fig6_uthash.crossover_cluster_size(points)
+    benchmark.extra_info["crossover_pages"] = crossover
+    assert crossover in (5, 10, 20)
+
+    # Uncached ORAM orders of magnitude slower (paper: 232x).
+    ratio = by_key[("oram", 0)] / by_key[("oram_uncached", 0)]
+    benchmark.extra_info["uncached_slowdown_x"] = round(ratio)
+    assert ratio > 50

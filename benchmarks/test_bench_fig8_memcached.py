@@ -1,0 +1,63 @@
+"""E6 — Figure 8: Memcached + YCSB-C under Autarky's policies.
+
+Paper: rate-limited paging has the lowest impact; 10-page clusters show
+lower constant overhead than ORAM under uniform access; the gap shrinks
+as the distribution skews; on the hottest distribution ORAM lands
+within ~60% of the insecure baseline.
+"""
+
+import pytest
+
+from repro.experiments import fig8_memcached
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig8_memcached.run(requests=1_500)
+
+
+def _tput(points, policy, dist):
+    return next(p.throughput for p in points
+                if p.policy == policy and p.distribution == dist)
+
+
+def test_bench_fig8_all(benchmark, points):
+    run_once(benchmark, lambda: None)  # measured in the fixture
+    print("\n" + fig8_memcached.format_table(points))
+    for p in points:
+        benchmark.extra_info[f"{p.policy}_{p.distribution}_rps"] = \
+            round(p.throughput)
+
+
+def test_fig8_rate_limit_lowest_impact(points):
+    for dist in fig8_memcached.DISTRIBUTIONS:
+        base = _tput(points, "baseline", dist)
+        rate = _tput(points, "rate_limit", dist)
+        clusters = _tput(points, "clusters", dist)
+        oram = _tput(points, "oram", dist)
+        assert rate >= clusters * 0.99
+        assert rate >= oram * 0.99
+        assert rate <= base * 1.01
+
+
+def test_fig8_clusters_beat_oram_under_uniform(points):
+    assert _tput(points, "clusters", "uniform") > \
+        _tput(points, "oram", "uniform")
+
+
+def test_fig8_gap_shrinks_with_skew(points):
+    def gap(dist):
+        return _tput(points, "baseline", dist) / \
+            _tput(points, "oram", dist)
+    assert gap("uniform") > gap("zipf") > gap("hotspot90") \
+        > gap("hotspot99")
+
+
+def test_fig8_hottest_oram_near_baseline(points):
+    """Paper: 'for the hottest distribution, ORAM is only 60% slower
+    than the insecure baseline'."""
+    ratio = _tput(points, "baseline", "hotspot99") / \
+        _tput(points, "oram", "hotspot99")
+    assert ratio < 1.7

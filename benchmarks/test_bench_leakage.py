@@ -1,0 +1,38 @@
+"""E8 — §5.3 leakage bounds: cluster guess probability, trace
+distinguishability per policy, termination-attack bandwidth."""
+
+import pytest
+
+from repro.experiments import leakage_analysis
+
+from conftest import run_once
+
+
+def test_bench_leakage_analysis(benchmark):
+    rows = run_once(benchmark, leakage_analysis.run)
+    print("\n" + leakage_analysis.format_table(rows))
+
+    ten_page = next(
+        r for r in rows
+        if r.analysis == "cluster guess probability"
+        and "10-page" in r.configuration
+    )
+    benchmark.extra_info["guess_prob_10p_pct"] = \
+        round(100 * ten_page.value, 3)
+    # The paper's example: 0.62% for 256B items in 10-page clusters.
+    assert ten_page.value == pytest.approx(0.00625)
+
+    mi = {
+        r.configuration: r.value for r in rows
+        if r.analysis == "trace mutual information"
+    }
+    vanilla = next(v for k, v in mi.items() if "vanilla" in k)
+    clusters = next(v for k, v in mi.items() if "cluster" in k)
+    pinned = next(v for k, v in mi.items() if "pin-all" in k)
+    benchmark.extra_info["mi_vanilla_bits"] = round(vanilla, 2)
+    benchmark.extra_info["mi_clusters_bits"] = round(clusters, 2)
+    assert vanilla > clusters > pinned == 0.0
+
+    per_restart = [r.value for r in rows
+                   if r.analysis == "termination attack"]
+    assert all(v == 1.0 for v in per_restart)

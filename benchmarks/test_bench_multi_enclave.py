@@ -1,0 +1,37 @@
+"""E9 (extension) — coordinating EPC between distrusting enclaves,
+the open topic §8 closes with: static quotas vs balloon upcalls vs
+whole-enclave suspension."""
+
+from repro.experiments import multi_enclave
+
+from conftest import run_once
+
+
+def test_bench_multi_enclave_strategies(benchmark):
+    rows = run_once(benchmark,
+                    lambda: multi_enclave.run(requests=1_500))
+    print("\n" + multi_enclave.format_table(rows))
+
+    by_strategy = {r.strategy: r for r in rows}
+    for r in rows:
+        benchmark.extra_info[f"{r.strategy}_loaded_rps"] = \
+            round(r.loaded_throughput)
+        benchmark.extra_info[f"{r.strategy}_idle_rps"] = \
+            round(r.idle_throughput)
+
+    static = by_strategy["static"]
+    balloon = by_strategy["balloon"]
+    suspend = by_strategy["suspend"]
+
+    # Giving the loaded enclave memory helps it, either way.
+    assert balloon.loaded_throughput > static.loaded_throughput
+    assert suspend.loaded_throughput > static.loaded_throughput
+
+    # The trade-off lands on the idle enclave: ballooning costs it
+    # refaults; suspension costs it a full restore (worst).
+    assert static.idle_throughput > balloon.idle_throughput
+    assert balloon.idle_throughput > suspend.idle_throughput
+
+    # Cooperation moved real memory.
+    assert balloon.epc_moved > 0
+    assert suspend.epc_moved >= balloon.epc_moved

@@ -1,0 +1,31 @@
+"""E10 (extension) — the §4 argument quantified: AEX-rate software
+defenses either kill benign paging or let paced/silent attacks leak;
+Autarky does neither."""
+
+from repro.experiments import software_defense_cmp
+
+from conftest import run_once
+
+
+def test_bench_software_defense_comparison(benchmark):
+    rows = run_once(benchmark, software_defense_cmp.run)
+    print("\n" + software_defense_cmp.format_table(rows))
+
+    for r in rows:
+        key = (f"{r.scenario.split(' ')[0]}_"
+               f"{'sw' if 'aex' in r.defense else 'autarky'}")
+        benchmark.extra_info[f"{key}_leaked"] = r.attack_pages_leaked
+
+    sw = [r for r in rows if "aex-rate" in r.defense]
+    autarky = [r for r in rows if r.defense == "autarky"]
+
+    # The software defense fails at least one way in every scenario.
+    benign_sw = next(r for r in sw if "benign" in r.scenario)
+    assert not benign_sw.survived_benign
+    assert any(r.attack_pages_leaked > 0 for r in sw)
+
+    # Autarky: no false positives, no leakage, every attack detected.
+    assert all(r.survived_benign for r in autarky)
+    assert all(r.attack_pages_leaked == 0 for r in autarky)
+    attacked = [r for r in autarky if "benign" not in r.scenario]
+    assert all(r.attack_detected for r in attacked)

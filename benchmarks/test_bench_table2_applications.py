@@ -1,0 +1,61 @@
+"""E5 — Table 2: libjpeg / Hunspell / FreeType end-to-end.
+
+Paper (throughput vs unprotected):
+
+=========  ==========  ==========  =============
+workload   Autarky     no upcall   no upcall/AEX
+=========  ==========  ==========  =============
+libjpeg    -18%        -6%         +3%
+Hunspell   -25%        -16%        -9%
+FreeType   1x          1x          1x
+=========  ==========  ==========  =============
+"""
+
+import pytest
+
+from repro.experiments import table2_apps
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_apps.run()
+
+
+def _relative(rows, workload):
+    workload_rows = {r.config: r for r in rows
+                     if r.workload == workload}
+    base = workload_rows["unprotected"]
+    return {cfg: r.relative_to(base) for cfg, r in workload_rows.items()}
+
+
+def test_bench_table2_all(benchmark, rows):
+    run_once(benchmark, lambda: None)  # timing is in the fixture
+    print("\n" + table2_apps.format_table(rows))
+    for workload in ("libjpeg", "Hunspell", "FreeType"):
+        for config, rel in _relative(rows, workload).items():
+            benchmark.extra_info[f"{workload}_{config}"] = round(rel, 3)
+
+
+def test_table2_libjpeg_shape(rows):
+    rel = _relative(rows, "libjpeg")
+    # Ordering: autarky < no_upcall < unprotected < no_upcall_aex.
+    assert rel["autarky"] < rel["no_upcall"] < 1.0
+    assert rel["no_upcall_aex"] > 1.0  # faster than unprotected (+3%)
+    assert rel["autarky"] > 0.75      # overhead bounded (paper: -18%)
+
+
+def test_table2_hunspell_shape(rows):
+    rel = _relative(rows, "Hunspell")
+    assert rel["autarky"] < rel["no_upcall"] < rel["no_upcall_aex"]
+    assert rel["autarky"] < 0.92      # meaningful overhead (paper: -25%)
+    assert rel["autarky"] > 0.70
+
+
+def test_table2_freetype_no_overhead(rows):
+    rel = _relative(rows, "FreeType")
+    for config in ("autarky", "no_upcall", "no_upcall_aex"):
+        assert rel[config] == pytest.approx(1.0, abs=0.01)
+    faults = [r.faults for r in rows if r.workload == "FreeType"]
+    assert all(f == 0 for f in faults)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Opaque-style oblivious analytics on an Autarky enclave (§1).
+
+Runs a small analytics pipeline — sort, filter, aggregate — over a
+dataset on an oblivious scratchpad, twice with *different secret data*,
+while an A/D-bit monitor watches every scratchpad page.  The two runs
+produce identical observations: the operators' access sequences are
+pure functions of the dataset size.
+
+Run:  python examples/oblivious_analytics.py
+"""
+
+import random
+
+from repro.apps.opaque import ObliviousDataset
+from repro.attacks.ad_monitor import AdBitMonitor
+from repro.core import AutarkySystem, SystemConfig
+from repro.sgx.params import PAGE_SIZE
+
+
+def build_system():
+    return AutarkySystem(SystemConfig.for_policy(
+        "pin_all",
+        epc_pages=4_096,
+        quota_pages=2_048,
+        enclave_managed_budget=1_024,
+        heap_pages=1_024,
+        code_pages=16, data_pages=16, runtime_pages=8,
+    ))
+
+
+def run_pipeline(seed):
+    system = build_system()
+    engine = system.engine()
+    rng = random.Random(seed)
+    salaries = [rng.randrange(30_000, 200_000) for _ in range(96)]
+
+    dataset = ObliviousDataset(engine, system.heap_start(), salaries)
+    pages = [system.heap_start() + i * PAGE_SIZE
+             for i in range(dataset.total_pages + dataset.total_pages)]
+    system.runtime.preload(pages, pin=True)
+    system.policy.seal()
+
+    monitor = AdBitMonitor(system.kernel, system.enclave, pages)
+    # Observe only: sampling without clearing keeps the run alive and
+    # is the strongest thing a *passive* observer gets.
+    observations = []
+
+    ordered = dataset.oblivious_sort()
+    observations.append(tuple(monitor.sample_readonly()))
+    high = dataset.oblivious_filter(lambda s: s > 150_000)
+    observations.append(tuple(monitor.sample_readonly()))
+    total = dataset.oblivious_aggregate(lambda acc, s: acc + s)
+    observations.append(tuple(monitor.sample_readonly()))
+
+    return {
+        "median": ordered[len(ordered) // 2],
+        "high_earners": len(high),
+        "total": total,
+        "observations": tuple(observations),
+        "faults_seen": len(system.kernel.fault_log),
+    }
+
+
+def main():
+    a = run_pipeline(seed=1)
+    b = run_pipeline(seed=2)
+
+    print("run A:", {k: a[k] for k in ("median", "high_earners",
+                                       "total")})
+    print("run B:", {k: b[k] for k in ("median", "high_earners",
+                                       "total")})
+    print(f"\nresults differ (different secret data): "
+          f"{a['total'] != b['total']}")
+    print(f"attacker observations identical: "
+          f"{a['observations'] == b['observations']}")
+    print(f"page faults the OS saw: {a['faults_seen']} / "
+          f"{b['faults_seen']} (scratchpad pinned)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A multi-language spelling server protected with page clusters (§7.3).
+
+Fifteen dictionaries together exceed the enclave's EPC budget, so
+paging is unavoidable — and pagings leak.  The fix from the paper
+costs ~30 lines in the application: after initializing each
+dictionary, assign its pages to a distinct cluster.  From then on a
+fault fetches the *whole dictionary*, so the attacker learns only
+which language a client uses, never which words.
+
+The demo serves queries in three languages, shows the fault counts
+(one cluster fetch per evicted dictionary), and then verifies the
+cluster invariant that makes the guarantee hold.
+
+Run:  python examples/spell_server_clusters.py
+"""
+
+from repro.apps.hunspell import Dictionary, Hunspell
+from repro.core import AutarkySystem, SystemConfig
+from repro.sgx.params import PAGE_SIZE
+
+N_DICTS = 15
+WORDS_PER_DICT = 4_000
+
+
+def main():
+    probe = Dictionary("probe", 0, WORDS_PER_DICT)
+    dict_pages = probe.total_pages
+    quota = 6 * dict_pages  # room for ~6 of 15 dictionaries
+
+    system = AutarkySystem(SystemConfig.for_policy(
+        "clusters",
+        cluster_pages=None,
+        cluster_unclustered="demand",
+        epc_pages=quota + 8_192,
+        quota_pages=quota + 256,
+        enclave_managed_budget=quota,
+        heap_pages=N_DICTS * dict_pages + 256,
+        code_pages=16,
+        data_pages=16,
+        runtime_pages=8,
+    ))
+    heap = system.runtime.regions["heap"]
+    languages = ["en_US", "de_DE", "fr_FR", "es_ES", "it_IT"] + [
+        f"lang{i}" for i in range(5, N_DICTS)
+    ]
+    dictionaries = [
+        Dictionary(name, heap.start + i * dict_pages * PAGE_SIZE,
+                   WORDS_PER_DICT)
+        for i, name in enumerate(languages)
+    ]
+    server = Hunspell(system.engine(), dictionaries)
+
+    print(f"loading {N_DICTS} dictionaries of {dict_pages} pages each "
+          f"(budget: {quota} pages)...")
+    manager = system.runtime.clusters
+    for d in dictionaries:
+        server.load(d.name)
+        cluster = manager.new_cluster()
+        for page in d.pages():
+            manager.ay_add_page(cluster, page)
+        system.runtime.pager.regroup(d.pages())
+
+    words = [f"word{i}" for i in range(1_000)]
+    for language in ("en_US", "de_DE", "fr_FR"):
+        text = [words[(13 * i) % 600] for i in range(800)]
+        with system.measure() as m:
+            server.check_text(text, language)
+        metrics = m.metrics(ops=len(text))
+        print(f"  {language}: {metrics.throughput:,.0f} words/s, "
+              f"{metrics.faults} faults "
+              f"({metrics.pages_fetched} pages fetched — "
+              f"whole-dictionary cluster fetches)")
+
+    violations = manager.check_invariant(
+        lambda page: system.runtime.pager.is_resident(page)
+    )
+    print(f"\ncluster residency invariant violations: {len(violations)}")
+    print("the OS can tell WHICH dictionary was paged in, but every "
+          "word lookup within it is indistinguishable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Autarky: closing controlled channels with self-paging enclaves.
+
+A full-system reproduction of the EuroSys 2020 paper: an SGX
+memory-management simulator, the published controlled-channel attacks,
+Autarky's ISA modifications, a self-paging library OS with three secure
+paging policies, and the benchmark harness for every table and figure.
+
+Public API tour:
+
+>>> from repro import AutarkySystem, SystemConfig
+>>> system = AutarkySystem(SystemConfig.for_policy("clusters"))
+>>> engine = system.engine()
+
+Subpackages:
+
+- :mod:`repro.sgx` — the hardware model
+- :mod:`repro.host` — the untrusted kernel and SGX driver
+- :mod:`repro.attacks` — controlled-channel attackers and oracles
+- :mod:`repro.runtime` — the trusted libOS and paging policies
+- :mod:`repro.oram` — PathORAM and Autarky's page cache
+- :mod:`repro.apps` — workload models (uthash, Memcached, libjpeg, ...)
+- :mod:`repro.workloads` — YCSB / nbench / Phoenix-PARSEC generators
+- :mod:`repro.core` — system assembly, metrics, leakage math
+- :mod:`repro.experiments` — the per-figure reproduction harness
+"""
+
+from repro.clock import Category, Clock
+from repro.core.config import PolicyConfig, SystemConfig
+from repro.core.metrics import Measurement, RunMetrics, geomean, slowdown
+from repro.core.system import AutarkySystem, DirectEngine, OramEngine
+from repro.errors import (
+    AttackDetected,
+    EnclaveTerminated,
+    EpcExhausted,
+    EpcmViolation,
+    IntegrityError,
+    PageFault,
+    PolicyError,
+    RateLimitExceeded,
+    ReproError,
+    SgxError,
+)
+from repro.host.kernel import HostKernel
+from repro.runtime.libos import EnclaveLayout, GrapheneRuntime, Management
+from repro.sgx.params import (
+    PAGE_SIZE,
+    AccessType,
+    ArchOptimizations,
+    CostModel,
+    SgxVersion,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "Clock",
+    "PolicyConfig",
+    "SystemConfig",
+    "Measurement",
+    "RunMetrics",
+    "geomean",
+    "slowdown",
+    "AutarkySystem",
+    "DirectEngine",
+    "OramEngine",
+    "AttackDetected",
+    "EnclaveTerminated",
+    "EpcExhausted",
+    "EpcmViolation",
+    "IntegrityError",
+    "PageFault",
+    "PolicyError",
+    "RateLimitExceeded",
+    "ReproError",
+    "SgxError",
+    "HostKernel",
+    "EnclaveLayout",
+    "GrapheneRuntime",
+    "Management",
+    "PAGE_SIZE",
+    "AccessType",
+    "ArchOptimizations",
+    "CostModel",
+    "SgxVersion",
+    "__version__",
+]

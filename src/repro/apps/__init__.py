@@ -1,0 +1,30 @@
+"""Application models for the paper's evaluation workloads.
+
+Each app reproduces the *page-access structure* of the real program —
+the property the controlled channel attacks and the defenses act on —
+as a deterministic stream of page-granular accesses driven through an
+access engine (:class:`repro.core.system.DirectEngine` or
+:class:`~repro.core.system.OramEngine`).  Secrets (words, glyphs,
+image content, keys) are first-class so attack experiments can measure
+recovery accuracy against ground truth.
+"""
+
+from repro.apps.uthash import UthashTable
+from repro.apps.memcached import Memcached
+from repro.apps.jpeg import JpegCodec, make_block_image
+from repro.apps.hunspell import Hunspell, Dictionary
+from repro.apps.freetype import FreeType
+from repro.apps.opaque import ObliviousDataset
+from repro.apps.ml_inference import DecisionForest
+
+__all__ = [
+    "UthashTable",
+    "Memcached",
+    "JpegCodec",
+    "make_block_image",
+    "Hunspell",
+    "Dictionary",
+    "FreeType",
+    "ObliviousDataset",
+    "DecisionForest",
+]

@@ -1,0 +1,91 @@
+"""FreeType model (§7.3): glyph rendering with per-glyph control flow.
+
+Rendering a character walks a glyph-specific path through the
+rasterizer: different outline shapes exercise different code pages
+(curve vs. line segments, hinting paths, fill rules).  Xu et al.
+recovered rendered text purely from the sequence of *instruction
+fetches*.
+
+Autarky's mitigation is structural: pin the library's code (it is small
+— §7.3 reports no measurable overhead), or cluster all of its code
+pages so the per-glyph fetch pattern collapses into one indistinct
+cluster fetch.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.rate_limit import ProgressKind
+from repro.sgx.params import PAGE_SIZE
+
+
+class FreeType:
+    """Font renderer with deterministic per-glyph code signatures."""
+
+    #: Outline decomposition + rasterization per glyph.
+    GLYPH_COMPUTE = 22_000
+    #: Code pages every glyph executes (entry, cmap lookup).
+    COMMON_PAGES = 2
+    #: Glyph-specific pages per signature.
+    SIGNATURE_LEN = 4
+
+    def __init__(self, engine, lib, bitmap_start, glyphs=None, seed=42):
+        self.engine = engine
+        self.lib = lib
+        self.bitmap_start = bitmap_start
+        self.glyphs = glyphs or [chr(c) for c in range(32, 127)]
+        self.rendered = 0
+        self._signatures = self._build_signatures(seed)
+
+    def _build_signatures(self, seed):
+        """Assign each glyph a distinct sequence of code pages, as the
+        rasterizer's shape-dependent control flow does."""
+        rng = random.Random(seed)
+        npages = self.lib.image.code_pages
+        if npages < self.COMMON_PAGES + self.SIGNATURE_LEN:
+            raise ValueError(
+                "library too small for distinct glyph signatures"
+            )
+        signatures = {}
+        seen = set()
+        for glyph in self.glyphs:
+            while True:
+                pages = tuple(rng.sample(
+                    range(self.COMMON_PAGES, npages), self.SIGNATURE_LEN
+                ))
+                if pages not in seen:
+                    seen.add(pages)
+                    signatures[glyph] = pages
+                    break
+        return signatures
+
+    def signature(self, glyph):
+        """Code-page signature (absolute addresses) for the oracle."""
+        common = tuple(
+            self.lib.code_page(i) for i in range(self.COMMON_PAGES)
+        )
+        specific = tuple(
+            self.lib.code_page(i) for i in self._signatures[glyph]
+        )
+        return common + specific
+
+    def render(self, glyph):
+        """Render one glyph: common pages, glyph path, bitmap write."""
+        if glyph not in self._signatures:
+            raise KeyError(f"no glyph {glyph!r}")
+        for i in range(self.COMMON_PAGES):
+            self.engine.code_access(self.lib.code_page(i))
+        for i in self._signatures[glyph]:
+            self.engine.code_access(self.lib.code_page(i))
+        slot = ord(glyph) % 8
+        self.engine.data_access(
+            self.bitmap_start + slot * PAGE_SIZE, write=True
+        )
+        self.engine.compute(self.GLYPH_COMPUTE)
+        self.rendered += 1
+
+    def render_text(self, text):
+        for glyph in text:
+            self.engine.progress(ProgressKind.IO)
+            self.render(glyph)

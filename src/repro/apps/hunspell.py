@@ -1,0 +1,140 @@
+"""Hunspell model (§7.3): spell checking over hashed dictionaries.
+
+Hunspell keeps each dictionary in a chained hash table.  The published
+attack profiled the page-access sequence of inserting each word during
+dictionary load, then matched the sequences observed at query time —
+recovering the words being spell-checked (assuming correct spelling).
+
+Defenses evaluated by the paper:
+
+* the en_US working set fits EPC → pin everything (no leak, no cost);
+* a 15-dictionary spelling server exceeds EPC → one cluster per
+  dictionary: accesses within a dictionary are hidden, only *which
+  language* is in use leaks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.runtime.rate_limit import ProgressKind
+from repro.sgx.params import PAGE_SIZE
+
+
+def stable_hash(word):
+    """Deterministic string hash (Python's ``hash`` is salted)."""
+    return zlib.crc32(word.encode("utf-8"))
+
+
+@dataclass
+class Dictionary:
+    """One language dictionary's layout inside the enclave heap."""
+
+    name: str
+    start: int            # first page of this dictionary's arena
+    n_words: int
+    entry_size: int = 48  # word + affix flags + chain pointer
+
+    def __post_init__(self):
+        self.entries_per_page = PAGE_SIZE // self.entry_size
+        # Chains average ~4 entries, as with Hunspell's default table.
+        self.nbuckets = max(1, self.n_words // 4)
+        self.entry_pages = -(-self.n_words // self.entries_per_page)
+        bucket_bytes = self.nbuckets * 8
+        self.bucket_pages = -(-bucket_bytes // PAGE_SIZE)
+
+    @property
+    def total_pages(self):
+        return self.entry_pages + self.bucket_pages
+
+    def pages(self):
+        return [
+            self.start + i * PAGE_SIZE for i in range(self.total_pages)
+        ]
+
+    def word_index(self, word):
+        """Deterministic word → entry-slot mapping (stands in for the
+        insertion order of the real dictionary file)."""
+        return stable_hash(word) % self.n_words
+
+    def bucket_page(self, word):
+        index = self.word_index(word)
+        bucket = index % self.nbuckets
+        offset = self.entry_pages * PAGE_SIZE + (bucket * 8 // PAGE_SIZE) \
+            * PAGE_SIZE
+        return self.start + offset
+
+    def chain_pages(self, word):
+        """Entry pages visited walking to the word — its signature."""
+        index = self.word_index(word)
+        bucket = index % self.nbuckets
+        position = index // self.nbuckets
+        pages = []
+        for k in range(position + 1):
+            entry = bucket + k * self.nbuckets
+            if entry >= self.n_words:
+                break
+            pages.append(
+                self.start + (entry // self.entries_per_page) * PAGE_SIZE
+            )
+        return pages
+
+    def signature(self, word):
+        """Full page-access signature of checking ``word``."""
+        return tuple([self.bucket_page(word)] + self.chain_pages(word))
+
+
+class Hunspell:
+    """The spell checker: one or more dictionaries plus query logic."""
+
+    #: Hashing and affix analysis per checked word.
+    WORD_COMPUTE = 4_000
+    #: Per-entry-insert work during dictionary load.
+    LOAD_COMPUTE = 400
+
+    def __init__(self, engine, dictionaries, code_page=None):
+        if not dictionaries:
+            raise ValueError("need at least one dictionary")
+        self.engine = engine
+        self.dictionaries = {d.name: d for d in dictionaries}
+        #: Page holding the hash/lookup code, executed at the start of
+        #: every check.  The published attack uses exactly this page as
+        #: its per-query trigger to re-arm the fault channel.
+        self.code_page = code_page
+        self.checked = 0
+
+    def load(self, name, words_per_progress=512):
+        """Populate a dictionary (touches every entry page in hash
+        order — the faulting phase that dominates Table 2's overhead)."""
+        d = self.dictionaries[name]
+        for i in range(d.n_words):
+            if i % words_per_progress == 0:
+                self.engine.progress(ProgressKind.ALLOCATION)
+            bucket = i % d.nbuckets
+            page = d.start + ((bucket * 8 // PAGE_SIZE) * PAGE_SIZE) \
+                + d.entry_pages * PAGE_SIZE
+            self.engine.data_access(page, write=True)
+            self.engine.data_access(
+                d.start + (i // d.entries_per_page) * PAGE_SIZE,
+                write=True,
+            )
+            self.engine.compute(self.LOAD_COMPUTE)
+
+    def check(self, word, dict_name):
+        """Spell-check one word: bucket probe plus chain walk."""
+        d = self.dictionaries[dict_name]
+        self.checked += 1
+        if self.code_page is not None:
+            self.engine.code_access(self.code_page)
+        self.engine.data_access(d.bucket_page(word))
+        for page in d.chain_pages(word):
+            self.engine.data_access(page)
+        self.engine.compute(self.WORD_COMPUTE)
+        return True
+
+    def check_text(self, words, dict_name):
+        """Spell-check a text, one progress event per word (I/O bound)."""
+        for word in words:
+            self.engine.progress(ProgressKind.IO)
+            self.check(word, dict_name)

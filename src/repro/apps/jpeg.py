@@ -1,0 +1,160 @@
+"""libjpeg model (§7.3): streaming block decode with a secret-dependent
+code path.
+
+The published attack targets the inverse DCT: libjpeg elides needless
+state updates for mostly-zero (smooth) blocks, so *which IDCT code
+page executes* — and how many temp-buffer updates follow — depends on
+the image content.  Counting page faults per block reconstructs the
+image.
+
+The model streams over MCU blocks exactly like the decoder: sequential
+input pages, a small cyclic temp buffer, sequential output pages, and
+per-block code fetches where the IDCT page is chosen by the block's
+(secret) complexity bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sgx.params import PAGE_SIZE
+
+
+@dataclass
+class BlockImage:
+    """A JPEG image as its per-block complexity bitmap (the secret)."""
+
+    width_blocks: int
+    height_blocks: int
+    complexity: list  # one bool per block, row-major
+
+    @property
+    def n_blocks(self):
+        return self.width_blocks * self.height_blocks
+
+    def decoded_bytes(self, bytes_per_block):
+        return self.n_blocks * bytes_per_block
+
+
+def make_block_image(width_blocks, height_blocks, pattern="noise",
+                     seed=7, density=0.5):
+    """Synthesize an image's complexity bitmap.
+
+    ``noise`` scatters complex blocks at the given density; ``disc``
+    places a filled circle of complex blocks on a smooth background —
+    the silhouette shape the published attack recovers.
+    """
+    n = width_blocks * height_blocks
+    if pattern == "noise":
+        rng = random.Random(seed)
+        bits = [rng.random() < density for _ in range(n)]
+    elif pattern == "disc":
+        cx, cy = width_blocks / 2, height_blocks / 2
+        r = min(width_blocks, height_blocks) / 3
+        bits = [
+            ((x - cx) ** 2 + (y - cy) ** 2) <= r * r
+            for y in range(height_blocks) for x in range(width_blocks)
+        ]
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return BlockImage(width_blocks, height_blocks, bits)
+
+
+class JpegCodec:
+    """Streaming decoder/encoder over enclave memory.
+
+    ``lib`` is a :class:`~repro.runtime.loader.LoadedLibrary` whose code
+    pages include (by convention) page 0 = entry/huffman, page 1 = the
+    full IDCT, page 2 = the shortcut IDCT — the two leaky pages.
+    """
+
+    #: Decoded bytes per 8×8 block (one grayscale component here).
+    BYTES_PER_BLOCK = 256
+    #: Huffman + dequant + colorspace work per block.
+    BLOCK_COMPUTE = 12_000
+    #: Extra cycles the full IDCT spends vs. the shortcut.
+    FULL_IDCT_EXTRA = 4_000
+    #: Compressed input is ~10:1 smaller than decoded output.
+    COMPRESSION_RATIO = 10
+
+    HUFFMAN_PAGE = 0
+    IDCT_FULL_PAGE = 1
+    IDCT_SKIP_PAGE = 2
+
+    def __init__(self, engine, lib, input_start, temp_start, output_start,
+                 temp_pages=16):
+        if lib.image.code_pages < 3:
+            raise ValueError("libjpeg model needs at least 3 code pages")
+        self.engine = engine
+        self.lib = lib
+        self.input_start = input_start
+        self.temp_start = temp_start
+        self.temp_pages = temp_pages
+        self.output_start = output_start
+        self.blocks_decoded = 0
+
+    @property
+    def blocks_per_output_page(self):
+        return PAGE_SIZE // self.BYTES_PER_BLOCK
+
+    @property
+    def blocks_per_input_page(self):
+        return self.blocks_per_output_page * self.COMPRESSION_RATIO
+
+    def idct_page_for(self, complex_block):
+        page = self.IDCT_FULL_PAGE if complex_block else self.IDCT_SKIP_PAGE
+        return self.lib.code_page(page)
+
+    def output_pages(self, image):
+        n = -(-image.n_blocks // self.blocks_per_output_page)
+        return [self.output_start + i * PAGE_SIZE for i in range(n)]
+
+    def decode(self, image):
+        """Decode the image; returns decoded size in bytes."""
+        for i, complex_block in enumerate(image.complexity):
+            self.engine.code_access(self.lib.code_page(self.HUFFMAN_PAGE))
+            self.engine.data_access(
+                self.input_start
+                + (i // self.blocks_per_input_page) * PAGE_SIZE
+            )
+            # The leak: which IDCT page runs depends on the block.
+            self.engine.code_access(self.idct_page_for(complex_block))
+            self.engine.data_access(
+                self.temp_start + (i % self.temp_pages) * PAGE_SIZE,
+                write=True,
+            )
+            self.engine.data_access(
+                self.output_start
+                + (i // self.blocks_per_output_page) * PAGE_SIZE,
+                write=True,
+            )
+            cycles = self.BLOCK_COMPUTE
+            if complex_block:
+                cycles += self.FULL_IDCT_EXTRA
+            self.engine.compute(cycles)
+            self.blocks_decoded += 1
+        return image.decoded_bytes(self.BYTES_PER_BLOCK)
+
+    def invert(self, image):
+        """Data-independent filter pass over the decoded buffer — the
+        insensitive pipeline stage whose buffer may stay OS-managed."""
+        for page in self.output_pages(image):
+            self.engine.data_access(page, write=True)
+            self.engine.compute(PAGE_SIZE // 2)
+
+    def encode(self, image):
+        """Re-encode: stream the decoded buffer back through the codec."""
+        for i, complex_block in enumerate(image.complexity):
+            self.engine.code_access(self.lib.code_page(self.HUFFMAN_PAGE))
+            self.engine.data_access(
+                self.output_start
+                + (i // self.blocks_per_output_page) * PAGE_SIZE
+            )
+            self.engine.data_access(
+                self.temp_start + (i % self.temp_pages) * PAGE_SIZE,
+                write=True,
+            )
+            self.engine.compute(self.BLOCK_COMPUTE // 2)
+        return image.n_blocks * self.BYTES_PER_BLOCK // \
+            self.COMPRESSION_RATIO

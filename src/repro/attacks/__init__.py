@@ -1,0 +1,32 @@
+"""Controlled-channel attackers (§2.2).
+
+These run with full OS privilege against the simulated page tables —
+they are real implementations of the published attacks, not stand-ins:
+
+* :class:`PageFaultTracer` — Xu et al.'s fault-injection tracer:
+  unmap, observe the fault, remap, silently resume.
+* :class:`AdBitMonitor` — the fault-free accessed/dirty-bit monitor of
+  Wang et al. / Van Bulck et al.
+* :mod:`repro.attacks.oracles` — secret-recovery oracles that turn
+  page traces back into application secrets (words, glyphs, image
+  structure).
+"""
+
+from repro.attacks.controlled_channel import Attacker, PageFaultTracer
+from repro.attacks.ad_monitor import AdBitMonitor
+from repro.attacks.sgx_step import SgxStepAttacker
+from repro.attacks.oracles import (
+    SignatureOracle,
+    sequence_contains,
+    trace_accuracy,
+)
+
+__all__ = [
+    "Attacker",
+    "PageFaultTracer",
+    "AdBitMonitor",
+    "SgxStepAttacker",
+    "SignatureOracle",
+    "sequence_contains",
+    "trace_accuracy",
+]

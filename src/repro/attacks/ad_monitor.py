@@ -1,0 +1,81 @@
+"""The fault-free accessed/dirty-bit controlled channel [67, 72].
+
+Instead of inducing faults, the OS clears the A/D bits of target PTEs
+and samples which ones the hardware re-set — a silent trace of the
+enclave's working set at whatever granularity the attacker samples.
+Software-only defenses that merely count page faults cannot see this
+attack at all, which is the paper's §4 argument that they are
+insufficient.
+
+Under Autarky the cleared bit itself becomes a tripwire: the next TLB
+fill for that page *faults* (§5.1.4), the enclave's handler observes a
+fault on a resident page, and the enclave terminates.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.controlled_channel import Attacker
+from repro.sgx.params import page_base
+
+
+class AdBitMonitor(Attacker):
+    """Samples and clears A/D bits of target pages between victim ops.
+
+    Drive it from the experiment loop: ``arm()`` once, then ``sample()``
+    at each point where a concurrent attacker thread would read the
+    page tables (our stand-in for the sibling-core sampling loop the
+    real attack uses).
+    """
+
+    def __init__(self, kernel, enclave, target_pages):
+        super().__init__()
+        self.kernel = kernel
+        self.enclave = enclave
+        self.targets = {page_base(p) for p in target_pages}
+        #: One entry per sample: the set of pages observed accessed
+        #: (A bit) and written (D bit) during the interval.
+        self.samples = []
+
+    def arm(self):
+        """Clear A/D on all mapped target pages to start the trace."""
+        self._clear_all()
+
+    def sample(self):
+        """Read which bits the hardware re-set, then clear them again."""
+        accessed, written = set(), set()
+        for base in self.targets:
+            pte = self.kernel.page_table.lookup(base)
+            if pte is None or not pte.present:
+                continue
+            if pte.accessed:
+                accessed.add(base)
+            if pte.dirty:
+                written.add(base)
+        self.samples.append((frozenset(accessed), frozenset(written)))
+        self._clear_all()
+        return accessed, written
+
+    def sample_readonly(self):
+        """Read the current A/D state without clearing — the passive
+        variant (no tripwire even under Autarky, but also no
+        per-interval resolution: bits only accumulate)."""
+        accessed = set()
+        for base in self.targets:
+            pte = self.kernel.page_table.lookup(base)
+            if pte is not None and pte.present and pte.accessed:
+                accessed.add(base)
+        return sorted(accessed)
+
+    def access_trace(self):
+        """Flattened per-interval access sets (the attack's output)."""
+        return [acc for acc, _written in self.samples]
+
+    def _clear_all(self):
+        for base in self.targets:
+            pte = self.kernel.page_table.lookup(base)
+            if pte is None or not pte.present:
+                continue
+            if pte.accessed or pte.dirty:
+                self.kernel.page_table.set_accessed_dirty(
+                    base, accessed=False, dirty=False
+                )

@@ -1,0 +1,170 @@
+"""The page-fault-injection controlled channel (Xu et al. [76]).
+
+The attacker unmaps target pages; when the enclave touches one, the OS
+fault handler observes the (page-granular) fault address, remaps that
+page, unmaps the previously-accessed one, and silently ERESUMEs.  In
+the limit this yields a noise-free page-granularity trace of every
+enclave memory access — enough to reconstruct JPEG images, spell-checked
+words, and rendered glyphs.
+
+Against Autarky the same code collects nothing: fault addresses are
+masked to the enclave base, and the silent-resume step is rejected by
+hardware, forcing the fault through the enclave's handler, which
+terminates on the first tampered page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SgxError
+from repro.sgx.params import page_base
+
+
+@dataclass
+class AttackLog:
+    """Everything an attack run observed and did."""
+
+    #: Observed fault addresses (as delivered by hardware — page
+    #: granular for legacy enclaves, masked for self-paging ones).
+    trace: list = field(default_factory=list)
+    #: Per-page observed fault counts.
+    counts: dict = field(default_factory=dict)
+    #: Whether a silent ERESUME was ever rejected by hardware.
+    silent_resume_rejected: bool = False
+    #: Number of faults intercepted.
+    intercepted: int = 0
+
+    def distinct_pages(self):
+        return set(self.trace)
+
+
+class Attacker:
+    """Base class: observe the kernel's fault stream, never interfere."""
+
+    def __init__(self):
+        self.log = AttackLog()
+
+    def on_enclave_fault(self, enclave, tcs, masked):
+        """Kernel hook.  Return True iff the attacker fully resolved
+        the fault (the kernel then skips its own resolution)."""
+        self.log.intercepted += 1
+        self.log.trace.append(masked.vaddr)
+        self.log.counts[masked.vaddr] = \
+            self.log.counts.get(masked.vaddr, 0) + 1
+        return False
+
+
+class PageFaultTracer(Attacker):
+    """Xu et al.'s attack: trace accesses to ``target_pages``.
+
+    ``mode`` selects the fault-injection primitive — all three trigger
+    the same OS-visible fault stream on vanilla SGX:
+
+    * ``"unmap"``   — clear the present bit (the original attack [76]);
+    * ``"protect"`` — revoke W and X so reads still work but writes and
+      instruction fetches trap (the permission variant [74]);
+    * ``"remap"``   — point the PTE at a *different* enclave frame; the
+      EPCM vaddr check turns the access into a fault (the Foreshadow
+      setup step [68]).
+
+    When hardware rejects the silent resume (Autarky), the attacker
+    falls back to the compliant protocol so the victim's handler runs —
+    and promptly kills the enclave.
+    """
+
+    MODES = ("unmap", "protect", "remap")
+
+    def __init__(self, kernel, enclave, target_pages, mode="unmap"):
+        super().__init__()
+        if mode not in self.MODES:
+            raise ValueError(f"unknown tracer mode {mode!r}")
+        self.kernel = kernel
+        self.enclave = enclave
+        self.mode = mode
+        self.targets = {page_base(p) for p in target_pages}
+        self._armed = set()
+        self._saved = {}        # base -> original PTE fields
+        self._last_remapped = None
+
+    def arm(self):
+        """Sabotage every currently-mapped target page."""
+        for base in sorted(self.targets):
+            pte = self.kernel.page_table.lookup(base)
+            if pte is not None and pte.present:
+                self._sabotage(base, pte)
+                self._armed.add(base)
+
+    def disarm(self):
+        """Restore every mapping the attack disturbed."""
+        for base in sorted(self._armed):
+            self._restore(base)
+        self._armed.clear()
+
+    def _sabotage(self, base, pte):
+        if self.mode == "unmap":
+            self.kernel.page_table.unmap(base)
+        elif self.mode == "protect":
+            self._saved[base] = (pte.writable, pte.executable)
+            self.kernel.page_table.set_protection(
+                base, writable=False, executable=False
+            )
+        else:  # remap: swap in some other frame of the same enclave
+            self._saved[base] = pte.pfn
+            other = next(
+                (pfn for vpn, pfn in self.enclave.backed.items()
+                 if pfn != pte.pfn),
+                pte.pfn,
+            )
+            pte.pfn = other
+            self.kernel.page_table._shootdown(base)
+
+    def _restore(self, base):
+        if self.mode == "unmap":
+            pte = self.kernel.page_table.lookup(base)
+            if pte is not None and not pte.present:
+                self.kernel.page_table.remap(base)
+        elif self.mode == "protect":
+            writable, executable = self._saved.get(base, (True, False))
+            self.kernel.page_table.set_protection(
+                base, writable=writable, executable=executable
+            )
+        else:
+            pte = self.kernel.page_table.lookup(base)
+            original = self._saved.get(base)
+            if pte is not None and original is not None:
+                pte.pfn = original
+                self.kernel.page_table._shootdown(base)
+
+    def on_enclave_fault(self, enclave, tcs, masked):
+        super().on_enclave_fault(enclave, tcs, masked)
+        fault_page = page_base(masked.vaddr)
+
+        if enclave.self_paging:
+            # All faults report the enclave base: nothing to single-step
+            # on.  Probe the silent resume once to document the
+            # architectural rejection, then defer to the kernel's
+            # compliant protocol (which runs the victim's handler).
+            try:
+                self.kernel.cpu.eresume(enclave, tcs)
+            except SgxError:
+                self.log.silent_resume_rejected = True
+            return False
+
+        if fault_page not in self._armed:
+            # Not our doing (demand paging) — let the kernel resolve.
+            return False
+
+        # Classic single-step: heal the faulting page, re-arm the
+        # previous one, silently resume.
+        self._restore(fault_page)
+        self._armed.discard(fault_page)
+        if self._last_remapped is not None and \
+                self._last_remapped in self.targets and \
+                self._last_remapped != fault_page:
+            pte = self.kernel.page_table.lookup(self._last_remapped)
+            if pte is not None and pte.present:
+                self._sabotage(self._last_remapped, pte)
+                self._armed.add(self._last_remapped)
+        self._last_remapped = fault_page
+        return True

@@ -1,0 +1,63 @@
+"""SGX-Step-style interrupt single-stepping [66] (§8 related work).
+
+SGX-Step arms the APIC timer so the enclave is interrupted after
+(nearly) every instruction, letting the attacker interleave her own
+code with the victim's at the finest granularity.  An interrupt AEX is
+*legitimate* — the OS must be able to preempt enclaves — so no defense
+can block the stepping itself.  What matters is what each step lets
+the attacker *read*:
+
+* on vanilla SGX: the A/D bits updated since the last step — an
+  instruction-granular page trace ("the same mechanism helps remove
+  the noise from microarchitectural attacks", §1);
+* under Autarky: fault addresses are masked, A/D bits are frozen-set,
+  and sampling-by-clearing trips the fill check.  The stepper still
+  steps; it just observes nothing.
+
+The model interrupts the victim after every engine operation — the
+limit case of timer single-stepping.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.controlled_channel import Attacker
+from repro.sgx.params import page_base
+
+
+class SgxStepAttacker(Attacker):
+    """Single-step the enclave and sample page-table state per step."""
+
+    def __init__(self, kernel, enclave, tcs, target_pages):
+        super().__init__()
+        self.kernel = kernel
+        self.enclave = enclave
+        self.tcs = tcs
+        self.targets = {page_base(p) for p in target_pages}
+        self.steps = 0
+        #: Per-step sets of pages observed accessed since last step.
+        self.step_trace = []
+
+    def step(self, clear=True):
+        """One timer interrupt: preempt, sample, (optionally) clear,
+        resume.  Returns the pages seen accessed this step."""
+        self.steps += 1
+        self.kernel.cpu.interrupt(self.enclave, self.tcs)
+
+        seen = set()
+        for base in self.targets:
+            pte = self.kernel.page_table.lookup(base)
+            if pte is not None and pte.present and pte.accessed:
+                seen.add(base)
+                if clear:
+                    self.kernel.page_table.set_accessed_dirty(
+                        base, accessed=False, dirty=False
+                    )
+        self.step_trace.append(frozenset(seen))
+
+        self.kernel.cpu.resume_from_interrupt(self.enclave, self.tcs)
+        return seen
+
+    def single_page_steps(self):
+        """Steps that isolated exactly one page — the instruction-level
+        precision SGX-Step is prized for."""
+        return [next(iter(s)) for s in self.step_trace if len(s) == 1]

@@ -1,0 +1,70 @@
+"""Deterministic cycle accounting for the whole simulation.
+
+Every component of the stack (SGX instructions, OS syscalls, the Autarky
+runtime, ORAM, application compute) charges cycles to a single shared
+:class:`Clock`.  Charges carry a *category* label so experiments can
+reconstruct the stacked-bar breakdowns the paper reports (Figure 5).
+
+Using a simulated clock instead of wall time makes every benchmark
+deterministic and noise-free — the same property the paper exploits in
+the controlled channel itself.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Category:
+    """Canonical charge categories (string constants, not an enum, so
+    components may add their own without central coordination)."""
+
+    COMPUTE = "compute"                 # application work
+    TLB_FILL = "tlb_fill"               # page walks + SGX checks
+    AEX_ERESUME = "aex_eresume"         # enclave preemption pair
+    EENTER_EEXIT = "eenter_eexit"       # fault-handler invocation pair
+    AUTARKY_HANDLER = "autarky_handler"  # in-enclave paging logic
+    SGX_PAGING = "sgx_paging"           # EWB/ELDU/EAUG/... incl. crypto
+    OS = "os"                           # host kernel / driver work
+    EXITLESS = "exitless"               # exitless host-call channel
+    ORAM = "oram"                       # PathORAM protocol work
+    OBLIVIOUS_SCAN = "oblivious_scan"   # CMOV linear scans (uncached ORAM)
+
+
+class Clock:
+    """A monotonically increasing cycle counter with per-category totals."""
+
+    def __init__(self, frequency_hz=3.5e9):
+        self.frequency_hz = frequency_hz
+        self.cycles = 0
+        self.by_category = defaultdict(int)
+
+    def charge(self, cycles, category=Category.COMPUTE):
+        """Advance simulated time by ``cycles``, booked under ``category``."""
+        if cycles < 0:
+            raise ValueError(f"negative charge: {cycles}")
+        self.cycles += cycles
+        self.by_category[category] += cycles
+
+    def seconds(self):
+        """Simulated elapsed time in seconds."""
+        return self.cycles / self.frequency_hz
+
+    def snapshot(self):
+        """An immutable copy of the per-category totals (for deltas)."""
+        return dict(self.by_category)
+
+    def delta_since(self, snapshot):
+        """Per-category cycles charged since ``snapshot`` was taken."""
+        return {
+            cat: total - snapshot.get(cat, 0)
+            for cat, total in self.by_category.items()
+            if total - snapshot.get(cat, 0)
+        }
+
+    def reset(self):
+        self.cycles = 0
+        self.by_category.clear()
+
+    def __repr__(self):
+        return f"Clock(cycles={self.cycles})"

@@ -1,0 +1,167 @@
+"""System introspection: cross-layer views for debugging and teaching.
+
+The same physical page is described by four independent layers — the
+OS page table, the hardware EPCM, the enclave's self-pager, and the
+backing store — and controlled-channel bugs live exactly in their
+disagreements.  :func:`page_view` lines the four up for one address;
+:func:`system_summary` does the fleet-level accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sgx.params import page_base, vpn_of
+
+
+@dataclass
+class PageView:
+    """Everything every layer believes about one enclave page."""
+
+    vaddr: int
+    region: Optional[str]
+    # OS page table
+    pte_present: Optional[bool]
+    pte_writable: Optional[bool]
+    pte_accessed: Optional[bool]
+    pte_dirty: Optional[bool]
+    # hardware
+    backed_pfn: Optional[int]
+    epcm_valid: Optional[bool]
+    epcm_blocked: Optional[bool]
+    epcm_pending: Optional[bool]
+    # enclave runtime
+    enclave_managed: bool
+    pager_resident: Optional[bool]
+    clusters: list = field(default_factory=list)
+    # untrusted memory
+    swapped_copy: bool = False
+
+    def consistent(self):
+        """Cross-layer consistency: the disagreements that are either
+        bugs or attacks in progress."""
+        problems = []
+        if self.pager_resident and self.backed_pfn is None:
+            problems.append(
+                "pager believes resident but no EPC frame backs it"
+            )
+        if self.pager_resident and self.pte_present is False:
+            problems.append(
+                "pager believes resident but the PTE is not present "
+                "(unmap attack in progress?)"
+            )
+        if self.backed_pfn is not None and self.epcm_valid is False:
+            problems.append("backed frame with invalid EPCM entry")
+        if self.swapped_copy and self.backed_pfn is not None:
+            problems.append(
+                "page is simultaneously resident and swapped out"
+            )
+        return problems
+
+
+def page_view(system, vaddr):
+    """Assemble the four-layer view of one page."""
+    base = page_base(vaddr)
+    vpn = vpn_of(base)
+    kernel = system.kernel
+    runtime = system.runtime
+    enclave = system.enclave
+
+    pte = kernel.page_table.lookup(base)
+    pfn = enclave.backed.get(vpn)
+    entry = kernel.epcm.entry(pfn) if pfn is not None else None
+    region = runtime.region_of(base)
+
+    return PageView(
+        vaddr=base,
+        region=region.name if region else None,
+        pte_present=pte.present if pte else None,
+        pte_writable=pte.writable if pte else None,
+        pte_accessed=pte.accessed if pte else None,
+        pte_dirty=pte.dirty if pte else None,
+        backed_pfn=pfn,
+        epcm_valid=entry.valid if entry else None,
+        epcm_blocked=entry.blocked if entry else None,
+        epcm_pending=entry.pending if entry else None,
+        enclave_managed=runtime.pager.is_managed(base),
+        pager_resident=runtime.pager.is_resident(base)
+        if runtime.pager.is_managed(base) else None,
+        clusters=runtime.clusters.ay_get_cluster_ids(base),
+        swapped_copy=kernel.backing.has(enclave.enclave_id, base),
+    )
+
+
+@dataclass
+class SystemSummary:
+    """Fleet-level accounting of one assembled system."""
+
+    policy: str
+    epc_total: int
+    epc_used: int
+    enclave_backed: int
+    pager_resident: int
+    pager_budget: int
+    swapped_pages: int
+    cluster_count: int
+    faults_total: int
+    pages_in: int
+    pages_out: int
+    aex_count: int
+    cycles: int
+
+    def lines(self):
+        return [
+            f"policy:           {self.policy}",
+            f"EPC:              {self.epc_used}/{self.epc_total} "
+            f"frames in use",
+            f"enclave backed:   {self.enclave_backed} pages "
+            f"(pager: {self.pager_resident}/{self.pager_budget})",
+            f"swapped out:      {self.swapped_pages} pages",
+            f"clusters:         {self.cluster_count}",
+            f"faults:           {self.faults_total} "
+            f"(in {self.pages_in} / out {self.pages_out} pages)",
+            f"AEXs:             {self.aex_count}",
+            f"simulated cycles: {self.cycles:,}",
+        ]
+
+
+def system_summary(system):
+    kernel = system.kernel
+    runtime = system.runtime
+    swapped = sum(
+        1 for (eid, _v) in kernel.backing._pages
+        if eid == system.enclave.enclave_id
+    )
+    return SystemSummary(
+        policy=system.policy.name if system.policy else "baseline",
+        epc_total=kernel.epc.total_pages,
+        epc_used=kernel.epc.used_pages,
+        enclave_backed=len(system.enclave.backed),
+        pager_resident=runtime.pager.resident_count(),
+        pager_budget=runtime.pager.budget_pages,
+        swapped_pages=swapped,
+        cluster_count=runtime.clusters.cluster_count(),
+        faults_total=kernel.cpu.fault_count,
+        pages_in=kernel.driver.pages_in,
+        pages_out=kernel.driver.pages_out,
+        aex_count=kernel.cpu.aex_count,
+        cycles=kernel.clock.cycles,
+    )
+
+
+def audit(system, sample_pages=None):
+    """Cross-layer consistency audit: returns {vaddr: problems}.
+
+    Checks every enclave-managed page (or the sample provided); an
+    empty dict means all four layers agree."""
+    runtime = system.runtime
+    pages = sample_pages
+    if pages is None:
+        pages = [vpn << 12 for vpn in runtime.pager._claimed]
+    findings = {}
+    for vaddr in pages:
+        problems = page_view(system, vaddr).consistent()
+        if problems:
+            findings[page_base(vaddr)] = problems
+    return findings

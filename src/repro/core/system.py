@@ -1,0 +1,163 @@
+"""One-call assembly of the full stack, plus the access engines apps use.
+
+:class:`AutarkySystem` boots the simulated machine, launches an enclave
+with the configured policy, and hands out an *engine* — the interface
+application models program against:
+
+* :class:`DirectEngine` — accesses go through the MMU (page faults,
+  self-paging).  Used by every policy except ORAM.
+* :class:`OramEngine` — data accesses are instrumented through the
+  (cached) ORAM; code accesses still go through the MMU.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import Measurement
+from repro.errors import PolicyError
+from repro.host.kernel import HostKernel
+from repro.oram.policy import OramPolicy
+from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
+from repro.runtime.policies import (
+    ClusterPolicy,
+    PinAllPolicy,
+    RateLimitPolicy,
+)
+from repro.runtime.rate_limit import RateLimiter
+from repro.sgx.params import PAGE_SIZE, AccessType
+
+
+class DirectEngine:
+    """MMU-mediated access engine (the normal path)."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+
+    def data_access(self, vaddr, write=False):
+        self.runtime.access(
+            vaddr, AccessType.WRITE if write else AccessType.READ
+        )
+
+    def code_access(self, vaddr):
+        self.runtime.access(vaddr, AccessType.EXEC)
+
+    def compute(self, cycles):
+        self.runtime.compute(cycles)
+
+    def progress(self, kind):
+        self.runtime.progress(kind)
+
+    def region(self, name):
+        return self.runtime.regions[name]
+
+
+class OramEngine(DirectEngine):
+    """CoSMIX-style instrumented engine: data accesses use ORAM."""
+
+    def __init__(self, runtime, oram_policy):
+        super().__init__(runtime)
+        self.oram_policy = oram_policy
+
+    def data_access(self, vaddr, write=False):
+        self.oram_policy.access(vaddr, write=write)
+
+
+class AutarkySystem:
+    """The assembled machine + enclave + runtime + policy."""
+
+    def __init__(self, config=None):
+        self.config = config or SystemConfig()
+        cfg = self.config
+        from repro.core.validation import check
+        check(cfg)
+        self.kernel = HostKernel(
+            epc_pages=cfg.epc_pages,
+            cost=cfg.cost,
+            arch_opts=cfg.arch_opts,
+            tlb_capacity=cfg.tlb_capacity,
+        )
+        self.layout = EnclaveLayout(
+            runtime_pages=cfg.runtime_pages,
+            code_pages=cfg.code_pages,
+            data_pages=cfg.data_pages,
+            heap_pages=cfg.heap_pages,
+            reserve_pages=cfg.reserve_pages,
+        )
+        legacy = cfg.policy.name == "baseline"
+        self.policy = self._build_policy(cfg)
+        self.runtime = GrapheneRuntime.launch(
+            self.kernel,
+            self.policy,
+            layout=self.layout,
+            quota_pages=cfg.quota_pages,
+            legacy=legacy,
+            sgx_version=cfg.sgx_version,
+            enclave_managed_budget=cfg.enclave_managed_budget,
+            eviction_order=cfg.eviction_order,
+            exitless=cfg.exitless,
+        )
+        # Policies that consult clusters get the runtime's manager.
+        if getattr(self.policy, "manager", False) is None:
+            self.policy.manager = self.runtime.clusters
+        if cfg.policy.name in ("clusters", "rate_limit"):
+            self.runtime.configure_heap(cfg.policy.cluster_pages)
+        else:
+            self.runtime.configure_heap(None)
+
+    @property
+    def enclave(self):
+        return self.runtime.enclave
+
+    @property
+    def clock(self):
+        return self.kernel.clock
+
+    def engine(self):
+        if isinstance(self.policy, OramPolicy):
+            return OramEngine(self.runtime, self.policy)
+        return DirectEngine(self.runtime)
+
+    def measure(self):
+        return Measurement(self.kernel, self.runtime)
+
+    def attach_attacker(self, attacker):
+        self.kernel.attacker = attacker
+        return attacker
+
+    def heap_start(self):
+        return self.runtime.regions["heap"].start
+
+    # -- internals -----------------------------------------------------------
+
+    def _build_policy(self, cfg):
+        spec = cfg.policy
+        if spec.name == "baseline":
+            return None
+        if spec.name == "pin_all":
+            return PinAllPolicy()
+        if spec.name == "clusters":
+            # manager=None is filled in with the runtime's ClusterManager
+            # right after launch.
+            return ClusterPolicy(manager=None,
+                                 unclustered=spec.cluster_unclustered)
+        if spec.name == "rate_limit":
+            limiter = RateLimiter(
+                spec.max_faults_per_progress,
+                grace_faults=spec.grace_faults,
+            )
+            return RateLimitPolicy(limiter, manager=None)
+        if spec.name == "oram":
+            heap_start = (
+                self.layout.base
+                + PAGE_SIZE * (1 + cfg.runtime_pages + cfg.code_pages
+                               + cfg.data_pages)
+            )
+            return OramPolicy(
+                tree_pages=spec.oram_tree_pages,
+                cache_pages=spec.oram_cache_pages,
+                clock=self.kernel.clock,
+                region_start=heap_start,
+                oblivious_metadata=spec.oram_oblivious_metadata,
+                seed=spec.oram_seed,
+            )
+        raise PolicyError(f"unknown policy {spec.name!r}")

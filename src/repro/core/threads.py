@@ -1,0 +1,124 @@
+"""Multi-threaded enclave execution (multiple TCS).
+
+SGX enclaves are multi-threaded: each logical core enters on its own
+exclusive TCS, with its own SSA stack and pending-exception flag.  The
+paper's prototype mostly runs single-threaded (its ORAM store is not
+thread-safe, §7.3) but the *mechanisms* are per-thread: a fault on one
+thread must not let the OS silently resume another, and the SGX2 evict
+path freezes pages read-only precisely so concurrent writers fault
+(§6).
+
+This module provides a deterministic cooperative scheduler that
+interleaves several enclave threads' operation streams — enough to test
+those per-thread semantics without modelling preemptive parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EnclaveTerminated, SgxError
+from repro.sgx.params import AccessType
+
+
+@dataclass
+class EnclaveThread:
+    """One logical thread: a TCS plus a queue of pending operations.
+
+    Operations are ``("access", vaddr, AccessType)``,
+    ``("compute", cycles)`` or ``("progress", kind)``.
+    """
+
+    name: str
+    tcs: object
+    ops: list = field(default_factory=list)
+    completed: int = 0
+    terminated: bool = False
+
+    def push(self, *ops):
+        self.ops.extend(ops)
+        return self
+
+
+class ThreadScheduler:
+    """Round-robin interleaving of enclave threads.
+
+    The schedule is deterministic (round-robin with a configurable
+    quantum), so tests and experiments are exactly reproducible.
+    """
+
+    def __init__(self, runtime, quantum=1):
+        if quantum < 1:
+            raise ValueError("quantum must be at least 1")
+        self.runtime = runtime
+        self.quantum = quantum
+        self.threads = []
+
+    def spawn(self, name):
+        """Add a thread on a fresh exclusive TCS.
+
+        SGX2 lets a running enclave accept new TCS pages (EAUG +
+        EACCEPT with the TCS type); we model the result — a fresh
+        per-thread control structure — directly."""
+        from repro.sgx.tcs import Tcs
+        tcs = Tcs()
+        self.runtime.enclave.add_tcs(tcs)
+        thread = EnclaveThread(name=name, tcs=tcs)
+        self.threads.append(thread)
+        return thread
+
+    def adopt_main(self, name="main"):
+        """Wrap the runtime's launch TCS as a schedulable thread."""
+        thread = EnclaveThread(name=name, tcs=self.runtime.tcs)
+        self.threads.append(thread)
+        return thread
+
+    def run(self):
+        """Drain all threads; returns ops completed per thread.
+
+        A thread whose operation terminates the enclave stops the
+        whole schedule (the enclave is dead for everyone).
+        """
+        pending = [t for t in self.threads if t.ops]
+        while pending:
+            for thread in list(pending):
+                for _ in range(self.quantum):
+                    if not thread.ops:
+                        break
+                    self._step(thread)
+                    if thread.terminated:
+                        raise EnclaveTerminated(
+                            f"thread {thread.name} died; enclave gone"
+                        )
+            pending = [t for t in self.threads
+                       if t.ops and not t.terminated]
+        return {t.name: t.completed for t in self.threads}
+
+    def _step(self, thread):
+        op = thread.ops.pop(0)
+        kind = op[0]
+        try:
+            if kind == "access":
+                _, vaddr, access = op
+                self.runtime.kernel.cpu.access(
+                    self.runtime.enclave, thread.tcs, vaddr, access,
+                )
+            elif kind == "compute":
+                self.runtime.compute(op[1])
+            elif kind == "progress":
+                self.runtime.progress(op[1])
+            else:
+                raise SgxError(f"unknown thread op {kind!r}")
+        except EnclaveTerminated:
+            thread.terminated = True
+            return
+        thread.completed += 1
+
+
+def access_op(vaddr, write=False):
+    return ("access", vaddr,
+            AccessType.WRITE if write else AccessType.READ)
+
+
+def compute_op(cycles):
+    return ("compute", cycles)

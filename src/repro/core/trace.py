@@ -1,0 +1,123 @@
+"""Access-trace instrumentation and comparison utilities.
+
+Wrap any engine in a :class:`TraceRecorder` to capture the enclave-side
+truth (every data/code access with its simulated timestamp), then put
+it side by side with what the adversary collected — the comparison that
+makes leakage discussions concrete:
+
+>>> recorder = TraceRecorder(system.engine(), system.clock)
+>>> workload(recorder)
+>>> view = adversary_view(recorder, system.kernel)
+>>> view.leaked_fraction
+0.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sgx.params import page_base
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded enclave access."""
+
+    cycles: int
+    kind: str        # "data" | "code"
+    vaddr: int
+    write: bool
+
+
+class TraceRecorder:
+    """Engine wrapper that records the ground-truth access stream."""
+
+    def __init__(self, engine, clock):
+        self.engine = engine
+        self.clock = clock
+        self.events = []
+
+    def data_access(self, vaddr, write=False):
+        self.engine.data_access(vaddr, write=write)
+        self.events.append(TraceEvent(
+            self.clock.cycles, "data", vaddr, write,
+        ))
+
+    def code_access(self, vaddr):
+        self.engine.code_access(vaddr)
+        self.events.append(TraceEvent(
+            self.clock.cycles, "code", vaddr, False,
+        ))
+
+    def compute(self, cycles):
+        self.engine.compute(cycles)
+
+    def progress(self, kind):
+        self.engine.progress(kind)
+
+    # -- derived views -----------------------------------------------------
+
+    def page_trace(self):
+        """The page-granular truth (what a perfect attacker wants)."""
+        return [page_base(e.vaddr) for e in self.events]
+
+    def distinct_pages(self):
+        return {page_base(e.vaddr) for e in self.events}
+
+    def working_set_curve(self, bucket_cycles):
+        """(bucket_index, distinct pages touched) per time bucket."""
+        if bucket_cycles <= 0:
+            raise ValueError("bucket must be positive")
+        buckets = {}
+        for event in self.events:
+            buckets.setdefault(
+                event.cycles // bucket_cycles, set()
+            ).add(page_base(event.vaddr))
+        return sorted(
+            (index, len(pages)) for index, pages in buckets.items()
+        )
+
+
+@dataclass
+class AdversaryView:
+    """What the OS-level adversary learned vs. the ground truth."""
+
+    truth_pages: list
+    observed_pages: list
+    leaked_events: int = 0
+    leaked_fraction: float = 0.0
+    distinct_leaked: set = field(default_factory=set)
+
+
+def adversary_view(recorder, kernel):
+    """Correlate the recorder's truth with the kernel's fault log.
+
+    An observed fault "leaks" when its address matches a page the
+    enclave genuinely touched (masked faults at the enclave base never
+    match a data/code page, so self-paging enclaves score zero)."""
+    truth = recorder.page_trace()
+    truth_set = set(truth)
+    observed = [f.vaddr for f in kernel.fault_log]
+    leaked = [v for v in observed if v in truth_set]
+    return AdversaryView(
+        truth_pages=truth,
+        observed_pages=observed,
+        leaked_events=len(leaked),
+        leaked_fraction=(
+            len(set(leaked)) / len(truth_set) if truth_set else 0.0
+        ),
+        distinct_leaked=set(leaked),
+    )
+
+
+def first_divergence(trace_a, trace_b):
+    """Index of the first position where two traces differ, or None.
+
+    The tool behind oblivious-execution checks: two runs on different
+    secrets must have ``first_divergence(...) is None``."""
+    for i, (a, b) in enumerate(zip(trace_a, trace_b)):
+        if a != b:
+            return i
+    if len(trace_a) != len(trace_b):
+        return min(len(trace_a), len(trace_b))
+    return None

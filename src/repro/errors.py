@@ -1,0 +1,81 @@
+"""Exception hierarchy shared across the Autarky reproduction.
+
+The simulator distinguishes three families of failures:
+
+* :class:`SgxError` — architectural rule violations raised by the SGX
+  hardware model (EPCM mismatches, illegal instruction operands, ...).
+  These model the #GP / #PF semantics of the real instructions and are
+  bugs in the *caller* (OS, runtime, or test), never silent.
+
+* :class:`PageFault` — the one "expected" hardware event.  It is used as
+  a control-flow signal between the MMU and the CPU's asynchronous-exit
+  logic, exactly like a real #PF vectors into the kernel.
+
+* :class:`EnclaveTerminated` — raised when trusted in-enclave software
+  decides to kill the enclave (e.g. the Autarky fault handler detected a
+  controlled-channel attack, or a rate limit was exceeded).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SgxError(ReproError):
+    """An SGX architectural rule was violated (models #GP/#UD faults)."""
+
+
+class EpcmViolation(SgxError):
+    """An EPCM security check failed (wrong owner, address, or perms)."""
+
+
+class EpcExhausted(SgxError):
+    """No free EPC frame is available for an allocation."""
+
+
+class IntegrityError(SgxError):
+    """Paging crypto detected tampering or replay of swapped contents."""
+
+
+class PageFault(ReproError):
+    """A hardware page fault (#PF) during enclave or host execution.
+
+    Attributes mirror the x86 error-code information the OS would see.
+    For self-paging (Autarky) enclaves the CPU masks ``vaddr`` and
+    ``write``/``exec`` before the fault is delivered to the OS; the raw
+    values remain visible only in the SSA frame (see :mod:`repro.sgx.ssa`).
+    """
+
+    def __init__(self, vaddr, write=False, exec_=False, present=False,
+                 reason=""):
+        self.vaddr = vaddr
+        self.write = write
+        self.exec_ = exec_
+        self.present = present
+        self.reason = reason
+        super().__init__(
+            f"#PF at {vaddr:#x} (write={write}, exec={exec_}, "
+            f"present={present}, reason={reason!r})"
+        )
+
+
+class EnclaveTerminated(ReproError):
+    """Trusted enclave software aborted execution."""
+
+    def __init__(self, cause):
+        self.cause = cause
+        super().__init__(f"enclave terminated: {cause}")
+
+
+class AttackDetected(EnclaveTerminated):
+    """The self-paging runtime identified an OS-induced fault."""
+
+
+class RateLimitExceeded(EnclaveTerminated):
+    """The bounded-leakage policy observed too many faults per progress."""
+
+
+class PolicyError(ReproError):
+    """A secure-paging policy was misused (bad cluster, bad region, ...)."""

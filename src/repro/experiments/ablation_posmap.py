@@ -1,0 +1,93 @@
+"""A3 (extension) — position-map strategies for enclave ORAM.
+
+§5.2.2's design space, measured head-to-head on random accesses:
+
+* **flat, pinned** — Autarky's approach: the map lives in
+  enclave-managed pinned pages, lookups are direct.  Fastest, but the
+  pinned footprint grows linearly with the dataset.
+* **flat, scanned** — CoSMIX without Autarky: data-independent CMOV
+  scans per touch.  No pinning; catastrophically slow.
+* **recursive** — the classical construction: the map recurses into
+  smaller ORAMs until a constant residue remains.  O(1) pinned state
+  for a ~(2·depth+1)× path-work multiplier — the middle ground a
+  memory-constrained deployment would pick.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.clock import Clock
+from repro.experiments.formatting import render_table
+from repro.oram.path_oram import PathOram
+from repro.oram.recursive import RecursivePathOram
+
+
+@dataclass
+class PosmapRow:
+    strategy: str
+    cycles_per_access: float
+    pinned_entries: int
+    recursion_depth: int
+
+
+def run(num_blocks=32_768, accesses=300, seed=61,
+        top_map_entries=256):
+    rng = random.Random(seed)
+    pattern = [rng.randrange(num_blocks) for _ in range(accesses)]
+    rows = []
+
+    for strategy in ("flat pinned (Autarky)",
+                     "flat scanned (CoSMIX)",
+                     "recursive"):
+        clock = Clock()
+        if strategy.startswith("flat"):
+            oram = PathOram(
+                num_blocks, clock,
+                oblivious_metadata="scanned" in strategy,
+            )
+            pinned = num_blocks if "pinned" in strategy else 0
+            depth = 0
+        else:
+            oram = RecursivePathOram(
+                num_blocks, clock, top_map_entries=top_map_entries,
+            )
+            pinned = oram.pinned_entries()
+            depth = oram.recursion_depth
+        # Scanned mode is slow to simulate too: sample it.
+        sample = pattern if "scanned" not in strategy \
+            else pattern[:max(20, accesses // 10)]
+        for block in sample:
+            oram.access(block, data="x", write=True)
+        rows.append(PosmapRow(
+            strategy=strategy,
+            cycles_per_access=clock.cycles / len(sample),
+            pinned_entries=pinned,
+            recursion_depth=depth,
+        ))
+    return rows
+
+
+def format_table(rows):
+    return render_table(
+        ["strategy", "cycles/access", "pinned map entries",
+         "recursion depth"],
+        [
+            (r.strategy, f"{r.cycles_per_access:,.0f}",
+             f"{r.pinned_entries:,}", r.recursion_depth)
+            for r in rows
+        ],
+        title="A3 (extension): ORAM position-map strategies "
+              "(32k-block tree)",
+    )
+
+
+def main():
+    rows = run()
+    print(format_table(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

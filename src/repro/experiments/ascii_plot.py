@@ -1,0 +1,107 @@
+"""Terminal rendering of the paper's figures (log-scale scatter/bars).
+
+Pure-text plotting so `python -m repro fig6` can draw the actual
+figure, not just its table — no plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _log_position(value, lo, hi, width):
+    if value <= 0:
+        return 0
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return 0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return max(0, min(width - 1, round(frac * (width - 1))))
+
+
+def log_scatter(series, width=64, title=None, unit=""):
+    """Render named series of (x_label, value) pairs on one shared
+    horizontal log axis.
+
+    >>> print(log_scatter({"a": [("p1", 10), ("p2", 1000)]}))
+    """
+    values = [
+        v for points in series.values() for _x, v in points if v > 0
+    ]
+    if not values:
+        raise ValueError("nothing to plot")
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        hi = lo * 10
+
+    label_width = max(
+        len(f"{name} {x}") for name, points in series.items()
+        for x, _v in points
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    axis = f"{'':<{label_width}}  |{'-' * width}|"
+    lines.append(
+        f"{'':<{label_width}}  {lo:>.0f}{'':^{width - 8}}{hi:,.0f} {unit}"
+    )
+    lines.append(axis)
+    for name, points in series.items():
+        for x, value in points:
+            row = [" "] * width
+            row[_log_position(value, lo, hi, width)] = "*"
+            label = f"{name} {x}"
+            lines.append(
+                f"{label:<{label_width}}  |{''.join(row)}| "
+                f"{value:,.0f}"
+            )
+    return "\n".join(lines)
+
+
+def bar_chart(rows, width=48, title=None, fmt="{:,.0f}"):
+    """Horizontal bars for (label, value) rows, linear scale."""
+    if not rows:
+        raise ValueError("nothing to plot")
+    peak = max(v for _label, v in rows)
+    label_width = max(len(label) for label, _v in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        filled = 0 if peak == 0 else round(width * value / peak)
+        lines.append(
+            f"{label:<{label_width}}  {'#' * filled}"
+            f"{' ' * (width - filled)}  {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bars(rows, components, width=48, title=None):
+    """Stacked horizontal bars.
+
+    ``rows``: list of (label, {component: value}); ``components``: the
+    stacking order, each drawn with its own glyph.
+    """
+    glyphs = "#=+:%@o"
+    if len(components) > len(glyphs):
+        raise ValueError("too many components to draw distinctly")
+    peak = max(sum(parts.values()) for _label, parts in rows)
+    label_width = max(len(label) for label, _parts in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[i]}={name}" for i, name in enumerate(components)
+    )
+    lines.append(legend)
+    for label, parts in rows:
+        bar = []
+        for i, name in enumerate(components):
+            share = parts.get(name, 0) / peak if peak else 0
+            bar.append(glyphs[i] * round(width * share))
+        body = "".join(bar)[:width]
+        total = sum(parts.values())
+        lines.append(
+            f"{label:<{label_width}}  {body:<{width}}  {total:,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""E2 — Figure 5: paging latency breakdown, SGX1 vs SGX2.
+
+Measures per-page latency of a page *fault* (fetch) and a page
+*eviction*, normalized to a single page at the driver's batch size of
+16, broken into the figure's four stacked components:
+
+* Enclave preempt. (AEX+ERESUME)
+* PF handler invoc. (EENTER+EEXIT)
+* Autarky PF handler overhead (handler logic + exitless host calls)
+* SGX paging (instructions incl. encrypt/decrypt, driver work)
+
+Method: a demand-paging enclave sweeps pages cyclically.
+
+* Phase 1 (budget not yet full, pages pre-seeded in the backing store)
+  measures the pure fetch path: every access is one fault, no evictions.
+* Phase 2 (steady state) adds exactly one amortized page-eviction per
+  fault; the eviction breakdown is the component-wise difference.
+
+The paper's conclusion this reproduces: transitions are 40-50% of
+fault latency; eliding AEX (§5.1.3) would make Autarky paging faster
+than today's unprotected paging; SGX1 paging instructions are cheaper
+than the SGX2 path, so the evaluation defaults to SGX1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Category
+from repro.core.config import SystemConfig
+from repro.core.system import AutarkySystem
+from repro.experiments.formatting import render_table
+from repro.sgx.params import PAGE_SIZE, AccessType, SgxVersion
+
+#: Figure component -> clock categories it aggregates.
+COMPONENTS = {
+    "preempt (AEX+ERESUME)": (Category.AEX_ERESUME,),
+    "handler invoc. (EENTER+EEXIT)": (Category.EENTER_EEXIT,),
+    "Autarky handler overhead": (
+        Category.AUTARKY_HANDLER, Category.EXITLESS,
+    ),
+    "SGX paging (incl. crypto)": (
+        Category.SGX_PAGING, Category.OS, Category.TLB_FILL,
+    ),
+}
+
+
+@dataclass
+class Fig5Row:
+    operation: str      # "fault" or "evict"
+    version: str        # "SGX1" or "SGX2"
+    component: str
+    cycles_per_page: float
+
+    @property
+    def key(self):
+        return (self.operation, self.version, self.component)
+
+
+def _measure_phase(system, first_page, npages):
+    """Touch ``npages`` fresh pages; returns per-category per-page cycles."""
+    heap = system.runtime.regions["heap"]
+    snap = system.clock.snapshot()
+    for i in range(first_page, first_page + npages):
+        system.runtime.access(
+            heap.start + i * PAGE_SIZE, AccessType.READ
+        )
+    delta = system.clock.delta_since(snap)
+    return {cat: cycles / npages for cat, cycles in delta.items()}
+
+
+def _aggregate(per_category):
+    out = {}
+    for component, cats in COMPONENTS.items():
+        out[component] = sum(per_category.get(c, 0.0) for c in cats)
+    return out
+
+
+def run_version(version, iterations=1_000, elide_aex=False):
+    """Measure fault and evict breakdowns for one SGX version."""
+    from repro.sgx.params import ArchOptimizations
+    budget = iterations + 64
+    system = AutarkySystem(SystemConfig.for_policy(
+        "rate_limit",
+        max_faults_per_progress=10 * iterations,
+        epc_pages=budget + 4_096,
+        quota_pages=budget + 512,
+        enclave_managed_budget=budget,
+        heap_pages=4 * iterations + 1_024,
+        code_pages=16,
+        data_pages=16,
+        runtime_pages=8,
+        sgx_version=version,
+        arch_opts=ArchOptimizations(elide_aex=elide_aex),
+    ))
+    heap = system.runtime.regions["heap"]
+
+    # Seed the backing store so measured faults reload (ELDU /
+    # EACCEPTCOPY) rather than zero-fill: touch then evict.
+    warm = [heap.start + i * PAGE_SIZE for i in range(2 * iterations)]
+    for page in warm:
+        system.runtime.access(page, AccessType.WRITE)
+    system.runtime.pager.evict_all()
+
+    # Phase 1: pure faults (budget has room for `iterations` pages).
+    fault_breakdown = _aggregate(
+        _measure_phase(system, 0, iterations)
+    )
+
+    # Phase 2: steady state — every fault amortizes one eviction.
+    steady = _aggregate(_measure_phase(system, iterations, iterations))
+    evict_breakdown = {
+        comp: max(0.0, steady[comp] - fault_breakdown[comp])
+        for comp in COMPONENTS
+    }
+    return fault_breakdown, evict_breakdown
+
+
+def run(iterations=1_000):
+    """Full Figure 5: rows for both operations and versions."""
+    rows = []
+    for version, label in ((SgxVersion.SGX1, "SGX1"),
+                           (SgxVersion.SGX2, "SGX2")):
+        fault, evict = run_version(version, iterations=iterations)
+        for comp, cycles in fault.items():
+            rows.append(Fig5Row("fault", label, comp, cycles))
+        for comp, cycles in evict.items():
+            rows.append(Fig5Row("evict", label, comp, cycles))
+    return rows
+
+
+def totals(rows):
+    """(operation, version) -> total cycles per page."""
+    out = {}
+    for row in rows:
+        key = (row.operation, row.version)
+        out[key] = out.get(key, 0.0) + row.cycles_per_page
+    return out
+
+
+def format_table(rows):
+    table_rows = []
+    for op in ("fault", "evict"):
+        for version in ("SGX1", "SGX2"):
+            for comp in COMPONENTS:
+                match = [r for r in rows if r.key == (op, version, comp)]
+                if match:
+                    table_rows.append(
+                        (op, version, comp,
+                         f"{match[0].cycles_per_page:,.0f}")
+                    )
+            total = sum(
+                r.cycles_per_page for r in rows
+                if (r.operation, r.version) == (op, version)
+            )
+            table_rows.append((op, version, "TOTAL", f"{total:,.0f}"))
+    return render_table(
+        ["operation", "version", "component", "cycles/page"],
+        table_rows,
+        title="E2 / Figure 5: paging latency breakdown "
+              "(per page, batch 16)",
+    )
+
+
+def format_figure(rows):
+    """Figure 5 as terminal stacked bars."""
+    from repro.experiments.ascii_plot import stacked_bars
+    bar_rows = []
+    for op in ("fault", "evict"):
+        for version in ("SGX1", "SGX2"):
+            parts = {
+                r.component: r.cycles_per_page for r in rows
+                if (r.operation, r.version) == (op, version)
+            }
+            bar_rows.append((f"{op} {version}", parts))
+    return stacked_bars(
+        bar_rows, list(COMPONENTS),
+        title="Figure 5: cycles per page (stacked components)",
+    )
+
+
+def main():
+    rows = run()
+    print(format_table(rows))
+    print()
+    print(format_figure(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,208 @@
+"""E3 — Figure 6: cluster size vs. throughput on uthash, vs. ORAM.
+
+The paper fills a uthash table with 431 MB of 256-byte items (≤10 per
+bucket), then measures random GETs under:
+
+* automatic page clusters of 1..100 pages (before and after the table
+  rehashes and expands its bucket array),
+* Autarky's cached ORAM (128 MB in-EPC page cache, 1 GB PathORAM tree),
+* uncached ORAM (CoSMIX-style oblivious metadata scans) — run on only
+  100 random entries because the full experiment "did not complete in
+  24 hours"; it lands 232× below the cached configuration.
+
+Cached ORAM and ~10-page clusters break even; smaller clusters are
+faster but leak more (see E8 for the guess-probability analysis).
+
+All sizes scale together (default 1/8) so the data:EPC ratio — the
+thing that drives paging — matches the paper's 431:190.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.uthash import UthashTable
+from repro.core.config import SystemConfig
+from repro.core.system import AutarkySystem
+from repro.experiments.formatting import render_table
+from repro.sgx.params import PAGE_SIZE
+
+CLUSTER_SIZES = (1, 2, 5, 10, 20, 50, 100)
+
+
+@dataclass
+class Fig6Point:
+    series: str        # "clusters", "clusters_rehashed", "oram", "oram_uncached"
+    cluster_pages: int  # 0 for the ORAM series
+    throughput: float   # requests per simulated second
+
+
+@dataclass
+class Fig6Scale:
+    """Scaled-down instance of the paper's configuration."""
+
+    data_bytes: int = 431 * 1024 * 1024 // 8
+    item_size: int = 256
+    oram_tree_pages: int = 262_144 // 8
+    oram_cache_pages: int = 32_768 // 8
+    #: enclave-managed budget ≈ EPC share for table data (190 MB scaled)
+    budget_pages: int = 40_000 // 8
+
+
+def _measure_lookups(table, system, requests, seed):
+    rng = random.Random(seed)
+    keys = [rng.randrange(table.n_items) for _ in range(requests)]
+    with system.measure() as m:
+        for key in keys:
+            table.lookup(key)
+    return m.metrics(ops=requests).throughput
+
+
+def _cluster_system(scale, cluster_pages):
+    data_pages = (
+        scale.data_bytes // scale.item_size
+        // (PAGE_SIZE // scale.item_size)
+    )
+    total_pages = data_pages + data_pages // 32 + 64
+    return AutarkySystem(SystemConfig.for_policy(
+        "clusters",
+        cluster_pages=cluster_pages,
+        epc_pages=scale.budget_pages + 4_096,
+        quota_pages=scale.budget_pages + 1_024,
+        enclave_managed_budget=scale.budget_pages,
+        heap_pages=total_pages + 512,
+        code_pages=32,
+        data_pages=32,
+        runtime_pages=8,
+    ))
+
+
+def run_clusters(scale=None, requests=1_500, seed=31):
+    """The two cluster series (before/after rehash)."""
+    scale = scale or Fig6Scale()
+    points = []
+    for cluster_pages in CLUSTER_SIZES:
+        system = _cluster_system(scale, cluster_pages)
+        engine = system.engine()
+        table = UthashTable(
+            engine, system.heap_start(), scale.data_bytes,
+            item_size=scale.item_size,
+        )
+        # The allocator assigns every table page to automatic clusters
+        # in allocation order, exactly like the extended libOS
+        # allocator of §5.2.3.  Sized for the post-rehash bucket array
+        # so the second measurement stays fully covered.
+        system.runtime.allocator.alloc_pages(
+            table.total_pages_after_rehash()
+        )
+
+        points.append(Fig6Point(
+            "clusters", cluster_pages,
+            _measure_lookups(table, system, requests, seed),
+        ))
+        table.rehash()
+        points.append(Fig6Point(
+            "clusters_rehashed", cluster_pages,
+            _measure_lookups(table, system, requests, seed + 1),
+        ))
+    return points
+
+
+def run_oram(scale=None, requests=600, seed=37, uncached_requests=40):
+    """The cached-ORAM line and the uncached-ORAM point."""
+    scale = scale or Fig6Scale()
+    points = []
+    for uncached in (False, True):
+        system = AutarkySystem(SystemConfig.for_policy(
+            "oram",
+            oram_tree_pages=scale.oram_tree_pages,
+            oram_cache_pages=0 if uncached else scale.oram_cache_pages,
+            oram_oblivious_metadata=uncached,
+            epc_pages=scale.budget_pages + 4_096,
+            heap_pages=scale.oram_tree_pages + 512,
+            code_pages=32,
+            data_pages=32,
+            runtime_pages=8,
+        ))
+        engine = system.engine()
+        table = UthashTable(
+            engine, system.heap_start(), scale.data_bytes,
+            item_size=scale.item_size,
+        )
+        n = uncached_requests if uncached else requests
+        throughput = _measure_lookups(table, system, n, seed)
+        points.append(Fig6Point(
+            "oram_uncached" if uncached else "oram", 0, throughput,
+        ))
+    return points
+
+
+def run(scale=None, requests=1_500):
+    scale = scale or Fig6Scale()
+    points = run_clusters(scale, requests=requests)
+    points += run_oram(scale, requests=max(200, requests // 3))
+    return points
+
+
+def crossover_cluster_size(points):
+    """Smallest cluster size at which cached ORAM is at least as fast
+    as clusters — the paper's break-even (~10 pages)."""
+    oram = next(p.throughput for p in points if p.series == "oram")
+    for p in sorted((p for p in points if p.series == "clusters"),
+                    key=lambda p: p.cluster_pages):
+        if p.throughput <= oram:
+            return p.cluster_pages
+    return None
+
+
+def format_table(points):
+    rows = [
+        (p.series, p.cluster_pages or "-", f"{p.throughput:,.0f}")
+        for p in points
+    ]
+    oram = next(
+        (p.throughput for p in points if p.series == "oram"), None
+    )
+    unc = next(
+        (p.throughput for p in points if p.series == "oram_uncached"),
+        None,
+    )
+    table = render_table(
+        ["series", "pages/cluster", "throughput (req/s)"],
+        rows,
+        title="E3 / Figure 6: uthash — clusters vs ORAM",
+    )
+    footer = ""
+    if oram and unc:
+        footer = (
+            f"\nuncached ORAM is {oram / unc:,.0f}x slower than cached "
+            f"(paper: 232x); cluster/ORAM break-even at "
+            f"{crossover_cluster_size(points)} pages (paper: ~10)"
+        )
+    return table + footer
+
+
+def format_figure(points):
+    """Figure 6 as a terminal log-scale plot."""
+    from repro.experiments.ascii_plot import log_scatter
+    series = {}
+    for p in points:
+        label = p.cluster_pages if p.cluster_pages else "-"
+        series.setdefault(p.series, []).append((label, p.throughput))
+    return log_scatter(
+        series, title="Figure 6 (log scale): requests/s",
+        unit="req/s",
+    )
+
+
+def main():
+    points = run()
+    print(format_table(points))
+    print()
+    print(format_figure(points))
+    return points
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Full-report generation: run every experiment, write one document.
+
+``python -m repro report`` (or :func:`generate`) runs the complete
+harness and writes a self-contained markdown report with every table
+the paper's evaluation contains, plus the extensions — the artifact a
+reviewer would ask for.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from contextlib import redirect_stdout
+
+#: (section title, experiment module name) in presentation order.
+SECTIONS = [
+    ("E1 — nbench architecture overhead (§7)", "arch_overhead"),
+    ("E2 — Figure 5: paging latency breakdown", "fig5_microbench"),
+    ("E3 — Figure 6: uthash clusters vs ORAM", "fig6_uthash"),
+    ("E4 — Figure 7: Phoenix/PARSEC rate limiting", "fig7_rate_limit"),
+    ("E5 — Table 2: end-to-end applications", "table2_apps"),
+    ("E6 — Figure 8: Memcached + YCSB", "fig8_memcached"),
+    ("E7 — attack mitigation", "attack_mitigation"),
+    ("E8 — leakage analysis (§5.3)", "leakage_analysis"),
+    ("A1 — eviction-order ablation", "ablation_eviction"),
+    ("A2 — host-call/hardware-path ablation", "ablation_paths"),
+    ("E9 — multi-enclave EPC coordination (extension)",
+     "multi_enclave"),
+    ("E10 — software-only defenses vs Autarky (extension)",
+     "software_defense_cmp"),
+    ("E11 — cost-model sensitivity (extension)", "sensitivity"),
+    ("A3 — ORAM position-map strategies (extension)",
+     "ablation_posmap"),
+]
+
+HEADER = """\
+# Autarky reproduction — generated experiment report
+
+Produced by `python -m repro report`.  Every number below comes from
+the deterministic simulation; see EXPERIMENTS.md for the
+paper-vs-measured commentary and DESIGN.md for the cost-model
+calibration.
+"""
+
+
+def generate(path=None, sections=None, echo=False):
+    """Run the experiments and return the report text (optionally
+    written to ``path``)."""
+    import importlib
+
+    chosen = sections or [name for _t, name in SECTIONS]
+    titles = {name: title for title, name in SECTIONS}
+    parts = [HEADER]
+    for name in chosen:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        started = time.time()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        elapsed = time.time() - started
+        parts.append(f"## {titles.get(name, name)}\n")
+        parts.append("```text")
+        parts.append(buffer.getvalue().rstrip())
+        parts.append("```")
+        parts.append(f"_(generated in {elapsed:.1f}s of host time)_\n")
+        if echo:
+            print(f"[report] {name} done in {elapsed:.1f}s")
+
+    text = "\n".join(parts)
+    if path:
+        with open(path, "w") as f:
+            f.write(text)
+    return text

@@ -1,0 +1,12 @@
+"""The untrusted host: kernel, SGX driver, and encrypted backing store.
+
+Everything in this subpackage is *outside* the trust boundary.  The
+controlled-channel attacker runs with these privileges: it owns the
+page table, drives demand paging, and schedules enclave entry/resume.
+"""
+
+from repro.host.backing import BackingStore
+from repro.host.driver import SgxDriver, EnclaveHostState
+from repro.host.kernel import HostKernel
+
+__all__ = ["BackingStore", "SgxDriver", "EnclaveHostState", "HostKernel"]

@@ -1,0 +1,59 @@
+"""Untrusted backing store for evicted enclave pages.
+
+Holds the sealed blobs EWB produces (or the runtime's own SGX2-sealed
+pages).  Being untrusted memory, the store exposes tampering primitives
+used by the security tests: the crypto layer, not the store, is what
+keeps the enclave safe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SgxError
+
+
+class BackingStore:
+    """(enclave_id, vaddr) → sealed page blob, plus a replay shelf."""
+
+    def __init__(self):
+        self._pages = {}
+        #: Old blobs an attacker squirrelled away for replay attempts.
+        self._stale = {}
+
+    def put(self, enclave_id, vaddr, sealed):
+        key = (enclave_id, vaddr)
+        old = self._pages.get(key)
+        if old is not None:
+            self._stale[key] = old
+        self._pages[key] = sealed
+
+    def get(self, enclave_id, vaddr):
+        return self._pages.get((enclave_id, vaddr))
+
+    def take(self, enclave_id, vaddr):
+        """Remove and return the blob (a page being reloaded).
+
+        The blob also lands on the stale shelf: untrusted memory has no
+        delete — an attacker keeps a copy of everything it ever held."""
+        sealed = self._pages.pop((enclave_id, vaddr), None)
+        if sealed is None:
+            raise SgxError(
+                f"no swapped copy of {vaddr:#x} for enclave {enclave_id}"
+            )
+        self._stale[(enclave_id, vaddr)] = sealed
+        return sealed
+
+    def has(self, enclave_id, vaddr):
+        return (enclave_id, vaddr) in self._pages
+
+    def __len__(self):
+        return len(self._pages)
+
+    # -- attacker primitives (used by security tests) ----------------------
+
+    def stale_copy(self, enclave_id, vaddr):
+        """A previously superseded blob, for replay attempts."""
+        return self._stale.get((enclave_id, vaddr))
+
+    def substitute(self, enclave_id, vaddr, sealed):
+        """Overwrite the stored blob with attacker-chosen bytes."""
+        self._pages[(enclave_id, vaddr)] = sealed

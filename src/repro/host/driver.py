@@ -1,0 +1,426 @@
+"""The (modified) Intel SGX driver.
+
+Implements the paper's two-level page-management contract (§5.2.1):
+
+* **OS-managed pages** may be evicted and fetched by the driver at any
+  time — clock eviction for legacy enclaves, FIFO for self-paging
+  enclaves (whose A/D bits the driver can no longer read, §5.1.4 /
+  §7 "Setup").
+* **Enclave-managed pages** are pinned while the enclave is runnable:
+  the driver refuses to evict them.  Only the enclave's own
+  ``ay_evict_pages`` may move them out.  If the OS must reclaim memory
+  anyway, its only option is suspending the whole enclave and restoring
+  every page before resume (:meth:`SgxDriver.suspend_enclave`).
+
+The Autarky system calls (implemented as IOCTLs in the real prototype)
+are :meth:`ay_set_os_managed`, :meth:`ay_set_enclave_managed`,
+:meth:`ay_fetch_pages` and :meth:`ay_evict_pages`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.clock import Category
+from repro.errors import EpcExhausted, SgxError
+from repro.sgx.epcm import Permissions
+from repro.sgx.params import PAGE_SIZE, page_base, vpn_of
+
+
+@dataclass
+class Region:
+    """A declared range of enclave virtual memory."""
+
+    start: int
+    npages: int
+    writable: bool = True
+    executable: bool = False
+
+    def contains_vpn(self, vpn):
+        first = vpn_of(self.start)
+        return first <= vpn < first + self.npages
+
+
+@dataclass
+class EnclaveHostState:
+    """Driver bookkeeping for one enclave."""
+
+    enclave: object
+    quota_pages: int
+    regions: list = field(default_factory=list)
+    #: vpns the enclave claimed via ay_set_enclave_managed (pinned).
+    enclave_managed: set = field(default_factory=set)
+    #: Eviction order over resident OS-managed vpns.  ``fifo_set`` is
+    #: the live membership; stale deque entries are skipped lazily.
+    fifo: deque = field(default_factory=deque)
+    fifo_set: set = field(default_factory=set)
+    suspended: bool = False
+    #: Pages force-evicted by suspend, to be restored on resume.
+    suspend_set: list = field(default_factory=list)
+
+    def region_for(self, vpn):
+        for region in self.regions:
+            if region.contains_vpn(vpn):
+                return region
+        return None
+
+    def fifo_add(self, vpn):
+        if vpn not in self.fifo_set:
+            self.fifo.append(vpn)
+            self.fifo_set.add(vpn)
+
+    def fifo_discard(self, vpn):
+        self.fifo_set.discard(vpn)
+
+
+class SgxDriver:
+    """Privileged driver: EPC management and the Autarky IOCTLs."""
+
+    def __init__(self, instructions, page_table, backing, clock, cost):
+        self.instr = instructions
+        self.page_table = page_table
+        self.backing = backing
+        self.clock = clock
+        self.cost = cost
+        self._states = {}
+        #: Event counters for experiments.
+        self.pages_in = 0
+        self.pages_out = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create_enclave(self, base, size_pages, attributes=None,
+                       quota_pages=None):
+        enclave = self.instr.ecreate(base, size_pages, attributes)
+        state = EnclaveHostState(
+            enclave=enclave,
+            quota_pages=quota_pages or self.instr.epc.total_pages,
+        )
+        self._states[enclave.enclave_id] = state
+        return enclave
+
+    def state(self, enclave):
+        return self._states[enclave.enclave_id]
+
+    def declare_region(self, enclave, start, npages, writable=True,
+                       executable=False):
+        """Register a lazily-populated range of enclave memory."""
+        if start % PAGE_SIZE:
+            raise SgxError("region start must be page aligned")
+        if not enclave.contains(start) or \
+                not enclave.contains(start + (npages - 1) * PAGE_SIZE):
+            raise SgxError("region outside the enclave range")
+        region = Region(start, npages, writable, executable)
+        self.state(enclave).regions.append(region)
+        return region
+
+    # -- residency primitives ----------------------------------------------
+
+    def resident(self, enclave, vaddr):
+        return vpn_of(vaddr) in enclave.backed
+
+    def resident_count(self, enclave):
+        return len(enclave.backed)
+
+    def page_in(self, enclave, vaddr):
+        """Make one page resident and map it (privileged SGX1 path).
+
+        First touch of a never-swapped page is a zero-fill allocation
+        (EAUG-style); a swapped page is reloaded with ELDU, which
+        verifies integrity and freshness.
+        """
+        state = self.state(enclave)
+        vpn = vpn_of(vaddr)
+        region = state.region_for(vpn)
+        if region is None:
+            raise SgxError(f"access outside any declared region: {vaddr:#x}")
+        if vpn in enclave.backed:
+            raise SgxError(f"page_in of already-resident {vaddr:#x}")
+
+        self.make_room(enclave, 1)
+        base = page_base(vaddr)
+        self._load_frame(enclave, base, region)
+        self.map_page(enclave, base, region)
+        if vpn not in state.enclave_managed:
+            state.fifo_add(vpn)
+        self.pages_in += 1
+        self.clock.charge(self.cost.pte_update, Category.OS)
+        return base
+
+    def evict_page(self, enclave, vaddr):
+        """Evict one OS-managed page (unmap, shoot down, EWB, store)."""
+        state = self.state(enclave)
+        vpn = vpn_of(vaddr)
+        if vpn in state.enclave_managed and not state.suspended:
+            raise SgxError(
+                f"driver may not evict enclave-managed page {vaddr:#x}"
+            )
+        base = page_base(vaddr)
+        # The architectural eviction sequence: EBLOCK (no new TLB
+        # fills), unmap + shootdown (ETRACK/IPIs), then EWB.
+        self.instr.eblock(enclave, base)
+        self.page_table.drop(base)
+        sealed = self.instr.ewb(enclave, base)
+        self.backing.put(enclave.enclave_id, base, sealed)
+        state.fifo_discard(vpn)
+        self.pages_out += 1
+        self.clock.charge(self.cost.pte_update, Category.OS)
+
+    def os_resolve(self, enclave, vaddr):
+        """Resolve a fault the OS is responsible for: remap a resident
+        page whose PTE was clobbered, restore downgraded permissions,
+        or page in a non-resident page.  Used both by the legacy fault
+        path and by self-paging enclaves forwarding faults on their
+        OS-managed pages."""
+        state = self.state(enclave)
+        if self.resident(enclave, vaddr):
+            region = state.region_for(vpn_of(vaddr))
+            pte = self.page_table.lookup(vaddr)
+            if pte is None or not pte.present:
+                self.map_page(enclave, page_base(vaddr), region)
+            else:
+                self.page_table.set_protection(
+                    vaddr,
+                    writable=region.writable,
+                    executable=region.executable,
+                )
+                if enclave.self_paging:
+                    self.page_table.set_accessed_dirty(
+                        vaddr, accessed=True, dirty=True
+                    )
+            self.clock.charge(self.cost.pte_update, Category.OS)
+        else:
+            self.page_in(enclave, vaddr)
+
+    def make_room(self, enclave, need):
+        """Ensure ``need`` pages fit under the enclave's quota, evicting
+        OS-managed pages if necessary.  Raises when pinned pages leave
+        nothing to evict — the self-paging runtime must free memory
+        itself in that case (the §5.2.1 contract)."""
+        state = self.state(enclave)
+        while self.resident_count(enclave) + need > state.quota_pages:
+            victim = self._select_victim(state)
+            if victim is None:
+                raise EpcExhausted(
+                    "EPC quota exceeded and no OS-managed page is evictable"
+                )
+            self.evict_page(enclave, victim << 12)
+
+    def _select_victim(self, state):
+        """Clock (second chance) for legacy enclaves; plain FIFO for
+        self-paging enclaves, whose PTE accessed bits are useless
+        because Autarky requires them to be permanently set."""
+        fifo = state.fifo
+        use_clock = not state.enclave.self_paging
+        rotations = 0
+        while fifo:
+            vpn = fifo[0]
+            if vpn not in state.fifo_set:
+                fifo.popleft()
+                continue
+            if use_clock and rotations < 2 * len(fifo):
+                accessed, _dirty = \
+                    self.page_table.read_accessed_dirty(vpn << 12)
+                if accessed:
+                    self.page_table.set_accessed_dirty(
+                        vpn << 12, accessed=False
+                    )
+                    fifo.rotate(-1)
+                    rotations += 1
+                    continue
+            return vpn
+        return None
+
+    def map_page(self, enclave, vaddr, region):
+        """Install the PTE.  For self-paging enclaves both A and D are
+        pre-set, otherwise the Autarky fill check would refuse the
+        mapping the driver itself just created."""
+        pre_set = enclave.self_paging
+        self.page_table.map(
+            vaddr,
+            enclave.backed[vpn_of(vaddr)],
+            writable=region.writable,
+            executable=region.executable,
+            accessed=pre_set,
+            dirty=pre_set,
+        )
+
+    def _load_frame(self, enclave, base, region):
+        """Bring page contents into a fresh EPC frame.
+
+        EAUG pages start RW; executable regions are extended with the
+        enclave's EMODPE after acceptance (zero-fill lazy code loading,
+        as a JIT or loader would do)."""
+        if self.backing.has(enclave.enclave_id, base):
+            sealed = self.backing.take(enclave.enclave_id, base)
+            self.instr.eldu(enclave, base, sealed, self._perms(region))
+        else:
+            self.instr.eaug(enclave, base)
+            self.instr.eaccept(enclave, base)
+            if region.executable:
+                # EMODPE can only extend, so the page becomes RWX; a
+                # hardening pass could EMODPR the W bit away afterwards.
+                self.instr.emodpe(enclave, base, Permissions.RWX)
+
+    @staticmethod
+    def _perms(region):
+        return Permissions(True, region.writable, region.executable)
+
+    # -- Autarky IOCTLs (§5.2.1) -------------------------------------------
+
+    def ay_set_enclave_managed(self, enclave, vaddrs):
+        """Claim pages for enclave management; returns their residency
+        so the runtime can update its state and page in if desired."""
+        state = self.state(enclave)
+        residency = {}
+        for vaddr in vaddrs:
+            vpn = vpn_of(vaddr)
+            state.enclave_managed.add(vpn)
+            state.fifo_discard(vpn)
+            residency[page_base(vaddr)] = vpn in enclave.backed
+        self.clock.charge(self.cost.syscall, Category.OS)
+        return residency
+
+    def ay_set_os_managed(self, enclave, vaddrs):
+        """Yield pages back to OS management."""
+        state = self.state(enclave)
+        for vaddr in vaddrs:
+            vpn = vpn_of(vaddr)
+            state.enclave_managed.discard(vpn)
+            if vpn in enclave.backed:
+                state.fifo_add(vpn)
+        self.clock.charge(self.cost.syscall, Category.OS)
+
+    def ay_fetch_pages(self, enclave, vaddrs):
+        """Batched page-in of enclave-managed pages (SGX1 path: the
+        privileged ELDU runs in the driver).  The runtime must have
+        made room first via ay_evict_pages."""
+        state = self.state(enclave)
+        fetched = []
+        for vaddr in vaddrs:
+            base = page_base(vaddr)
+            vpn = vpn_of(base)
+            if vpn not in state.enclave_managed:
+                raise SgxError(
+                    f"ay_fetch_pages on non-enclave-managed {base:#x}"
+                )
+            if vpn in enclave.backed:
+                continue
+            self.make_room(enclave, 1)
+            region = state.region_for(vpn)
+            self._load_frame(enclave, base, region)
+            self.map_page(enclave, base, region)
+            self.pages_in += 1
+            fetched.append(base)
+        return fetched
+
+    def ay_evict_pages(self, enclave, vaddrs):
+        """Batched eviction of enclave-managed pages at the enclave's
+        request (SGX1 path)."""
+        state = self.state(enclave)
+        for vaddr in vaddrs:
+            base = page_base(vaddr)
+            vpn = vpn_of(base)
+            if vpn not in state.enclave_managed:
+                raise SgxError(
+                    f"ay_evict_pages on non-enclave-managed {base:#x}"
+                )
+            if vpn not in enclave.backed:
+                continue
+            self.instr.eblock(enclave, base)
+            self.page_table.drop(base)
+            sealed = self.instr.ewb(enclave, base)
+            self.backing.put(enclave.enclave_id, base, sealed)
+            self.pages_out += 1
+
+    # -- SGX2 privileged halves (used by the runtime's SGX2 paging ops) ----
+
+    def sgx2_augment(self, enclave, vaddr):
+        """EAUG a pending enclave-managed page and pre-map it (A/D set).
+
+        The page stays EPCM-pending until the enclave EACCEPTs or
+        EACCEPTCOPYs it, so the OS cannot slip contents in unilaterally.
+        """
+        state = self.state(enclave)
+        base = page_base(vaddr)
+        if vpn_of(base) not in state.enclave_managed:
+            raise SgxError(f"sgx2_augment on non-enclave-managed {base:#x}")
+        self.make_room(enclave, 1)
+        self.instr.eaug(enclave, base)
+        region = state.region_for(vpn_of(base))
+        self.map_page(enclave, base, region)
+        self.pages_in += 1
+
+    def sgx2_augment_batch(self, enclave, vaddrs):
+        """EAUG a batch of pending enclave-managed pages."""
+        for vaddr in vaddrs:
+            self.sgx2_augment(enclave, vaddr)
+
+    def sgx2_modpr_batch(self, enclave, vaddrs, perms):
+        """EMODPR: propose permission reductions (enclave must EACCEPT).
+
+        The reduction only bites once stale TLB entries are gone, so
+        the flow mirrors the PTE and performs the shootdown — without
+        it a concurrent writer could race the §6 eviction freeze
+        through a cached writable translation."""
+        for vaddr in vaddrs:
+            base = page_base(vaddr)
+            self.instr.emodpr(enclave, base, perms)
+            if self.page_table.lookup(base) is not None:
+                self.page_table.set_protection(
+                    base,
+                    writable=perms.write,
+                    executable=perms.execute,
+                )
+
+    def sgx2_trim_batch(self, enclave, vaddrs):
+        """EMODT the pages to TRIM (enclave must EACCEPT)."""
+        for vaddr in vaddrs:
+            self.instr.emodt(enclave, page_base(vaddr))
+
+    def sgx2_remove_batch(self, enclave, vaddrs):
+        """Drop mappings and EREMOVE trimmed-and-accepted pages."""
+        for vaddr in vaddrs:
+            base = page_base(vaddr)
+            self.page_table.drop(base)
+            self.instr.eremove(enclave, base)
+            self.pages_out += 1
+
+    # -- whole-enclave swap (the OS's only big hammer, §5.2.1) -------------
+
+    def suspend_enclave(self, enclave):
+        """Swap out the entire enclave (all pages, pinned or not)."""
+        state = self.state(enclave)
+        state.suspended = True
+        state.suspend_set = []
+        for vpn in list(enclave.backed):
+            base = vpn << 12
+            self.evict_page(enclave, base)
+            state.suspend_set.append(base)
+
+    def resume_enclave(self, enclave):
+        """Restore every page evicted at suspension before the enclave
+        may run again — the contract that makes suspension safe."""
+        state = self.state(enclave)
+        if not state.suspended:
+            raise SgxError("resume of a non-suspended enclave")
+        for base in state.suspend_set:
+            vpn = vpn_of(base)
+            region = state.region_for(vpn)
+            sealed = self.backing.take(enclave.enclave_id, base)
+            if region is None:
+                # Metadata pages (TCS) live outside declared regions:
+                # reload the frame but install no user mapping.
+                self.instr.eldu(enclave, base, sealed, Permissions.RW)
+            else:
+                self.instr.eldu(enclave, base, sealed,
+                                self._perms(region))
+                self.map_page(enclave, base, region)
+            if vpn not in state.enclave_managed:
+                state.fifo_add(vpn)
+            self.pages_in += 1
+        restored = list(state.suspend_set)
+        state.suspend_set = []
+        state.suspended = False
+        return restored

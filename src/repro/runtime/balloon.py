@@ -1,0 +1,76 @@
+"""Memory-management upcalls from OS to enclave (§5.2.1, deferred by
+the paper to future work; implemented here as an extension).
+
+"Similar to memory ballooning in virtual machines, memory management
+upcalls from OS to enclave imply a series of difficult tradeoffs.
+First, the enclave must be given time to reduce its memory allocation.
+Second, the enclave runtime must take care that its eviction policy
+does not leak sensitive information.  Third, the enclave may not
+cooperate."
+
+This module implements the cooperative half: a :class:`BalloonPolicy`
+the runtime consults when the OS upcalls asking for pages back.  The
+security argument mirrors self-paging's: only whole eviction *units*
+(cluster closures) are surrendered, in the same order the self-pager
+would have evicted them anyway, so the upcall reveals nothing beyond
+what regular paging already does.  Pinned pages and a configurable
+floor are never surrendered — the non-cooperation §5.2.1 anticipates —
+leaving the OS with its big hammer (whole-enclave suspension) as the
+only recourse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BalloonPolicy:
+    """How the enclave answers memory-reduction upcalls.
+
+    ``floor_pages`` — never shrink the resident set below this (the
+    working set the enclave is unwilling to give up).
+    ``max_fraction_per_request`` — bound on how much one upcall can
+    take, so a malicious OS cannot empty the enclave in one shot and
+    then watch it fault its secrets back in.
+    """
+
+    floor_pages: int = 0
+    max_fraction_per_request: float = 0.5
+    cooperative: bool = True
+
+
+class BalloonHandler:
+    """Runtime-side handler for OS memory-reduction upcalls."""
+
+    def __init__(self, pager, policy=None):
+        self.pager = pager
+        self.policy = policy or BalloonPolicy()
+        self.requests = 0
+        self.pages_surrendered = 0
+
+    def handle_request(self, pages_requested):
+        """Give back up to ``pages_requested`` pages; returns the count
+        actually freed (0 = refusal)."""
+        self.requests += 1
+        if not self.policy.cooperative or pages_requested <= 0:
+            return 0
+
+        resident = self.pager.resident_count()
+        ceiling = int(resident * self.policy.max_fraction_per_request)
+        allowance = min(
+            pages_requested,
+            ceiling,
+            max(0, resident - self.policy.floor_pages),
+        )
+        if allowance <= 0:
+            return 0
+
+        freed = 0
+        while freed < allowance:
+            unit = self.pager._pop_victim()
+            if unit is None:
+                break
+            freed += self.pager.evict_unit(unit)
+        self.pages_surrendered += freed
+        return freed

@@ -1,0 +1,34 @@
+"""Host-call channel: exitless RPC vs. exit-based calls.
+
+The prototype (§6) uses exitless host calls [Eleos, SCONE, HotCalls] to
+avoid enclave transitions on every driver request: the enclave writes a
+request to shared untrusted memory and an untrusted worker thread
+executes it, at roughly half the cost of an EEXIT/EENTER round trip.
+The exit-based mode exists for the A2 ablation.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Category
+
+
+class HostCallChannel:
+    """Issues driver calls from inside the enclave."""
+
+    def __init__(self, kernel, exitless=True):
+        self.kernel = kernel
+        self.exitless = exitless
+        self.calls = 0
+
+    def call(self, name, *args):
+        """One host call; returns the syscall's result."""
+        self.calls += 1
+        cost = self.kernel.cost
+        if self.exitless:
+            self.kernel.clock.charge(cost.exitless_call, Category.EXITLESS)
+        else:
+            # A synchronous OCALL: leave the enclave and re-enter.
+            self.kernel.clock.charge(
+                cost.eexit + cost.eenter, Category.EENTER_EEXIT
+            )
+        return self.kernel.syscall(name, *args)

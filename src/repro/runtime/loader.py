@@ -1,0 +1,155 @@
+"""Trusted loader: places binaries and builds automatic code clusters.
+
+§5.2.3, "Clusters for code pages": placing all code pages of a library
+in a single cluster ensures control flow through the library's internal
+code does not leak (defeating the FreeType-style instruction-fetch
+attack).  A loader may also cluster at function granularity for better
+paging performance when inter-function control flow is not sensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.sgx.params import PAGE_SIZE
+
+
+class CodeClusterGranularity(enum.Enum):
+    LIBRARY = "library"      # one cluster per library (default)
+    FUNCTION = "function"    # one cluster per function
+
+
+@dataclass
+class FunctionSymbol:
+    """A function's span inside its library image (page granular)."""
+
+    name: str
+    first_page: int
+    npages: int
+
+
+@dataclass
+class LibraryImage:
+    """A binary to load: code plus statically-allocated data."""
+
+    name: str
+    code_pages: int
+    data_pages: int = 0
+    functions: list = field(default_factory=list)
+
+
+@dataclass
+class LoadedLibrary:
+    """Where a library landed and which clusters cover it."""
+
+    image: LibraryImage
+    code_start: int
+    data_start: int
+    code_cluster_ids: list
+
+    @property
+    def code_end(self):
+        return self.code_start + self.image.code_pages * PAGE_SIZE
+
+    def code_page(self, index):
+        if not 0 <= index < self.image.code_pages:
+            raise PolicyError(
+                f"{self.image.name}: code page {index} out of range"
+            )
+        return self.code_start + index * PAGE_SIZE
+
+    def data_page(self, index):
+        if not 0 <= index < self.image.data_pages:
+            raise PolicyError(
+                f"{self.image.name}: data page {index} out of range"
+            )
+        return self.data_start + index * PAGE_SIZE
+
+
+class Loader:
+    """Lays out library images in the enclave's code/data regions."""
+
+    def __init__(self, manager, code_start, code_pages,
+                 data_start, data_pages,
+                 granularity=CodeClusterGranularity.LIBRARY):
+        self.manager = manager
+        self.granularity = granularity
+        self._code_cursor = code_start
+        self._code_end = code_start + code_pages * PAGE_SIZE
+        self._data_cursor = data_start
+        self._data_end = data_start + data_pages * PAGE_SIZE
+        self.loaded = {}
+
+    def load(self, image):
+        """Place one image and cluster its code pages."""
+        if image.name in self.loaded:
+            raise PolicyError(f"{image.name} already loaded")
+        code_start = self._carve_code(image.code_pages)
+        data_start = self._carve_data(image.data_pages)
+
+        if self.granularity is CodeClusterGranularity.LIBRARY:
+            cluster_ids = [self._cluster_span(
+                code_start, image.code_pages
+            )]
+        else:
+            if not image.functions:
+                raise PolicyError(
+                    f"{image.name}: function granularity requires symbols"
+                )
+            cluster_ids = [
+                self._cluster_span(
+                    code_start + fn.first_page * PAGE_SIZE, fn.npages
+                )
+                for fn in image.functions
+            ]
+
+        lib = LoadedLibrary(
+            image=image,
+            code_start=code_start,
+            data_start=data_start,
+            code_cluster_ids=cluster_ids,
+        )
+        self.loaded[image.name] = lib
+        return lib
+
+    def link(self, user_name, dep_name):
+        """Record that ``user`` calls into ``dep``: their code clusters
+        must share a page so fetches pull both (the "two libraries use a
+        third" rule).  We model the PLT page as membership of the
+        dependency's first code page in the user's cluster."""
+        user = self.loaded[user_name]
+        dep = self.loaded[dep_name]
+        self.manager.ay_add_page(user.code_cluster_ids[0],
+                                 dep.code_page(0))
+
+    def all_code_pages(self):
+        pages = []
+        for lib in self.loaded.values():
+            pages.extend(
+                lib.code_page(i) for i in range(lib.image.code_pages)
+            )
+        return pages
+
+    def _cluster_span(self, start, npages):
+        cluster_id = self.manager.new_cluster()
+        for i in range(npages):
+            self.manager.ay_add_page(cluster_id, start + i * PAGE_SIZE)
+        return cluster_id
+
+    def _carve_code(self, npages):
+        start = self._code_cursor
+        self._code_cursor += npages * PAGE_SIZE
+        if self._code_cursor > self._code_end:
+            raise MemoryError("code region exhausted")
+        return start
+
+    def _carve_data(self, npages):
+        if npages == 0:
+            return self._data_cursor
+        start = self._data_cursor
+        self._data_cursor += npages * PAGE_SIZE
+        if self._data_cursor > self._data_end:
+            raise MemoryError("data region exhausted")
+        return start

@@ -1,0 +1,144 @@
+"""The two secure paging mechanisms of §6.
+
+``Sgx1PagingOps``
+    The privileged EWB/ELDU instructions run in the driver; the enclave
+    just issues batched ``ay_fetch_pages`` / ``ay_evict_pages`` host
+    calls.  Hardware crypto, one host call per batch.
+
+``Sgx2PagingOps``
+    SGX2 dynamic memory management: the enclave seals/unseals page
+    contents itself (AES-NI in the prototype), pairing EAUG with
+    EACCEPTCOPY on fetch, and EMODPR/EACCEPT + EMODT/EACCEPT/EREMOVE on
+    evict.  More flexible — custom encryption, skipping writeback of
+    clean pages, alternative backing stores — but one extra enclave
+    crossing per operation, which is why §7.1 finds SGX1 faster and the
+    evaluation defaults to it.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Category
+from repro.errors import SgxError
+from repro.sgx.crypto import PagingCrypto
+from repro.sgx.epcm import Permissions
+from repro.sgx.params import SgxVersion, page_base
+
+
+class PagingOps:
+    """Interface: batched fetch/evict of enclave-managed pages."""
+
+    def fetch_batch(self, vaddrs):
+        raise NotImplementedError
+
+    def evict_batch(self, vaddrs):
+        raise NotImplementedError
+
+    def adopt(self, vaddrs):
+        """Take ownership of pages that were already resident when the
+        runtime claimed them (no fetch happened through this object)."""
+
+
+class Sgx1PagingOps(PagingOps):
+    """Driver-executed EWB/ELDU paging."""
+
+    def __init__(self, enclave, channel):
+        self.enclave = enclave
+        self.channel = channel
+
+    def fetch_batch(self, vaddrs):
+        if not vaddrs:
+            return []
+        return self.channel.call("ay_fetch_pages", self.enclave,
+                                 [page_base(v) for v in vaddrs])
+
+    def evict_batch(self, vaddrs):
+        if not vaddrs:
+            return
+        self.channel.call("ay_evict_pages", self.enclave,
+                          [page_base(v) for v in vaddrs])
+
+
+class Sgx2PagingOps(PagingOps):
+    """In-enclave paging over SGX2 dynamic memory management.
+
+    The sealed blobs live in untrusted memory owned by the runtime
+    (``self._sealed``); integrity and freshness come from the enclave's
+    own sealing crypto, so a hostile OS gains nothing by touching them.
+    """
+
+    def __init__(self, enclave, channel, instructions, clock, cost):
+        self.enclave = enclave
+        self.channel = channel
+        self.instr = instructions
+        self.clock = clock
+        self.cost = cost
+        self.crypto = PagingCrypto()
+        self._sealed = {}
+        #: Contents cache keyed by vaddr while a page is resident, so
+        #: evict can re-seal what fetch unsealed (the EPC frame holds
+        #: the authoritative copy; this mirrors it for the model).
+        self._resident_contents = {}
+
+    def adopt(self, vaddrs):
+        for vaddr in vaddrs:
+            self._resident_contents.setdefault(page_base(vaddr), None)
+
+    def fetch_batch(self, vaddrs):
+        if not vaddrs:
+            return []
+        bases = [page_base(v) for v in vaddrs]
+        # Privileged half, batched: EAUG + PTE map.  The prototype
+        # overlaps EAUG with decryption via a temporary buffer (§6), so
+        # we do not serialize an extra round trip per page.
+        self.channel.call("sgx2_augment_batch", self.enclave, bases)
+        for base in bases:
+            sealed = self._sealed.pop(base, None)
+            if sealed is None:
+                # First touch: plain EACCEPT of the zeroed page.
+                self.instr.eaccept(self.enclave, base)
+                contents = None
+            else:
+                self.clock.charge(self.cost.decrypt_page,
+                                  Category.SGX_PAGING)
+                contents = self.crypto.unseal(
+                    self.enclave.enclave_id, base, sealed
+                )
+                self.instr.eacceptcopy(self.enclave, base, contents)
+            self._resident_contents[base] = contents
+        return bases
+
+    def evict_batch(self, vaddrs):
+        if not vaddrs:
+            return
+        bases = [page_base(v) for v in vaddrs]
+        for base in bases:
+            if base not in self._resident_contents:
+                raise SgxError(
+                    f"SGX2 evict of a page not fetched through this "
+                    f"runtime: {base:#x}"
+                )
+        # Phase 1: freeze the pages read-only so concurrent writers
+        # fault (thread safety, §6), then seal contents in-enclave.
+        self.channel.call("sgx2_modpr_batch", self.enclave, bases,
+                          Permissions.R)
+        for base in bases:
+            self.instr.eaccept(self.enclave, base)
+            contents = self._resident_contents.pop(base)
+            self.clock.charge(self.cost.encrypt_page, Category.SGX_PAGING)
+            self._sealed[base] = self.crypto.seal(
+                self.enclave.enclave_id, base, contents
+            )
+        # Phase 2: trim, accept, and release the frames.
+        self.channel.call("sgx2_trim_batch", self.enclave, bases)
+        for base in bases:
+            self.instr.eaccept(self.enclave, base)
+        self.channel.call("sgx2_remove_batch", self.enclave, bases)
+
+
+def make_paging_ops(version, enclave, channel, instructions, clock, cost):
+    """Factory keyed on :class:`~repro.sgx.params.SgxVersion`."""
+    if version is SgxVersion.SGX1:
+        return Sgx1PagingOps(enclave, channel)
+    if version is SgxVersion.SGX2:
+        return Sgx2PagingOps(enclave, channel, instructions, clock, cost)
+    raise ValueError(f"unknown SGX version {version!r}")

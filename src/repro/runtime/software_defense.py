@@ -1,0 +1,68 @@
+"""Software-only controlled-channel defenses, for comparison (§4, §8).
+
+Varys [46] and Déjà Vu / T-SGX [12, 58] run on unmodified SGX by
+*detecting* the attack's side effects — chiefly, the asynchronous
+enclave exits every injected fault causes — and terminating when exits
+exceed a threshold.  The paper's §4 critique, which this module lets us
+demonstrate quantitatively:
+
+* **Benign page faults are indistinguishable from an attack**, so the
+  threshold trades false positives against missed attacks:
+  - a threshold low enough to catch a slow attacker kills any enclave
+    that legitimately demand-pages;
+  - a threshold high enough to tolerate demand paging gives the
+    attacker that many traced pages for free before detection.
+* The A/D-bit channel causes **no AEX at all**, so these defenses never
+  see it (Autarky's fill check does).
+
+The detector is modelled faithfully to Varys's mechanism: it samples
+the AEX counter at every opportunity the program gives it (loop-ish
+checkpoints inserted by recompilation) and compares the exit rate per
+checkpoint against a budget.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EnclaveTerminated
+
+
+class AexDetectionTripped(EnclaveTerminated):
+    """The software defense concluded it is under attack."""
+
+
+class AexRateDefense:
+    """A Varys-style in-enclave AEX-rate watchdog.
+
+    ``max_aex_per_checkpoint`` is the tuning knob §4 criticizes: there
+    is no value that both admits benign demand paging and stops a
+    patient attacker.
+
+    Unlike Autarky this requires recompilation (checkpoints must be
+    injected into the program), which the model represents by the
+    application calling :meth:`checkpoint` explicitly.
+    """
+
+    def __init__(self, kernel, enclave, max_aex_per_checkpoint):
+        if max_aex_per_checkpoint < 1:
+            raise ValueError("need a positive AEX budget")
+        self.kernel = kernel
+        self.enclave = enclave
+        self.max_aex_per_checkpoint = max_aex_per_checkpoint
+        self._last_count = kernel.cpu.aex_count
+        self.checkpoints = 0
+        self.tripped = False
+
+    def checkpoint(self):
+        """One instrumented program point: sample and judge."""
+        self.checkpoints += 1
+        count = self.kernel.cpu.aex_count
+        delta = count - self._last_count
+        self._last_count = count
+        if delta > self.max_aex_per_checkpoint:
+            self.tripped = True
+            self.enclave.dead = True
+            raise AexDetectionTripped(
+                f"{delta} AEXs since last checkpoint "
+                f"(budget {self.max_aex_per_checkpoint})"
+            )
+        return delta

@@ -1,0 +1,62 @@
+"""Functional model of the Intel SGX memory-management architecture.
+
+This subpackage implements the hardware substrate the paper builds on:
+the enclave page cache (EPC) and its security metadata (EPCM), the
+OS-owned page table and TLB, SSA frames and thread control structures,
+the SGX1/SGX2 instruction set, and the TLB-miss walk with both the
+legacy behaviour and Autarky's proposed modifications (§5.1 of the
+paper): fault-address masking, the pending-exception flag, and the
+accessed/dirty-bit validity check.
+"""
+
+from repro.sgx.params import (
+    PAGE_SIZE,
+    PAGE_SHIFT,
+    AccessType,
+    CostModel,
+    SgxVersion,
+    vpn_of,
+    page_base,
+)
+from repro.sgx.epc import EpcAllocator, EpcFrame
+from repro.sgx.epcm import Epcm, EpcmEntry, PageType, Permissions
+from repro.sgx.pagetable import PageTable, Pte
+from repro.sgx.tlb import Tlb, TlbEntry
+from repro.sgx.ssa import SsaFrame, ExitInfo
+from repro.sgx.tcs import Tcs
+from repro.sgx.enclave import Enclave, EnclaveAttributes
+from repro.sgx.crypto import PagingCrypto, SealedPage
+from repro.sgx.mmu import Mmu
+from repro.sgx.instructions import SgxInstructions
+from repro.sgx.cpu import Cpu, ExecutionMode
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "AccessType",
+    "CostModel",
+    "SgxVersion",
+    "vpn_of",
+    "page_base",
+    "EpcAllocator",
+    "EpcFrame",
+    "Epcm",
+    "EpcmEntry",
+    "PageType",
+    "Permissions",
+    "PageTable",
+    "Pte",
+    "Tlb",
+    "TlbEntry",
+    "SsaFrame",
+    "ExitInfo",
+    "Tcs",
+    "Enclave",
+    "EnclaveAttributes",
+    "PagingCrypto",
+    "SealedPage",
+    "Mmu",
+    "SgxInstructions",
+    "Cpu",
+    "ExecutionMode",
+]

@@ -1,0 +1,100 @@
+"""Paging crypto model: confidentiality, integrity, and anti-replay.
+
+EWB seals an evicted page (contents + metadata MAC + version counter);
+ELDU verifies and unseals.  The version counter models SGX's version
+array (VA) pages: reloading a stale copy of a page fails, which is the
+anti-replay guarantee §2.1 describes.  The SGX2 software path uses the
+same object with the enclave's own sealing key.
+
+We model the MAC as structural validation over Python objects rather
+than real AES-GCM — the *checks* (and their cycle costs, charged by the
+callers) are what the paper's flows depend on, not the cipher itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import IntegrityError
+
+
+@dataclass(frozen=True)
+class SealedPage:
+    """An encrypted page in untrusted memory."""
+
+    enclave_id: int
+    vaddr: int
+    version: int
+    nonce: int
+    ciphertext: object   # stands in for the encrypted page contents
+    mac: int
+
+
+class PagingCrypto:
+    """Seals and unseals enclave pages with replay protection.
+
+    One instance per protection domain (the CPU's EWB/ELDU engine, or an
+    enclave's in-enclave SGX2 sealing context).
+    """
+
+    def __init__(self):
+        self._nonce = itertools.count(1)
+        #: (enclave_id, vaddr) -> monotonically increasing seal count.
+        #: Never reset, so a blob from an earlier eviction epoch can
+        #: never match again (models the VA-slot anti-replay property).
+        self._next_version = {}
+        #: (enclave_id, vaddr) -> version of the one outstanding sealed
+        #: copy, or absent when the page is resident.
+        self._outstanding = {}
+
+    def seal(self, enclave_id, vaddr, contents):
+        key = (enclave_id, vaddr)
+        version = self._next_version.get(key, 0) + 1
+        self._next_version[key] = version
+        self._outstanding[key] = version
+        nonce = next(self._nonce)
+        mac = self._mac(enclave_id, vaddr, version, nonce, contents)
+        return SealedPage(
+            enclave_id=enclave_id,
+            vaddr=vaddr,
+            version=version,
+            nonce=nonce,
+            ciphertext=contents,
+            mac=mac,
+        )
+
+    def unseal(self, enclave_id, vaddr, sealed):
+        """Verify and decrypt; raises :class:`IntegrityError` on any
+        tampering, substitution, or replay."""
+        if sealed.enclave_id != enclave_id:
+            raise IntegrityError(
+                f"page sealed for enclave {sealed.enclave_id}, "
+                f"loaded into {enclave_id}"
+            )
+        if sealed.vaddr != vaddr:
+            raise IntegrityError(
+                f"page sealed for {sealed.vaddr:#x}, loaded at {vaddr:#x}"
+            )
+        expected = self._outstanding.get((enclave_id, vaddr))
+        if expected is None:
+            raise IntegrityError(
+                f"no outstanding sealed copy for {vaddr:#x} (replay?)"
+            )
+        if sealed.version != expected:
+            raise IntegrityError(
+                f"version {sealed.version} != expected {expected} "
+                f"for {vaddr:#x} (replay)"
+            )
+        mac = self._mac(
+            sealed.enclave_id, sealed.vaddr, sealed.version,
+            sealed.nonce, sealed.ciphertext,
+        )
+        if mac != sealed.mac:
+            raise IntegrityError(f"MAC mismatch for {vaddr:#x}")
+        del self._outstanding[(enclave_id, vaddr)]
+        return sealed.ciphertext
+
+    @staticmethod
+    def _mac(enclave_id, vaddr, version, nonce, contents):
+        return hash((enclave_id, vaddr, version, nonce, id(contents)))

@@ -1,0 +1,126 @@
+"""EPC Map: SGX's trusted per-frame security metadata.
+
+The EPCM is inaccessible to software; it is read and written only by
+SGX instructions and consulted by the MMU after every page walk that
+targets the EPC.  It is what lets the CPU detect an OS that maps the
+wrong frame, the wrong enclave's frame, or stale permissions — the
+"monitoring the OS's actions to ensure correctness" half of the SGX
+design the paper builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import EpcmViolation
+from repro.sgx.params import AccessType
+
+
+class PageType(enum.Enum):
+    """EPCM page types (subset of the architecture relevant to paging)."""
+
+    SECS = "secs"    # enclave control structure
+    TCS = "tcs"      # thread control structure
+    REG = "reg"      # regular enclave page
+    VA = "va"        # version array (anti-replay slots for EWB)
+    TRIM = "trim"    # page undergoing EMODT trim
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """EPCM read/write/execute permissions for a page."""
+
+    read: bool = True
+    write: bool = True
+    execute: bool = False
+
+    def allows(self, access):
+        if access is AccessType.READ:
+            return self.read
+        if access is AccessType.WRITE:
+            return self.write
+        if access is AccessType.EXEC:
+            return self.execute
+        raise ValueError(f"unknown access type {access!r}")
+
+    def without_write(self):
+        return Permissions(self.read, False, self.execute)
+
+    RW = None  # filled in below
+    RX = None
+    RWX = None
+    R = None
+
+
+Permissions.RW = Permissions(True, True, False)
+Permissions.RX = Permissions(True, False, True)
+Permissions.RWX = Permissions(True, True, True)
+Permissions.R = Permissions(True, False, False)
+
+
+@dataclass
+class EpcmEntry:
+    """Security attributes of one EPC frame.
+
+    ``pending``/``modified`` implement the SGX2 two-phase protocol: the
+    OS proposes a change (EAUG sets pending, EMODT sets modified) and
+    the enclave must EACCEPT it before the page becomes usable again.
+    ``blocked`` marks a page mid-eviction (EBLOCK semantics are folded
+    into EWB here for simplicity; the paper does not rely on EBLOCK
+    separately).
+    """
+
+    valid: bool = False
+    page_type: PageType = PageType.REG
+    enclave_id: int = -1
+    vaddr: int = -1
+    perms: Permissions = field(default_factory=lambda: Permissions.RW)
+    pending: bool = False
+    modified: bool = False
+    blocked: bool = False
+
+
+class Epcm:
+    """The EPC map: one entry per physical EPC frame."""
+
+    def __init__(self, total_pages):
+        self._entries = [EpcmEntry() for _ in range(total_pages)]
+
+    def entry(self, pfn):
+        return self._entries[pfn]
+
+    def check_access(self, pfn, enclave_id, vaddr, access):
+        """The MMU's post-walk EPCM check (§2.1 "Access control").
+
+        Raises :class:`EpcmViolation` when the mapping the OS installed
+        does not match what the enclave agreed to — the hardware turns
+        this into a page fault.
+        """
+        entry = self._entries[pfn]
+        if not entry.valid:
+            raise EpcmViolation(f"pfn {pfn}: EPCM entry invalid")
+        if entry.page_type is not PageType.REG:
+            raise EpcmViolation(
+                f"pfn {pfn}: page type {entry.page_type} not accessible"
+            )
+        if entry.enclave_id != enclave_id:
+            raise EpcmViolation(
+                f"pfn {pfn}: belongs to enclave {entry.enclave_id}, "
+                f"not {enclave_id}"
+            )
+        if entry.vaddr != vaddr:
+            raise EpcmViolation(
+                f"pfn {pfn}: linked to vaddr {entry.vaddr:#x}, "
+                f"mapped at {vaddr:#x}"
+            )
+        if entry.pending or entry.modified:
+            raise EpcmViolation(
+                f"pfn {pfn}: pending/modified — enclave has not EACCEPTed"
+            )
+        if entry.blocked:
+            raise EpcmViolation(f"pfn {pfn}: blocked for eviction")
+        if not entry.perms.allows(access):
+            raise EpcmViolation(
+                f"pfn {pfn}: EPCM perms {entry.perms} deny {access}"
+            )

@@ -1,0 +1,241 @@
+"""The SGX instruction set (the subset the paper's flows depend on).
+
+Launch:    ECREATE, EADD, EINIT
+Paging v1: EWB, ELDU                       (privileged, driver-executed)
+Paging v2: EAUG, EACCEPT, EACCEPTCOPY, EMODPR, EMODT, EREMOVE
+           (OS proposes, unprivileged enclave code confirms)
+
+Every instruction enforces the architectural rules: the OS cannot forge
+contents (crypto), cannot replay stale pages (versioning), and cannot
+change a live enclave's memory without the enclave's EACCEPT.  Costs
+are charged to :data:`Category.SGX_PAGING` so Figure 5 can be rebuilt.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Category
+from repro.errors import SgxError
+from repro.sgx.enclave import Enclave
+from repro.sgx.epcm import PageType, Permissions
+from repro.sgx.params import PAGE_SIZE, page_base, vpn_of
+from repro.sgx.tcs import Tcs
+
+
+class SgxInstructions:
+    """Executes SGX instructions against shared EPC/EPCM state."""
+
+    def __init__(self, epc, epcm, clock, cost):
+        self.epc = epc
+        self.epcm = epcm
+        self.clock = clock
+        self.cost = cost
+        #: The CPU's EWB/ELDU sealing engine (one key per package).
+        from repro.sgx.crypto import PagingCrypto
+        self.hw_crypto = PagingCrypto()
+        self.enclaves = {}
+        #: Registered by the kernel at boot so EWB can verify the
+        #: ETRACK shootdown completed (no stale translations).
+        self.tlb = None
+
+    # -- launch ----------------------------------------------------------
+
+    def ecreate(self, base, size_pages, attributes=None):
+        enclave = Enclave(base, size_pages, attributes)
+        self.enclaves[enclave.enclave_id] = enclave
+        enclave.measurement.extend("ECREATE", base)
+        return enclave
+
+    def eadd(self, enclave, vaddr, contents=None, perms=Permissions.RW,
+             page_type=PageType.REG):
+        """Add and measure an initial page (pre-EINIT)."""
+        self._check_range(enclave, vaddr)
+        if enclave.initialized:
+            raise SgxError("EADD after EINIT")
+        pfn = self._install(enclave, vaddr, contents, perms, page_type)
+        enclave.measurement.extend("EADD", vaddr)
+        return pfn
+
+    def eadd_tcs(self, enclave, vaddr, nssa=None):
+        """Add a TCS page; returns the TCS object."""
+        from repro.sgx.params import DEFAULT_NSSA
+        tcs = Tcs(nssa or DEFAULT_NSSA)
+        self.eadd(enclave, vaddr, contents=tcs, perms=Permissions.RW,
+                  page_type=PageType.TCS)
+        enclave.add_tcs(tcs)
+        return tcs
+
+    def einit(self, enclave):
+        if enclave.initialized:
+            raise SgxError("double EINIT")
+        enclave.initialized = True
+
+    # -- SGX1 paging (privileged) ------------------------------------------
+
+    def eblock(self, enclave, vaddr):
+        """Mark a page blocked: no *new* TLB translations may be
+        created for it (existing ones persist until shot down — the
+        window ETRACK exists to close)."""
+        entry = self._entry_for(enclave, vaddr)
+        if entry.blocked:
+            raise SgxError(f"EBLOCK: {vaddr:#x} already blocked")
+        entry.blocked = True
+
+    def ewb(self, enclave, vaddr):
+        """Evict a page: seal contents, free the frame, return the blob.
+
+        Architectural preconditions enforced here (§2.1): the page must
+        be EBLOCKed, and no logical processor may still hold a cached
+        translation — i.e. the ETRACK/IPI shootdown sequence completed.
+        We verify the latter directly against the TLB when the kernel
+        registered one.
+        """
+        self.clock.charge(self.cost.ewb, Category.SGX_PAGING)
+        vpn = vpn_of(vaddr)
+        pfn = enclave.backed.get(vpn)
+        if pfn is None:
+            raise SgxError(f"EWB: {vaddr:#x} not backed by EPC")
+        entry = self.epcm.entry(pfn)
+        if not entry.blocked:
+            raise SgxError(
+                f"EWB: {vaddr:#x} not blocked (EBLOCK required first)"
+            )
+        if self.tlb is not None and page_base(vaddr) in self.tlb:
+            raise SgxError(
+                f"EWB: stale TLB translation for {vaddr:#x} "
+                "(ETRACK shootdown incomplete)"
+            )
+        frame = self.epc.frame(pfn)
+        sealed = self.hw_crypto.seal(
+            enclave.enclave_id, page_base(vaddr), frame.contents
+        )
+        entry.valid = False
+        entry.blocked = False
+        self.epc.free(frame)
+        del enclave.backed[vpn]
+        return sealed
+
+    def eldu(self, enclave, vaddr, sealed, perms=Permissions.RW):
+        """Reload an evicted page, verifying integrity and freshness."""
+        self._check_range(enclave, vaddr)
+        self.clock.charge(self.cost.eldu, Category.SGX_PAGING)
+        contents = self.hw_crypto.unseal(
+            enclave.enclave_id, page_base(vaddr), sealed
+        )
+        return self._install(enclave, vaddr, contents, perms, PageType.REG)
+
+    # -- SGX2 dynamic memory management ------------------------------------
+
+    def eaug(self, enclave, vaddr):
+        """OS adds a zeroed page in pending state (needs EACCEPT[COPY])."""
+        self._check_range(enclave, vaddr)
+        if not enclave.attributes.sgx2:
+            raise SgxError("EAUG requires SGX2")
+        self.clock.charge(self.cost.eaug, Category.SGX_PAGING)
+        pfn = self._install(enclave, vaddr, None, Permissions.RW,
+                            PageType.REG)
+        self.epcm.entry(pfn).pending = True
+        return pfn
+
+    def eaccept(self, enclave, vaddr):
+        """Enclave confirms an OS-proposed change (clears pending/modified)."""
+        self.clock.charge(self.cost.eaccept, Category.SGX_PAGING)
+        entry = self._entry_for(enclave, vaddr)
+        if not (entry.pending or entry.modified):
+            raise SgxError(f"EACCEPT: nothing pending at {vaddr:#x}")
+        entry.pending = False
+        entry.modified = False
+
+    def eacceptcopy(self, enclave, vaddr, contents):
+        """Enclave accepts a pending page, initializing its contents —
+        the SGX2 page-in path (contents were decrypted in-enclave)."""
+        self.clock.charge(self.cost.eacceptcopy, Category.SGX_PAGING)
+        entry = self._entry_for(enclave, vaddr)
+        if not entry.pending:
+            raise SgxError(f"EACCEPTCOPY: page not pending at {vaddr:#x}")
+        entry.pending = False
+        pfn = enclave.backed[vpn_of(vaddr)]
+        self.epc.frame(pfn).contents = contents
+        return pfn
+
+    def emodpe(self, enclave, vaddr, perms):
+        """Enclave-side permission *extension* (e.g. RW → RX after the
+        enclave verified freshly-loaded code).  Unlike EMODPR this runs
+        inside the enclave and takes effect immediately."""
+        self.clock.charge(self.cost.eaccept, Category.SGX_PAGING)
+        entry = self._entry_for(enclave, vaddr)
+        if (entry.perms.read and not perms.read) or \
+           (entry.perms.write and not perms.write) or \
+           (entry.perms.execute and not perms.execute):
+            raise SgxError("EMODPE can only extend permissions")
+        entry.perms = perms
+
+    def emodpr(self, enclave, vaddr, perms):
+        """OS proposes a permission *reduction* (needs EACCEPT)."""
+        self.clock.charge(self.cost.emodpr, Category.SGX_PAGING)
+        entry = self._entry_for(enclave, vaddr)
+        if (perms.read and not entry.perms.read) or \
+           (perms.write and not entry.perms.write) or \
+           (perms.execute and not entry.perms.execute):
+            raise SgxError("EMODPR can only reduce permissions")
+        entry.perms = perms
+        entry.modified = True
+
+    def emodt(self, enclave, vaddr, page_type=PageType.TRIM):
+        """OS proposes a type change — trimming for deallocation."""
+        self.clock.charge(self.cost.emodt, Category.SGX_PAGING)
+        entry = self._entry_for(enclave, vaddr)
+        entry.page_type = page_type
+        entry.modified = True
+
+    def eremove(self, enclave, vaddr):
+        """Free a trimmed-and-accepted (or dead-enclave) page."""
+        self.clock.charge(self.cost.eremove, Category.SGX_PAGING)
+        vpn = vpn_of(vaddr)
+        pfn = enclave.backed.get(vpn)
+        if pfn is None:
+            raise SgxError(f"EREMOVE: {vaddr:#x} not backed")
+        entry = self.epcm.entry(pfn)
+        trimmed = entry.page_type is PageType.TRIM and not entry.modified
+        if not (trimmed or enclave.dead):
+            raise SgxError(
+                "EREMOVE on a live, untrimmed page (would break the enclave)"
+            )
+        entry.valid = False
+        entry.page_type = PageType.REG
+        self.epc.free(self.epc.frame(pfn))
+        del enclave.backed[vpn]
+
+    # -- helpers -----------------------------------------------------------
+
+    def _install(self, enclave, vaddr, contents, perms, page_type):
+        if vaddr % PAGE_SIZE:
+            raise SgxError(f"unaligned enclave page {vaddr:#x}")
+        vpn = vpn_of(vaddr)
+        if vpn in enclave.backed:
+            raise SgxError(f"{vaddr:#x} already backed by EPC")
+        frame = self.epc.alloc()
+        frame.contents = contents
+        entry = self.epcm.entry(frame.pfn)
+        entry.valid = True
+        entry.page_type = page_type
+        entry.enclave_id = enclave.enclave_id
+        entry.vaddr = vaddr
+        entry.perms = perms
+        entry.pending = False
+        entry.modified = False
+        entry.blocked = False
+        enclave.backed[vpn] = frame.pfn
+        return frame.pfn
+
+    def _entry_for(self, enclave, vaddr):
+        pfn = enclave.backed.get(vpn_of(vaddr))
+        if pfn is None:
+            raise SgxError(f"{vaddr:#x} not backed by EPC")
+        return self.epcm.entry(pfn)
+
+    def _check_range(self, enclave, vaddr):
+        if not enclave.contains(vaddr):
+            raise SgxError(
+                f"{vaddr:#x} outside enclave "
+                f"[{enclave.base:#x}, {enclave.limit:#x})"
+            )

@@ -1,0 +1,125 @@
+"""The TLB-miss walk with SGX checks and Autarky's modifications.
+
+Walk order (§2.1 "Access control and page faults"):
+
+1. x86 page walk: PTE must be present with sufficient permissions.
+2. SGX checks (enclave mode, address inside the enclave region):
+   the PTE must point at an EPC frame, and the EPCM entry must match
+   (owner, linked vaddr, permissions, no pending/modified/blocked bits).
+3. Autarky check (self-paging enclaves only, §5.1.4): the fetched PTE's
+   accessed *and* dirty bits must already be set; otherwise the PTE is
+   treated as invalid and a fault occurs.  This blinds the OS's
+   A/D-bit channel, because a cleared bit can never be silently re-set
+   by the hardware — it surfaces as a fault the enclave sees.
+4. On success, install the TLB entry.  Legacy enclaves (and host
+   software) get their A/D bits updated as usual, which is exactly the
+   signal the fault-free controlled channel reads.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Category
+from repro.errors import EpcmViolation, PageFault
+from repro.sgx.params import AccessType, page_base
+
+
+class Mmu:
+    """Performs translations for one logical core."""
+
+    def __init__(self, page_table, tlb, epcm, clock, cost):
+        self.page_table = page_table
+        self.tlb = tlb
+        self.epcm = epcm
+        self.clock = clock
+        self.cost = cost
+        #: Counters for the nbench-style architecture-overhead analysis.
+        self.walks = 0
+        self.ad_checks = 0
+
+    def translate(self, vaddr, access, enclave=None):
+        """Translate ``vaddr`` for ``access``; returns the PFN.
+
+        ``enclave`` is the currently executing enclave, or ``None`` for
+        host-mode accesses.  Raises :class:`PageFault` on any failed
+        check (the CPU turns that into an AEX when in enclave mode).
+        """
+        pfn = self.tlb.lookup(vaddr, access)
+        if pfn is not None:
+            return pfn
+        return self._walk(vaddr, access, enclave)
+
+    def _walk(self, vaddr, access, enclave):
+        self.walks += 1
+        self.clock.charge(self.cost.tlb_fill, Category.TLB_FILL)
+
+        pte = self.page_table.lookup(vaddr)
+        if pte is None or not pte.present:
+            raise PageFault(
+                vaddr,
+                write=access is AccessType.WRITE,
+                exec_=access is AccessType.EXEC,
+                present=False,
+                reason="not present",
+            )
+        if not pte.allows(access):
+            raise PageFault(
+                vaddr,
+                write=access is AccessType.WRITE,
+                exec_=access is AccessType.EXEC,
+                present=True,
+                reason="protection",
+            )
+
+        in_enclave_region = enclave is not None and enclave.contains(vaddr)
+        if in_enclave_region:
+            self._sgx_checks(vaddr, access, pte, enclave)
+            if enclave.self_paging:
+                self._autarky_ad_check(vaddr, access, pte)
+            else:
+                # Legacy behaviour: hardware sets A (and D on writes) —
+                # the observable the fault-free attack samples.
+                self._update_ad(vaddr, pte, access)
+        else:
+            self._update_ad(vaddr, pte, access)
+
+        self.tlb.install(vaddr, pte.pfn, pte.writable, pte.executable)
+        return pte.pfn
+
+    def _sgx_checks(self, vaddr, access, pte, enclave):
+        try:
+            self.epcm.check_access(
+                pte.pfn, enclave.enclave_id, page_base(vaddr), access
+            )
+        except EpcmViolation as exc:
+            raise PageFault(
+                vaddr,
+                write=access is AccessType.WRITE,
+                exec_=access is AccessType.EXEC,
+                present=True,
+                reason=f"EPCM: {exc}",
+            ) from exc
+
+    def _autarky_ad_check(self, vaddr, access, pte):
+        """§5.1.4: both bits must already be set or the PTE is invalid.
+
+        The check piggybacks on the EPCM lookup (already SGX-specific),
+        so it costs a fixed few cycles per fill and touches no core MMU
+        path.  We also never write A/D back for self-paging enclaves,
+        honouring the assumption that prevents the TOCTOU §5.1.4
+        discusses.
+        """
+        self.ad_checks += 1
+        self.clock.charge(self.cost.autarky_ad_check, Category.TLB_FILL)
+        if not (pte.accessed and pte.dirty):
+            raise PageFault(
+                vaddr,
+                write=access is AccessType.WRITE,
+                exec_=access is AccessType.EXEC,
+                present=True,
+                reason="accessed/dirty cleared (Autarky)",
+            )
+
+    def _update_ad(self, vaddr, pte, access):
+        pte.accessed = True
+        if access is AccessType.WRITE:
+            pte.dirty = True

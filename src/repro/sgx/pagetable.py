@@ -1,0 +1,136 @@
+"""The OS-owned page table.
+
+This is the attack surface: the untrusted OS (and therefore the
+controlled-channel attacker) has full read/write access to every PTE —
+it can unmap pages, downgrade permissions, and clear or sample the
+accessed/dirty bits.  SGX's integrity comes from the EPCM check *after*
+the walk, not from protecting the page table itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SgxError
+from repro.sgx.params import AccessType, vpn_of
+
+
+@dataclass
+class Pte:
+    """An x86-style page table entry (the bits the paper's attack uses)."""
+
+    pfn: int
+    present: bool = True
+    writable: bool = True
+    executable: bool = False
+    accessed: bool = False
+    dirty: bool = False
+
+    def allows(self, access):
+        if access is AccessType.READ:
+            return True
+        if access is AccessType.WRITE:
+            return self.writable
+        if access is AccessType.EXEC:
+            return self.executable
+        raise ValueError(f"unknown access type {access!r}")
+
+
+class PageTable:
+    """Sparse map of virtual page number → :class:`Pte`.
+
+    All mutation goes through named methods rather than raw dict access
+    so that attacker actions (``unmap``, ``clear_accessed_dirty``,
+    ``set_protection``) and legitimate OS actions are explicit in traces
+    and tests.
+    """
+
+    def __init__(self):
+        self._ptes = {}
+        #: TLB(s) to notify on unmap/protect — the OS performs the TLB
+        #: shootdown that the SGX flows require.
+        self._shootdown_targets = []
+
+    def register_tlb(self, tlb):
+        self._shootdown_targets.append(tlb)
+
+    # -- lookups ---------------------------------------------------------
+
+    def lookup(self, vaddr):
+        """Return the PTE covering ``vaddr`` or ``None`` if unmapped."""
+        return self._ptes.get(vpn_of(vaddr))
+
+    def mapped_vpns(self):
+        """All VPNs with a present mapping (attacker enumeration)."""
+        return [vpn for vpn, pte in self._ptes.items() if pte.present]
+
+    # -- OS / attacker mutations -----------------------------------------
+
+    def map(self, vaddr, pfn, writable=True, executable=False,
+            accessed=False, dirty=False):
+        vpn = vpn_of(vaddr)
+        self._ptes[vpn] = Pte(
+            pfn=pfn,
+            present=True,
+            writable=writable,
+            executable=executable,
+            accessed=accessed,
+            dirty=dirty,
+        )
+        return self._ptes[vpn]
+
+    def unmap(self, vaddr):
+        """Clear the present bit (keeps the PFN for later remap)."""
+        pte = self._require(vaddr)
+        pte.present = False
+        self._shootdown(vaddr)
+
+    def remap(self, vaddr):
+        """Restore the present bit of a previously unmapped page."""
+        pte = self._require(vaddr, present_ok=False)
+        pte.present = True
+
+    def drop(self, vaddr):
+        """Remove the PTE entirely (page fully deallocated)."""
+        self._ptes.pop(vpn_of(vaddr), None)
+        self._shootdown(vaddr)
+
+    def set_protection(self, vaddr, writable=None, executable=None):
+        pte = self._require(vaddr)
+        if writable is not None:
+            pte.writable = writable
+        if executable is not None:
+            pte.executable = executable
+        self._shootdown(vaddr)
+
+    def set_accessed_dirty(self, vaddr, accessed=None, dirty=None):
+        """Set or clear A/D bits (used both by the MMU walk and by the
+        attacker's monitoring loop, and by Autarky's driver which must
+        pre-set both bits for self-paging enclaves)."""
+        pte = self._require(vaddr, present_ok=False)
+        if accessed is not None:
+            pte.accessed = accessed
+        if dirty is not None:
+            pte.dirty = dirty
+        self._shootdown(vaddr)
+
+    def read_accessed_dirty(self, vaddr):
+        """Sample the A/D bits of a page (attacker primitive)."""
+        pte = self._require(vaddr, present_ok=False)
+        return pte.accessed, pte.dirty
+
+    # -- internals ---------------------------------------------------------
+
+    def _require(self, vaddr, present_ok=True):
+        pte = self._ptes.get(vpn_of(vaddr))
+        if pte is None:
+            raise SgxError(f"no PTE for {vaddr:#x}")
+        if present_ok and not pte.present:
+            # Operating on a non-present PTE is legal for the OS; only
+            # flag cases where calling code clearly expected presence.
+            pass
+        return pte
+
+    def _shootdown(self, vaddr):
+        for tlb in self._shootdown_targets:
+            tlb.flush_page(vaddr)

@@ -1,0 +1,35 @@
+"""Thread control structure, extended with Autarky's pending-exception flag.
+
+§5.1.3: "We extend the per-thread TCS with a new *pending exception*
+flag and modify the AEX procedure so that on any page fault, the
+processor sets the pending exception flag.  We also modify EENTER to
+clear the flag on entry, and ERESUME to fail if the flag is set."
+"""
+
+from __future__ import annotations
+
+from repro.sgx.params import DEFAULT_NSSA
+from repro.sgx.ssa import SsaStack
+
+
+class Tcs:
+    """One enclave thread's control structure."""
+
+    _next_id = 0
+
+    def __init__(self, nssa=DEFAULT_NSSA):
+        self.tcs_id = Tcs._next_id
+        Tcs._next_id += 1
+        self.ssa = SsaStack(nssa)
+        #: Exclusive-entry marker: a logical core entering an enclave
+        #: must do so on a free TCS.
+        self.busy = False
+        #: Autarky's new architectural flag (ignored unless the enclave
+        #: has the SELF_PAGING attribute).
+        self.pending_exception = False
+
+    def __repr__(self):
+        return (
+            f"Tcs(id={self.tcs_id}, busy={self.busy}, "
+            f"pending={self.pending_exception}, ssa_depth={self.ssa.depth})"
+        )

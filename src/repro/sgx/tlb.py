@@ -1,0 +1,84 @@
+"""TLB model with SGX's enclave-transition flush semantics.
+
+Two properties matter for the paper:
+
+* The TLB is flushed on every enclave entry and exit, so the first
+  access to each page after a transition always triggers a walk — this
+  is why transition costs dominate fault latency, and why the
+  accessed/dirty-bit channel works (the OS can force re-walks).
+
+* Autarky's A/D-bit defense is checked at *fill* time; once an entry is
+  cached, later hits bypass the page table entirely, which is exactly
+  the time-of-check semantics §5.1.4 reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sgx.params import AccessType, vpn_of
+
+
+@dataclass
+class TlbEntry:
+    pfn: int
+    writable: bool
+    executable: bool
+
+    def allows(self, access):
+        if access is AccessType.READ:
+            return True
+        if access is AccessType.WRITE:
+            return self.writable
+        if access is AccessType.EXEC:
+            return self.executable
+        raise ValueError(f"unknown access type {access!r}")
+
+
+class Tlb:
+    """TLB with optional capacity.
+
+    ``capacity=None`` (default) models an unbounded TLB — adequate for
+    the paging experiments, where flush-on-transition dominates.  The
+    nbench architecture-overhead analysis (E1) sets a realistic
+    capacity (~1536 entries for Ice Lake's STLB) so capacity misses
+    generate the fill stream the 10-cycle Autarky check taxes.
+    Replacement is FIFO (dict insertion order), a standard approximation.
+    """
+
+    def __init__(self, capacity=None):
+        self.capacity = capacity
+        self._entries = {}
+        self.fills = 0
+        self.hits = 0
+        self.flushes = 0
+
+    def lookup(self, vaddr, access):
+        """Return the cached PFN or ``None`` (miss or insufficient perms).
+
+        A permission mismatch is treated as a miss so the walk (and its
+        SGX checks) re-runs, matching hardware behaviour.
+        """
+        entry = self._entries.get(vpn_of(vaddr))
+        if entry is None or not entry.allows(access):
+            return None
+        self.hits += 1
+        return entry.pfn
+
+    def install(self, vaddr, pfn, writable, executable):
+        self.fills += 1
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[vpn_of(vaddr)] = TlbEntry(pfn, writable, executable)
+
+    def flush(self):
+        """Full flush (EENTER/EEXIT/AEX)."""
+        self.flushes += 1
+        self._entries.clear()
+
+    def flush_page(self, vaddr):
+        """Single-page shootdown (OS unmap/protect)."""
+        self._entries.pop(vpn_of(vaddr), None)
+
+    def __contains__(self, vaddr):
+        return vpn_of(vaddr) in self._entries

@@ -1,0 +1,44 @@
+"""Workload generators for the evaluation suites.
+
+* :mod:`repro.workloads.ycsb` — YCSB key distributions (workload C).
+* :mod:`repro.workloads.nbench` — the 10 nbench kernels as TLB-fill
+  profiles (architecture-overhead analysis, §7).
+* :mod:`repro.workloads.suites` — the 14 Phoenix/PARSEC applications
+  as fault-rate-calibrated synthetic profiles (Figure 7).
+"""
+
+from repro.workloads.ycsb import (
+    UniformGenerator,
+    ZipfianGenerator,
+    HotspotGenerator,
+    make_generator,
+)
+from repro.workloads.nbench import NBENCH_KERNELS, NbenchKernel, run_kernel
+from repro.workloads.suites import (
+    SUITE_APPS,
+    SuiteApp,
+    run_suite_app,
+)
+from repro.workloads.replay import (
+    TraceReplayer,
+    dump_trace,
+    dumps_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "TraceReplayer",
+    "dump_trace",
+    "dumps_trace",
+    "parse_trace",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "HotspotGenerator",
+    "make_generator",
+    "NBENCH_KERNELS",
+    "NbenchKernel",
+    "run_kernel",
+    "SUITE_APPS",
+    "SuiteApp",
+    "run_suite_app",
+]

@@ -1,0 +1,103 @@
+"""Trace recording and replay: run captured access streams as workloads.
+
+Lets users bring their own workloads without writing app models: record
+a trace once (from any engine via
+:class:`~repro.core.trace.TraceRecorder`, or from an external tool in
+the same format), then replay it under any policy/configuration for
+apples-to-apples comparisons.
+
+Format: one event per line, ``kind vaddr_hex [w]`` or
+``compute cycles`` / ``progress kind`` — trivially greppable and
+diffable:
+
+    data 0x1000049000 w
+    code 0x100000a000
+    compute 12000
+    progress io
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.errors import PolicyError
+from repro.runtime.rate_limit import ProgressKind
+
+
+def dump_trace(events, fileobj):
+    """Serialize :class:`~repro.core.trace.TraceEvent` objects (or any
+    objects with .kind/.vaddr/.write) plus raw tuples."""
+    for event in events:
+        if event.kind == "data":
+            suffix = " w" if event.write else ""
+            fileobj.write(f"data {event.vaddr:#x}{suffix}\n")
+        elif event.kind == "code":
+            fileobj.write(f"code {event.vaddr:#x}\n")
+        else:
+            raise PolicyError(f"unknown event kind {event.kind!r}")
+
+
+def dumps_trace(events):
+    buffer = io.StringIO()
+    dump_trace(events, buffer)
+    return buffer.getvalue()
+
+
+def parse_trace(lines):
+    """Parse trace lines into replayable operation tuples."""
+    ops = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "data":
+                write = len(fields) > 2 and fields[2] == "w"
+                ops.append(("data", int(fields[1], 16), write))
+            elif kind == "code":
+                ops.append(("code", int(fields[1], 16)))
+            elif kind == "compute":
+                ops.append(("compute", int(fields[1])))
+            elif kind == "progress":
+                ops.append(("progress", ProgressKind(fields[1])))
+            else:
+                raise ValueError(f"unknown kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise PolicyError(
+                f"trace line {lineno}: cannot parse {line!r} ({exc})"
+            ) from exc
+    return ops
+
+
+class TraceReplayer:
+    """Replays parsed operations through an engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.replayed = 0
+
+    def replay(self, ops):
+        """Run every operation; returns the count executed."""
+        for op in ops:
+            kind = op[0]
+            if kind == "data":
+                self.engine.data_access(op[1], write=op[2])
+            elif kind == "code":
+                self.engine.code_access(op[1])
+            elif kind == "compute":
+                self.engine.compute(op[1])
+            elif kind == "progress":
+                self.engine.progress(op[1])
+            else:
+                raise PolicyError(f"unknown op {kind!r}")
+            self.replayed += 1
+        return self.replayed
+
+    def replay_text(self, text):
+        return self.replay(parse_trace(text.splitlines()))
+
+    def replay_file(self, path):
+        with open(path) as f:
+            return self.replay(parse_trace(f))

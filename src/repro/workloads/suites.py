@@ -1,0 +1,99 @@
+"""Phoenix and PARSEC application profiles for Figure 7 (§7.2).
+
+Figure 7 runs 14 of the 15 applications from the suites Varys used
+(vips does not run in Graphene) under rate-limited demand paging, with
+EPC restricted to ~100 MB so the larger inputs page.  What determines
+each bar is the application's *fault rate versus compute ratio*, so
+each profile specifies: the working set (how far it overflows the
+quota), how often an operation strays to a cold page (one fault), the
+arithmetic per operation, and how frequently the libOS observes
+progress.
+
+Fault-rate targets (the right axis of Figure 7) shape the profiles:
+compute-bound apps (blackscholes, matrix multiply) barely fault;
+streaming apps (dedup, x264, bodytrack) fault tens of thousands of
+times per second and pay the most.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.runtime.rate_limit import ProgressKind
+from repro.sgx.params import PAGE_SIZE, AccessType
+
+
+@dataclass(frozen=True)
+class SuiteApp:
+    """Synthetic profile of one Phoenix/PARSEC application."""
+
+    name: str
+    suite: str
+    ws_pages: int            # working set, > quota for paging apps
+    hot_pages: int           # stays resident
+    cold_stride: int         # touch a cold page every N ops (0 = never)
+    hot_accesses_per_op: int
+    compute_per_op: int
+    progress_every: int = 8  # ops per libOS progress event
+
+
+#: Calibrated so baseline fault rates span ~0.5k-40k faults/s as in
+#: Figure 7's right axis.  quota for the experiment is ~25,600 pages
+#: (100 MB); hot sets fit, cold sweeps page.
+SUITE_APPS = [
+    SuiteApp("kmeans", "phoenix", 40_000, 2_000, 8, 3, 150_000),
+    SuiteApp("linreg", "phoenix", 32_000, 1_500, 12, 2, 200_000),
+    SuiteApp("wcount", "phoenix", 40_000, 2_000, 3, 3, 150_000),
+    SuiteApp("pca", "phoenix", 36_000, 2_500, 6, 4, 155_000),
+    SuiteApp("smatch", "phoenix", 48_000, 1_500, 2, 2, 140_000),
+    SuiteApp("mmult", "phoenix", 30_000, 3_000, 14, 4, 170_000),
+    SuiteApp("btrack", "parsec", 56_000, 2_000, 1, 3, 85_000),
+    SuiteApp("canneal", "parsec", 64_000, 2_500, 2, 4, 115_000),
+    SuiteApp("scluster", "parsec", 48_000, 2_000, 2, 3, 180_000),
+    SuiteApp("swap", "parsec", 36_000, 1_500, 5, 2, 155_000),
+    SuiteApp("dedup", "parsec", 60_000, 1_500, 2, 2, 100_000),
+    SuiteApp("bscholes", "parsec", 30_000, 2_000, 20, 2, 240_000),
+    SuiteApp("fluid", "parsec", 44_000, 2_500, 4, 3, 140_000),
+    SuiteApp("x264", "parsec", 52_000, 2_000, 2, 3, 140_000),
+]
+
+
+def app_by_name(name):
+    for app in SUITE_APPS:
+        if app.name == name:
+            return app
+    raise KeyError(name)
+
+
+def run_suite_app(runtime, app, ops=600, seed=5):
+    """Run one application profile; returns the number of cold touches.
+
+    The cold pointer sweeps cyclically through the cold portion of the
+    working set, so in steady state every cold touch is a fault —
+    deterministic demand paging, no randomness in the fault count.
+    """
+    heap = runtime.regions["heap"]
+    if app.ws_pages > heap.npages:
+        raise ValueError(f"{app.name}: working set exceeds the heap")
+    rng = random.Random(seed)
+    cold_base = app.hot_pages
+    cold_span = app.ws_pages - app.hot_pages
+    cold_ptr = 0
+    cold_touches = 0
+
+    for i in range(ops):
+        if i % app.progress_every == 0:
+            runtime.progress(ProgressKind.IO)
+        for _ in range(app.hot_accesses_per_op):
+            page = rng.randrange(app.hot_pages)
+            runtime.access(heap.start + page * PAGE_SIZE, AccessType.READ)
+        if app.cold_stride and i % app.cold_stride == 0:
+            page = cold_base + cold_ptr
+            cold_ptr = (cold_ptr + 1) % cold_span
+            cold_touches += 1
+            runtime.access(
+                heap.start + page * PAGE_SIZE, AccessType.WRITE
+            )
+        runtime.compute(app.compute_per_op)
+    return cold_touches

@@ -1,0 +1,150 @@
+"""Clustering allocator and trusted loader tests."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.runtime.allocator import ClusteringAllocator
+from repro.runtime.clusters import ClusterManager
+from repro.runtime.loader import (
+    CodeClusterGranularity,
+    FunctionSymbol,
+    LibraryImage,
+    Loader,
+)
+from repro.sgx.params import PAGE_SIZE
+
+HEAP = 0x3000_0000
+CODE = 0x2000_0000
+DATA = 0x2800_0000
+
+
+class TestAllocator:
+    def _alloc(self, cluster_pages=4, heap_pages=64):
+        mgr = ClusterManager()
+        return mgr, ClusteringAllocator(mgr, HEAP, heap_pages,
+                                        cluster_pages=cluster_pages)
+
+    def test_pages_are_distinct_and_in_heap(self):
+        _mgr, alloc = self._alloc()
+        bases = alloc.alloc_pages(10)
+        assert len(set(bases)) == 10
+        assert all(HEAP <= b < HEAP + 64 * PAGE_SIZE for b in bases)
+
+    def test_automatic_cluster_fill(self):
+        mgr, alloc = self._alloc(cluster_pages=4)
+        bases = alloc.alloc_pages(10)
+        first_cluster = mgr.ay_get_cluster_ids(bases[0])
+        assert mgr.ay_get_cluster_ids(bases[3]) == first_cluster
+        assert mgr.ay_get_cluster_ids(bases[4]) != first_cluster
+        assert mgr.cluster_count() == 3
+
+    def test_no_clustering_when_disabled(self):
+        mgr, alloc = self._alloc(cluster_pages=None)
+        bases = alloc.alloc_pages(4)
+        assert all(not mgr.clustered(b) for b in bases)
+
+    def test_heap_exhaustion(self):
+        _mgr, alloc = self._alloc(heap_pages=4)
+        alloc.alloc_pages(4)
+        with pytest.raises(MemoryError):
+            alloc.alloc_pages(1)
+
+    def test_free_reuses_and_compacts(self):
+        mgr, alloc = self._alloc(cluster_pages=4)
+        bases = alloc.alloc_pages(8)
+        alloc.free_pages(bases[:2])
+        assert not mgr.clustered(bases[0])
+        again = alloc.alloc_pages(2)
+        assert set(again) == set(bases[:2])
+
+    def test_zero_alloc_rejected(self):
+        _mgr, alloc = self._alloc()
+        with pytest.raises(PolicyError):
+            alloc.alloc_pages(0)
+
+    def test_unaligned_heap_rejected(self):
+        with pytest.raises(PolicyError):
+            ClusteringAllocator(ClusterManager(), HEAP + 1, 16)
+
+    def test_allocated_counter(self):
+        _mgr, alloc = self._alloc()
+        bases = alloc.alloc_pages(5)
+        alloc.free_pages(bases[:2])
+        assert alloc.allocated == 3
+
+
+class TestLoader:
+    def _loader(self, granularity=CodeClusterGranularity.LIBRARY):
+        mgr = ClusterManager()
+        return mgr, Loader(mgr, CODE, 256, DATA, 64,
+                           granularity=granularity)
+
+    def test_library_cluster_covers_all_code(self):
+        mgr, loader = self._loader()
+        lib = loader.load(LibraryImage("libjpeg", code_pages=8))
+        (cluster_id,) = lib.code_cluster_ids
+        assert mgr.pages_of(cluster_id) == {
+            lib.code_page(i) for i in range(8)
+        }
+
+    def test_libraries_laid_out_consecutively(self):
+        _mgr, loader = self._loader()
+        a = loader.load(LibraryImage("a", code_pages=4))
+        b = loader.load(LibraryImage("b", code_pages=4))
+        assert b.code_start == a.code_end
+
+    def test_function_granularity(self):
+        mgr, loader = self._loader(CodeClusterGranularity.FUNCTION)
+        lib = loader.load(LibraryImage(
+            "libm", code_pages=6,
+            functions=[
+                FunctionSymbol("sin", 0, 2),
+                FunctionSymbol("cos", 2, 2),
+                FunctionSymbol("exp", 4, 2),
+            ],
+        ))
+        assert len(lib.code_cluster_ids) == 3
+        assert mgr.pages_of(lib.code_cluster_ids[0]) == {
+            lib.code_page(0), lib.code_page(1)
+        }
+
+    def test_function_granularity_requires_symbols(self):
+        _mgr, loader = self._loader(CodeClusterGranularity.FUNCTION)
+        with pytest.raises(PolicyError):
+            loader.load(LibraryImage("stripped", code_pages=4))
+
+    def test_link_makes_clusters_share(self):
+        """Two libraries using a third end up in one fetch closure."""
+        mgr, loader = self._loader()
+        a = loader.load(LibraryImage("a", code_pages=2))
+        b = loader.load(LibraryImage("b", code_pages=2))
+        c = loader.load(LibraryImage("c", code_pages=2))
+        loader.link("a", "c")
+        loader.link("b", "c")
+        closure = mgr.fetch_closure(a.code_page(0))
+        assert b.code_page(0) in closure
+        assert c.code_page(0) in closure
+
+    def test_duplicate_load_rejected(self):
+        _mgr, loader = self._loader()
+        loader.load(LibraryImage("x", code_pages=1))
+        with pytest.raises(PolicyError):
+            loader.load(LibraryImage("x", code_pages=1))
+
+    def test_code_region_exhaustion(self):
+        _mgr, loader = self._loader()
+        with pytest.raises(MemoryError):
+            loader.load(LibraryImage("huge", code_pages=1_000))
+
+    def test_data_pages_carved(self):
+        _mgr, loader = self._loader()
+        lib = loader.load(LibraryImage("d", code_pages=1, data_pages=3))
+        assert lib.data_page(2) == lib.data_start + 2 * PAGE_SIZE
+        with pytest.raises(PolicyError):
+            lib.data_page(3)
+
+    def test_all_code_pages(self):
+        _mgr, loader = self._loader()
+        loader.load(LibraryImage("a", code_pages=2))
+        loader.load(LibraryImage("b", code_pages=3))
+        assert len(loader.all_code_pages()) == 5

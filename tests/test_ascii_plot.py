@@ -1,0 +1,93 @@
+"""ASCII figure-rendering tests."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, log_scatter, stacked_bars
+
+
+class TestLogScatter:
+    def test_renders_all_points(self):
+        out = log_scatter({"s": [("a", 10), ("b", 10_000)]})
+        assert out.count("*") == 2
+        assert "10,000" in out
+
+    def test_log_positions_ordered(self):
+        out = log_scatter({
+            "s": [("lo", 10), ("mid", 1_000), ("hi", 100_000)],
+        })
+        lines = [l for l in out.splitlines() if "*" in l]
+        positions = [l.index("*") for l in lines]
+        assert positions == sorted(positions)
+
+    def test_title_and_unit(self):
+        out = log_scatter({"s": [("x", 5), ("y", 50)]},
+                          title="T", unit="req/s")
+        assert out.startswith("T")
+        assert "req/s" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_scatter({"s": []})
+
+    def test_flat_series_ok(self):
+        out = log_scatter({"s": [("a", 7), ("b", 7)]})
+        assert out.count("*") == 2
+
+
+class TestBarChart:
+    def test_longest_bar_is_peak(self):
+        out = bar_chart([("small", 1), ("big", 10)], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 20
+        assert 0 < lines[0].count("#") <= 2
+
+    def test_custom_format(self):
+        out = bar_chart([("x", 3.14159)], fmt="{:.2f}")
+        assert "3.14" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_zero_values_render(self):
+        out = bar_chart([("none", 0), ("some", 5)])
+        assert "none" in out
+
+
+class TestStackedBars:
+    def test_components_use_distinct_glyphs(self):
+        out = stacked_bars(
+            [("row", {"a": 10, "b": 10})], ["a", "b"], width=20,
+        )
+        assert "#" in out and "=" in out
+
+    def test_totals_shown(self):
+        out = stacked_bars(
+            [("row", {"a": 700, "b": 300})], ["a", "b"],
+        )
+        assert "1,000" in out
+
+    def test_legend_present(self):
+        out = stacked_bars([("r", {"a": 1})], ["a"])
+        assert "#=a" in out
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars([("r", {})], [str(i) for i in range(10)])
+
+
+class TestExperimentFigures:
+    def test_fig5_figure_renders(self):
+        from repro.experiments import fig5_microbench
+        rows = fig5_microbench.run(iterations=60)
+        out = fig5_microbench.format_figure(rows)
+        assert "Figure 5" in out
+        assert "fault SGX1" in out
+
+    def test_fig7_figure_renders(self):
+        from repro.experiments import fig7_rate_limit
+        row = fig7_rate_limit.run_app(
+            fig7_rate_limit.SUITE_APPS[0], ops=60, scale=16,
+        )
+        out = fig7_rate_limit.format_figure([row])
+        assert "kmeans" in out

@@ -1,0 +1,213 @@
+"""Attacker-primitive tests: tracing works on vanilla, fails on Autarky."""
+
+import pytest
+
+from repro.attacks.ad_monitor import AdBitMonitor
+from repro.attacks.controlled_channel import PageFaultTracer
+from repro.errors import AttackDetected
+from repro.sgx.params import AccessType
+
+
+def heap_pages(runtime, n):
+    heap = runtime.regions["heap"]
+    return [heap.page(i) for i in range(n)]
+
+
+class TestPageFaultTracerVanilla:
+    def test_traces_exact_access_order(self, kernel, legacy):
+        pages = heap_pages(legacy, 6)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages)
+        kernel.attacker = tracer
+        tracer.arm()
+
+        order = [pages[i] for i in (3, 1, 4, 1, 5)]
+        for page in order:
+            legacy.access(page, AccessType.READ)
+
+        # Consecutive repeats collapse (the page stays mapped).
+        assert tracer.log.trace == [pages[3], pages[1], pages[4],
+                                    pages[1], pages[5]]
+
+    def test_victim_never_notices(self, kernel, legacy):
+        pages = heap_pages(legacy, 4)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages)
+        kernel.attacker = tracer
+        tracer.arm()
+        for page in pages:
+            legacy.access(page, AccessType.WRITE)
+        assert not legacy.enclave.dead
+        assert legacy.handled_faults == 0
+
+    def test_fault_counts(self, kernel, legacy):
+        pages = heap_pages(legacy, 3)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages)
+        kernel.attacker = tracer
+        tracer.arm()
+        for _ in range(3):
+            legacy.access(pages[0], AccessType.READ)
+            legacy.access(pages[1], AccessType.READ)
+        assert tracer.log.counts[pages[0]] == 3
+        assert tracer.log.counts[pages[1]] == 3
+
+    def test_disarm_restores_mappings(self, kernel, legacy):
+        pages = heap_pages(legacy, 4)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages)
+        tracer.arm()
+        tracer.disarm()
+        assert all(
+            kernel.page_table.lookup(p).present for p in pages
+        )
+
+    def test_non_target_faults_passed_through(self, kernel, legacy):
+        pages = heap_pages(legacy, 2)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages[:1])
+        kernel.attacker = tracer
+        # Demand-paging fault on a non-target page resolves normally.
+        legacy.access(pages[1], AccessType.WRITE)
+        assert kernel.driver.resident(legacy.enclave, pages[1])
+
+
+class TestPageFaultTracerAutarky:
+    def _pinned(self, small_system, n):
+        system = small_system("pin_all")
+        pages = heap_pages(system.runtime, n)
+        system.runtime.preload(pages, pin=True)
+        system.policy.seal()
+        return system, pages
+
+    def test_attack_terminates_enclave(self, small_system):
+        system, pages = self._pinned(small_system, 4)
+        tracer = PageFaultTracer(system.kernel, system.enclave, pages)
+        system.attach_attacker(tracer)
+        tracer.arm()
+        with pytest.raises(AttackDetected):
+            system.runtime.access(pages[0], AccessType.READ)
+        assert system.enclave.dead
+
+    def test_trace_contains_only_masked_addresses(self, small_system):
+        system, pages = self._pinned(small_system, 4)
+        tracer = PageFaultTracer(system.kernel, system.enclave, pages)
+        system.attach_attacker(tracer)
+        tracer.arm()
+        with pytest.raises(AttackDetected):
+            system.runtime.access(pages[2], AccessType.READ)
+        assert tracer.log.trace == [system.enclave.base]
+
+    def test_silent_resume_rejected_by_hardware(self, small_system):
+        system, pages = self._pinned(small_system, 4)
+        tracer = PageFaultTracer(system.kernel, system.enclave, pages)
+        system.attach_attacker(tracer)
+        tracer.arm()
+        with pytest.raises(AttackDetected):
+            system.runtime.access(pages[0], AccessType.READ)
+        assert tracer.log.silent_resume_rejected
+
+
+class TestAdBitMonitor:
+    def test_fault_free_trace_on_vanilla(self, kernel, legacy):
+        pages = heap_pages(legacy, 6)
+        legacy.preload_os(pages)
+        monitor = AdBitMonitor(kernel, legacy.enclave, pages)
+        monitor.arm()
+
+        legacy.access(pages[2], AccessType.READ)
+        legacy.access(pages[4], AccessType.WRITE)
+        accessed, written = monitor.sample()
+        assert accessed == {pages[2], pages[4]}
+        assert written == {pages[4]}
+        assert kernel.cpu.fault_count == 0  # truly fault-free
+        assert not legacy.enclave.dead
+
+    def test_interval_separation(self, kernel, legacy):
+        pages = heap_pages(legacy, 4)
+        legacy.preload_os(pages)
+        monitor = AdBitMonitor(kernel, legacy.enclave, pages)
+        monitor.arm()
+        legacy.access(pages[0], AccessType.READ)
+        monitor.sample()
+        legacy.access(pages[1], AccessType.READ)
+        monitor.sample()
+        assert monitor.access_trace() == [
+            frozenset({pages[0]}), frozenset({pages[1]}),
+        ]
+
+    def test_autarky_turns_clear_into_tripwire(self, small_system):
+        system = small_system("pin_all")
+        pages = heap_pages(system.runtime, 4)
+        system.runtime.preload(pages, pin=True)
+        system.policy.seal()
+        monitor = AdBitMonitor(system.kernel, system.enclave, pages)
+        monitor.arm()
+        with pytest.raises(AttackDetected):
+            system.runtime.access(pages[0], AccessType.READ)
+        assert system.enclave.dead
+
+    def test_sample_skips_unmapped_pages(self, kernel, legacy):
+        pages = heap_pages(legacy, 2)
+        monitor = AdBitMonitor(kernel, legacy.enclave, pages)
+        monitor.arm()  # nothing mapped yet: no crash
+        accessed, _ = monitor.sample()
+        assert accessed == set()
+
+
+class TestTracerModes:
+    def test_protect_mode_traces_writes(self, kernel, legacy):
+        pages = heap_pages(legacy, 4)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages,
+                                 mode="protect")
+        kernel.attacker = tracer
+        tracer.arm()
+        legacy.access(pages[1], AccessType.WRITE)
+        legacy.access(pages[3], AccessType.WRITE)
+        assert tracer.log.trace == [pages[1], pages[3]]
+        assert not legacy.enclave.dead
+
+    def test_protect_mode_reads_invisible(self, kernel, legacy):
+        """The permission variant only sees writes/fetches — reads
+        pass through a read-only PTE unfaulted."""
+        pages = heap_pages(legacy, 2)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages,
+                                 mode="protect")
+        kernel.attacker = tracer
+        tracer.arm()
+        legacy.access(pages[0], AccessType.READ)
+        assert tracer.log.trace == []
+
+    def test_remap_mode_traces_via_epcm(self, kernel, legacy):
+        """Mapping the wrong frame trips the EPCM check; the resulting
+        fault still leaks the page to the OS on vanilla SGX."""
+        pages = heap_pages(legacy, 4)
+        legacy.preload_os(pages)
+        tracer = PageFaultTracer(kernel, legacy.enclave, pages,
+                                 mode="remap")
+        kernel.attacker = tracer
+        tracer.arm()
+        legacy.access(pages[2], AccessType.READ)
+        assert pages[2] in tracer.log.trace
+        assert not legacy.enclave.dead
+
+    def test_all_modes_blocked_by_autarky(self, kernel, small_system):
+        for mode in PageFaultTracer.MODES:
+            system = small_system("pin_all")
+            pages = heap_pages(system.runtime, 4)
+            system.runtime.preload(pages, pin=True)
+            system.policy.seal()
+            tracer = PageFaultTracer(system.kernel, system.enclave,
+                                     pages, mode=mode)
+            system.attach_attacker(tracer)
+            tracer.arm()
+            access = (AccessType.WRITE if mode == "protect"
+                      else AccessType.READ)
+            with pytest.raises(AttackDetected):
+                system.runtime.access(pages[0], access)
+            assert system.enclave.dead
+
+    def test_unknown_mode_rejected(self, kernel, legacy):
+        with pytest.raises(ValueError):
+            PageFaultTracer(kernel, legacy.enclave, [], mode="teleport")

@@ -1,0 +1,112 @@
+"""Attestation and restart-attack detection tests (§3)."""
+
+import pytest
+
+from repro.errors import AttackDetected, SgxError
+from repro.runtime.attestation import AttestationService, quote
+from repro.sgx.params import AccessType
+
+
+def fresh_system(small_system):
+    return small_system("pin_all")
+
+
+class TestQuotes:
+    def test_quote_roundtrip(self, small_system):
+        system = fresh_system(small_system)
+        service = AttestationService(
+            system.enclave.measurement.digest(), system.clock,
+        )
+        nonce = service.fresh_nonce()
+        result = service.verify(quote(system.enclave, nonce), nonce)
+        assert result.accepted
+
+    def test_wrong_measurement_rejected(self, small_system):
+        system = fresh_system(small_system)
+        service = AttestationService(0xBAD, system.clock)
+        nonce = service.fresh_nonce()
+        result = service.verify(quote(system.enclave, nonce), nonce)
+        assert not result.accepted
+        assert "measurement" in result.reason
+
+    def test_legacy_enclave_rejected(self, small_system):
+        """§5.1.1: the self-paging attribute is attested, so a verifier
+        can refuse enclaves whose defense is off."""
+        system = small_system("baseline")
+        service = AttestationService(
+            system.enclave.measurement.digest(), system.clock,
+        )
+        nonce = service.fresh_nonce()
+        result = service.verify(quote(system.enclave, nonce), nonce)
+        assert not result.accepted
+        assert "self-paging" in result.reason
+
+    def test_unknown_nonce_rejected(self, small_system):
+        system = fresh_system(small_system)
+        service = AttestationService(
+            system.enclave.measurement.digest(), system.clock,
+        )
+        result = service.verify(quote(system.enclave, 12345), 12345)
+        assert not result.accepted
+
+    def test_forged_signature_rejected(self, small_system):
+        import dataclasses
+        system = fresh_system(small_system)
+        service = AttestationService(
+            system.enclave.measurement.digest(), system.clock,
+        )
+        nonce = service.fresh_nonce()
+        forged = dataclasses.replace(
+            quote(system.enclave, nonce), self_paging=True,
+            measurement=service.expected_measurement,
+            signature=42,
+        )
+        assert not service.verify(forged, nonce).accepted
+
+    def test_dead_enclave_cannot_quote(self, small_system):
+        system = fresh_system(small_system)
+        system.enclave.dead = True
+        with pytest.raises(SgxError):
+            quote(system.enclave, 1)
+
+
+class TestRestartDetection:
+    def test_termination_attack_churn_raises_alarm(self, small_system):
+        """The end-to-end §5.3 story: each termination-attack probe
+        costs the attacker a restart, and restarts are counted."""
+        first = fresh_system(small_system)
+        expected = first.enclave.measurement.digest()
+        service = AttestationService(
+            expected, first.clock,
+            restart_window_s=1e9, max_restarts_per_window=3,
+        )
+
+        for probe in range(5):
+            system = fresh_system(small_system)
+            # Same binary => same measurement shape; align the model.
+            service.expected_measurement = \
+                system.enclave.measurement.digest()
+            nonce = service.fresh_nonce()
+            assert service.verify(
+                quote(system.enclave, nonce), nonce
+            ).accepted
+
+            heap = system.runtime.regions["heap"]
+            system.runtime.access(heap.page(0), AccessType.WRITE)
+            system.policy.seal()
+            # One termination-attack probe: unmap, observe death.
+            system.kernel.page_table.unmap(heap.page(0))
+            with pytest.raises(AttackDetected):
+                system.runtime.access(heap.page(0), AccessType.READ)
+
+        assert service.under_attack
+
+    def test_normal_lifecycle_raises_no_alarm(self, small_system):
+        system = fresh_system(small_system)
+        service = AttestationService(
+            system.enclave.measurement.digest(), system.clock,
+            max_restarts_per_window=3,
+        )
+        nonce = service.fresh_nonce()
+        service.verify(quote(system.enclave, nonce), nonce)
+        assert not service.under_attack

@@ -1,0 +1,138 @@
+"""Memory-ballooning upcall tests (§5.2.1 extension)."""
+
+import pytest
+
+from repro.runtime.balloon import BalloonPolicy
+from repro.sgx.params import AccessType
+
+
+def warm(system, n):
+    heap = system.runtime.regions["heap"]
+    for i in range(n):
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    return heap
+
+
+class TestBalloonUpcalls:
+    def test_cooperative_enclave_shrinks(self, small_system):
+        system = small_system("rate_limit")
+        warm(system, 100)
+        before = system.runtime.pager.resident_count()
+        freed = system.kernel.request_memory_reduction(
+            system.enclave, 20
+        )
+        assert freed >= 20
+        assert system.runtime.pager.resident_count() <= before - freed
+
+    def test_surrendered_pages_are_refetchable(self, small_system):
+        system = small_system("rate_limit")
+        heap = warm(system, 60)
+        system.kernel.request_memory_reduction(system.enclave, 16)
+        # The enclave keeps working: evicted pages fault back in.
+        system.runtime.access(heap.page(0), AccessType.READ)
+        assert not system.enclave.dead
+
+    def test_request_bounded_by_fraction(self, small_system):
+        system = small_system("rate_limit")
+        warm(system, 100)
+        resident = system.runtime.pager.resident_count()
+        freed = system.kernel.request_memory_reduction(
+            system.enclave, 10_000
+        )
+        assert freed <= resident * 0.5 + 16  # cap + one unit slack
+
+    def test_floor_respected(self, small_system):
+        system = small_system("rate_limit")
+        warm(system, 50)
+        resident = system.runtime.pager.resident_count()
+        system.runtime.balloon.policy = BalloonPolicy(
+            floor_pages=resident - 5
+        )
+        freed = system.kernel.request_memory_reduction(
+            system.enclave, 40
+        )
+        assert freed <= 5 + 16  # floor + unit granularity slack
+        assert system.runtime.pager.resident_count() >= resident - 21
+
+    def test_uncooperative_enclave_refuses(self, small_system):
+        system = small_system("rate_limit")
+        warm(system, 50)
+        system.runtime.balloon.policy = BalloonPolicy(cooperative=False)
+        assert system.kernel.request_memory_reduction(
+            system.enclave, 20
+        ) == 0
+
+    def test_pinned_pages_never_surrendered(self, small_system):
+        system = small_system("rate_limit")
+        heap = system.runtime.regions["heap"]
+        pinned = [heap.page(i) for i in range(8)]
+        system.runtime.preload(pinned, pin=True)
+        warm_pages = 40
+        for i in range(8, 8 + warm_pages):
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        system.kernel.request_memory_reduction(system.enclave, 1_000)
+        assert all(system.runtime.pager.is_resident(p) for p in pinned)
+
+    def test_legacy_enclave_has_no_balloon(self, kernel, legacy):
+        assert kernel.request_memory_reduction(legacy.enclave, 10) == 0
+
+    def test_clusters_surrendered_whole(self, small_system):
+        """The balloon never breaks the cluster invariant."""
+        system = small_system("clusters", cluster_pages=4,
+                              enclave_managed_budget=256)
+        pages = system.runtime.allocator.alloc_pages(64)
+        for page in pages:
+            system.runtime.access(page, AccessType.WRITE)
+        system.kernel.request_memory_reduction(system.enclave, 10)
+        violations = system.runtime.clusters.check_invariant(
+            system.runtime.pager.is_resident
+        )
+        assert violations == set()
+
+    def test_upcall_not_flagged_as_attack(self, small_system):
+        """A balloon EENTER is a legitimate entry, not the §5.3
+        re-entrancy attack."""
+        system = small_system("rate_limit")
+        warm(system, 20)
+        system.kernel.request_memory_reduction(system.enclave, 4)
+        assert not system.enclave.dead
+
+    def test_spurious_entry_still_detected(self, small_system):
+        """Without a pending balloon request, a bare EENTER remains an
+        attack."""
+        from repro.errors import AttackDetected
+        system = small_system("rate_limit")
+        with pytest.raises(AttackDetected):
+            system.kernel.cpu.eenter(system.enclave, system.runtime.tcs)
+
+    def test_multi_enclave_rebalancing(self):
+        """The OS rebalances EPC between two enclaves via upcalls."""
+        from repro.host.kernel import HostKernel
+        from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
+        from repro.runtime.policies import RateLimitPolicy
+        from repro.runtime.rate_limit import RateLimiter
+
+        kernel = HostKernel(epc_pages=1_024)
+        layout = EnclaveLayout(runtime_pages=4, code_pages=8,
+                               data_pages=8, heap_pages=512)
+        runtimes = []
+        for base in (0x10_0000_0000, 0x20_0000_0000):
+            runtimes.append(GrapheneRuntime.launch(
+                kernel, RateLimitPolicy(RateLimiter(100_000)),
+                layout=EnclaveLayout(base=base, runtime_pages=4,
+                                     code_pages=8, data_pages=8,
+                                     heap_pages=512),
+                quota_pages=512, enclave_managed_budget=400,
+            ))
+        first, second = runtimes
+        for i in range(300):
+            first.access(first.regions["heap"].page(i),
+                         AccessType.WRITE)
+        # EPC is getting tight; the OS asks the first enclave to give
+        # some back so the second can grow.
+        freed = kernel.request_memory_reduction(first.enclave, 64)
+        assert freed > 0
+        for i in range(300):
+            second.access(second.regions["heap"].page(i),
+                          AccessType.WRITE)
+        assert not first.enclave.dead and not second.enclave.dead

@@ -1,0 +1,125 @@
+"""Cached ORAM and OramPolicy tests."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.errors import AttackDetected, PolicyError
+from repro.oram.cached import CachedOram
+from repro.oram.path_oram import PathOram
+from repro.oram.policy import OramPolicy
+from repro.sgx.params import PAGE_SIZE
+
+REGION = 0x5000_0000
+
+
+def make_cached(capacity=4, blocks=64, clock=None):
+    clock = clock or Clock()
+    oram = PathOram(blocks, clock, seed=3)
+    return CachedOram(oram, capacity, clock, region_start=REGION), clock
+
+
+def page(i):
+    return REGION + i * PAGE_SIZE
+
+
+class TestCache:
+    def test_write_read_through_cache(self):
+        cache, _ = make_cached()
+        cache.access(page(0), data="d", write=True)
+        assert cache.access(page(0)) == "d"
+        assert cache.hits == 1
+
+    def test_miss_goes_to_oram(self):
+        cache, _ = make_cached(capacity=2)
+        cache.access(page(0), data="a", write=True)
+        cache.access(page(1), data="b", write=True)
+        cache.access(page(2), data="c", write=True)  # evicts page 0
+        assert cache.cached_pages() == 2
+        assert cache.access(page(0)) == "a"          # reload from tree
+        assert cache.misses >= 2
+
+    def test_lru_eviction_order(self):
+        cache, _ = make_cached(capacity=2)
+        cache.access(page(0), data="a", write=True)
+        cache.access(page(1), data="b", write=True)
+        cache.access(page(0))            # page 0 now most recent
+        cache.access(page(2), data="c", write=True)
+        # page 1 (least recent) was evicted; 0 still cached.
+        hits = cache.hits
+        cache.access(page(0))
+        assert cache.hits == hits + 1
+
+    def test_clean_pages_dropped_without_writeback(self):
+        cache, _ = make_cached(capacity=1)
+        cache.access(page(0), data="a", write=True)
+        cache.access(page(0))  # now clean? no — written once, dirty
+        cache.access(page(1))  # evict dirty page 0 (one writeback)
+        wb = cache.writebacks
+        cache.access(page(2))  # evict clean page 1: no writeback
+        assert cache.writebacks == wb
+
+    def test_flush_persists_dirty_pages(self):
+        cache, _ = make_cached(capacity=4)
+        cache.access(page(0), data="x", write=True)
+        cache.flush()
+        assert cache.cached_pages() == 0
+        assert cache.access(page(0)) == "x"
+
+    def test_hit_rate(self):
+        cache, _ = make_cached(capacity=4)
+        cache.access(page(0), data="x", write=True)
+        cache.access(page(0))
+        cache.access(page(0))
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+    def test_hits_cost_less_than_misses(self):
+        cache, clock = make_cached(capacity=4)
+        cache.access(page(0), data="x", write=True)
+        before = clock.cycles
+        cache.access(page(0))
+        hit_cost = clock.cycles - before
+        before = clock.cycles
+        cache.access(page(1))
+        miss_cost = clock.cycles - before
+        assert miss_cost > 10 * hit_cost
+
+    def test_below_region_rejected(self):
+        cache, _ = make_cached()
+        with pytest.raises(PolicyError):
+            cache.access(REGION - PAGE_SIZE)
+
+    def test_zero_capacity_rejected(self):
+        clock = Clock()
+        with pytest.raises(PolicyError):
+            CachedOram(PathOram(8, clock), 0, clock)
+
+
+class TestOramPolicy:
+    def test_cached_policy_roundtrip(self):
+        policy = OramPolicy(64, 4, Clock(), region_start=REGION)
+        policy.access(page(0), data="v", write=True)
+        assert policy.access(page(0)) == "v"
+        assert policy.cached
+
+    def test_uncached_policy_roundtrip(self):
+        policy = OramPolicy(64, 0, Clock(), region_start=REGION,
+                            oblivious_metadata=True)
+        policy.access(page(0), data="v", write=True)
+        assert policy.access(page(0)) == "v"
+        assert not policy.cached
+
+    def test_any_fault_is_attack(self):
+        from repro.sgx.params import AccessType
+        policy = OramPolicy(64, 4, Clock(), region_start=REGION)
+        with pytest.raises(AttackDetected):
+            policy.on_fault(page(0), AccessType.READ)
+
+    def test_uncached_charges_loads_multiplier(self):
+        clock_c, clock_u = Clock(), Clock()
+        cached = OramPolicy(64, 4, clock_c, region_start=REGION)
+        uncached = OramPolicy(64, 0, clock_u, region_start=REGION)
+        cached.access(page(0))
+        uncached.access(page(0))
+        assert uncached.oram.accesses == \
+            OramPolicy.UNCACHED_LOADS_PER_TOUCH
+        assert cached.oram.accesses == 1

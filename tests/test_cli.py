@@ -1,0 +1,89 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import ALIASES, EXPERIMENTS, _resolve, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_resolve_aliases():
+    for alias, target in ALIASES.items():
+        assert _resolve(alias) is _resolve(target)
+
+
+def test_unknown_experiment_exits():
+    with pytest.raises(SystemExit):
+        main(["warpdrive"])
+
+
+def test_runs_one_experiment(capsys):
+    assert main(["leakage", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster guess probability" in out
+
+
+def test_every_entry_importable():
+    for key in EXPERIMENTS:
+        module = _resolve(key)
+        assert callable(module.main)
+        assert callable(module.run)
+
+
+class TestReport:
+    def test_generate_selected_sections(self, tmp_path):
+        from repro.experiments.report import generate
+        out = tmp_path / "report.md"
+        text = generate(path=str(out), sections=["leakage_analysis"])
+        assert out.read_text() == text
+        assert "E8" in text
+        assert "```text" in text
+
+    def test_cli_report_command(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import report as report_module
+        monkeypatch.setattr(
+            report_module, "SECTIONS",
+            [("E8", "leakage_analysis")],
+        )
+        out = tmp_path / "r.md"
+        assert main(["report", str(out), "-q"]) == 0
+        assert out.exists()
+        assert "leakage" in out.read_text().lower()
+
+
+class TestVerifyClaims:
+    def test_cli_verify_command(self, capsys, monkeypatch):
+        from repro.experiments import verify_claims
+
+        def tiny_check():
+            yield verify_claims.Claim("T", "test claim", True, "ok")
+
+        monkeypatch.setattr(verify_claims, "CHECKS", (tiny_check,))
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 claims hold" in out
+
+    def test_failing_claim_exits_nonzero(self, monkeypatch, capsys):
+        from repro.experiments import verify_claims
+
+        def failing_check():
+            yield verify_claims.Claim("F", "nope", False, "bad")
+
+        monkeypatch.setattr(verify_claims, "CHECKS", (failing_check,))
+        with pytest.raises(SystemExit):
+            main(["verify"])
+
+    def test_leakage_claim_directly(self):
+        from repro.experiments import verify_claims
+        claims = list(verify_claims._check_leakage())
+        assert all(c.passed for c in claims)

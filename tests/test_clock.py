@@ -1,0 +1,79 @@
+"""Clock and cycle-accounting unit tests."""
+
+import pytest
+
+from repro.clock import Category, Clock
+
+
+def test_charge_accumulates():
+    clock = Clock()
+    clock.charge(100, Category.COMPUTE)
+    clock.charge(50, Category.COMPUTE)
+    assert clock.cycles == 150
+    assert clock.by_category[Category.COMPUTE] == 150
+
+
+def test_charge_separate_categories():
+    clock = Clock()
+    clock.charge(10, Category.ORAM)
+    clock.charge(20, Category.OS)
+    assert clock.by_category[Category.ORAM] == 10
+    assert clock.by_category[Category.OS] == 20
+    assert clock.cycles == 30
+
+
+def test_negative_charge_rejected():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        clock.charge(-1)
+
+
+def test_zero_charge_allowed():
+    clock = Clock()
+    clock.charge(0)
+    assert clock.cycles == 0
+
+
+def test_seconds_uses_frequency():
+    clock = Clock(frequency_hz=1e9)
+    clock.charge(2_000_000_000)
+    assert clock.seconds() == pytest.approx(2.0)
+
+
+def test_snapshot_delta():
+    clock = Clock()
+    clock.charge(5, Category.COMPUTE)
+    snap = clock.snapshot()
+    clock.charge(7, Category.COMPUTE)
+    clock.charge(3, Category.ORAM)
+    delta = clock.delta_since(snap)
+    assert delta == {Category.COMPUTE: 7, Category.ORAM: 3}
+
+
+def test_delta_excludes_unchanged_categories():
+    clock = Clock()
+    clock.charge(5, Category.OS)
+    snap = clock.snapshot()
+    assert clock.delta_since(snap) == {}
+
+
+def test_snapshot_is_immutable_copy():
+    clock = Clock()
+    clock.charge(5, Category.OS)
+    snap = clock.snapshot()
+    clock.charge(5, Category.OS)
+    assert snap[Category.OS] == 5
+
+
+def test_reset():
+    clock = Clock()
+    clock.charge(42, Category.COMPUTE)
+    clock.reset()
+    assert clock.cycles == 0
+    assert not clock.by_category
+
+
+def test_custom_category_string():
+    clock = Clock()
+    clock.charge(1, "my_subsystem")
+    assert clock.by_category["my_subsystem"] == 1

@@ -1,0 +1,231 @@
+"""Page-cluster tests: Table 1 API, closures, and the §5.2.3 invariant
+(including property-based checks with hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyError
+from repro.runtime.clusters import ClusterManager
+from repro.sgx.params import PAGE_SIZE
+
+
+def page(i):
+    return 0x200000 + i * PAGE_SIZE
+
+
+class TestTable1Api:
+    def test_init_clusters(self):
+        mgr = ClusterManager()
+        ids = mgr.ay_init_clusters(3, 10)
+        assert len(ids) == 3
+        assert mgr.cluster_count() == 3
+
+    def test_init_validation(self):
+        mgr = ClusterManager()
+        with pytest.raises(PolicyError):
+            mgr.ay_init_clusters(0, 10)
+        with pytest.raises(PolicyError):
+            mgr.ay_init_clusters(1, 0)
+
+    def test_add_and_get_ids(self):
+        mgr = ClusterManager()
+        c1, c2 = mgr.ay_init_clusters(2, None)
+        mgr.ay_add_page(c1, page(0))
+        mgr.ay_add_page(c2, page(0))
+        assert mgr.ay_get_cluster_ids(page(0)) == [c1, c2]
+
+    def test_add_uses_page_granularity(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, None)
+        mgr.ay_add_page(c, page(0) + 17)
+        assert mgr.ay_get_cluster_ids(page(0) + 4000) == [c]
+
+    def test_capacity_enforced(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, 2)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_add_page(c, page(1))
+        with pytest.raises(PolicyError):
+            mgr.ay_add_page(c, page(2))
+
+    def test_re_adding_same_page_idempotent(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, 1)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_add_page(c, page(0))  # no capacity error
+        assert mgr.pages_of(c) == {page(0)}
+
+    def test_remove_page(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, None)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_remove_page(c, page(0))
+        assert mgr.ay_get_cluster_ids(page(0)) == []
+        assert not mgr.clustered(page(0))
+
+    def test_unknown_cluster_rejected(self):
+        mgr = ClusterManager()
+        with pytest.raises(PolicyError):
+            mgr.ay_add_page(99, page(0))
+
+    def test_release_clusters(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, None)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_release_clusters()
+        assert mgr.cluster_count() == 0
+        assert not mgr.clustered(page(0))
+
+
+class TestClosures:
+    def test_disjoint_cluster_closure_is_itself(self):
+        mgr = ClusterManager()
+        c1, c2 = mgr.ay_init_clusters(2, None)
+        mgr.ay_add_page(c1, page(0))
+        mgr.ay_add_page(c1, page(1))
+        mgr.ay_add_page(c2, page(2))
+        assert mgr.fetch_closure(page(0)) == {page(0), page(1)}
+
+    def test_shared_page_links_clusters(self):
+        mgr = ClusterManager()
+        c1, c2 = mgr.ay_init_clusters(2, None)
+        mgr.ay_add_page(c1, page(0))
+        mgr.ay_add_page(c1, page(1))
+        mgr.ay_add_page(c2, page(1))  # shared
+        mgr.ay_add_page(c2, page(2))
+        assert mgr.fetch_closure(page(0)) == {page(0), page(1), page(2)}
+
+    def test_transitive_chain(self):
+        """A-B share, B-C share: faulting in A pulls C too."""
+        mgr = ClusterManager()
+        a, b, c = mgr.ay_init_clusters(3, None)
+        mgr.ay_add_page(a, page(0))
+        mgr.ay_add_page(a, page(1))
+        mgr.ay_add_page(b, page(1))
+        mgr.ay_add_page(b, page(2))
+        mgr.ay_add_page(c, page(2))
+        mgr.ay_add_page(c, page(3))
+        assert mgr.fetch_closure(page(0)) == {
+            page(0), page(1), page(2), page(3)
+        }
+
+    def test_unclustered_page_rejected(self):
+        mgr = ClusterManager()
+        mgr.ay_init_clusters(1, None)
+        with pytest.raises(PolicyError):
+            mgr.fetch_closure(page(9))
+
+
+class TestInvariant:
+    def test_holds_when_cluster_fully_out(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, None)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_add_page(c, page(1))
+        assert mgr.check_invariant(lambda p: False) == set()
+
+    def test_violated_by_partial_residency(self):
+        mgr = ClusterManager()
+        (c,) = mgr.ay_init_clusters(1, None)
+        mgr.ay_add_page(c, page(0))
+        mgr.ay_add_page(c, page(1))
+        resident = {page(0)}
+        assert mgr.check_invariant(lambda p: p in resident) == {page(1)}
+
+    def test_shared_page_saved_by_other_cluster(self):
+        """A page may be non-resident in a partially-resident cluster
+        as long as another of its clusters is fully non-resident."""
+        mgr = ClusterManager()
+        c1, c2 = mgr.ay_init_clusters(2, None)
+        mgr.ay_add_page(c1, page(0))
+        mgr.ay_add_page(c1, page(1))  # shared
+        mgr.ay_add_page(c2, page(1))
+        mgr.ay_add_page(c2, page(2))
+        resident = {page(0)}  # c1 partially resident, c2 fully out
+        assert mgr.check_invariant(lambda p: p in resident) == set()
+
+
+class TestMerging:
+    def test_merge_compacts_sparse_clusters(self):
+        mgr = ClusterManager()
+        c1, c2 = mgr.ay_init_clusters(2, 4)
+        mgr.ay_add_page(c1, page(0))
+        mgr.ay_add_page(c2, page(1))
+        merges = mgr.merge_sparse_clusters(target_fill=4)
+        assert merges >= 1
+        owners = mgr.ay_get_cluster_ids(page(0))
+        assert owners == mgr.ay_get_cluster_ids(page(1))
+
+
+# -- property-based -----------------------------------------------------------
+
+
+@st.composite
+def cluster_layouts(draw):
+    """Random cluster layouts with possible page sharing."""
+    n_pages = draw(st.integers(2, 24))
+    n_clusters = draw(st.integers(1, 6))
+    assignment = draw(st.lists(
+        st.tuples(st.integers(0, n_clusters - 1),
+                  st.integers(0, n_pages - 1)),
+        min_size=1, max_size=48,
+    ))
+    return n_clusters, assignment
+
+
+@given(cluster_layouts(), st.integers(0, 2 ** 24))
+@settings(max_examples=60, deadline=None)
+def test_property_closure_respects_invariant(layout, fault_seed):
+    """After fetching any page's closure into an empty residency, the
+    §5.2.3 invariant holds."""
+    n_clusters, assignment = layout
+    mgr = ClusterManager()
+    ids = mgr.ay_init_clusters(n_clusters, None)
+    clustered_pages = set()
+    for cluster_index, page_index in assignment:
+        mgr.ay_add_page(ids[cluster_index], page(page_index))
+        clustered_pages.add(page(page_index))
+
+    target = sorted(clustered_pages)[fault_seed % len(clustered_pages)]
+    resident = set(mgr.fetch_closure(target))
+    assert mgr.check_invariant(lambda p: p in resident) == set()
+
+
+@given(cluster_layouts())
+@settings(max_examples=60, deadline=None)
+def test_property_closure_is_a_fixpoint(layout):
+    """Closures are closed: every page of the closure has the same
+    closure."""
+    n_clusters, assignment = layout
+    mgr = ClusterManager()
+    ids = mgr.ay_init_clusters(n_clusters, None)
+    pages_used = set()
+    for cluster_index, page_index in assignment:
+        mgr.ay_add_page(ids[cluster_index], page(page_index))
+        pages_used.add(page(page_index))
+
+    start = next(iter(pages_used))
+    closure = mgr.fetch_closure(start)
+    for member in closure:
+        assert mgr.fetch_closure(member) == closure
+
+
+@given(cluster_layouts())
+@settings(max_examples=60, deadline=None)
+def test_property_evicting_whole_closure_keeps_invariant(layout):
+    """Fetch everything, then evict any single closure: still safe —
+    the paper's 'evicting a single cluster is safe' argument."""
+    n_clusters, assignment = layout
+    mgr = ClusterManager()
+    ids = mgr.ay_init_clusters(n_clusters, None)
+    pages_used = set()
+    for cluster_index, page_index in assignment:
+        mgr.ay_add_page(ids[cluster_index], page(page_index))
+        pages_used.add(page(page_index))
+
+    resident = set(pages_used)
+    victim = next(iter(pages_used))
+    for cid in mgr.ay_get_cluster_ids(victim):
+        resident -= mgr.pages_of(cid)
+        break  # evict exactly one cluster
+    assert mgr.check_invariant(lambda p: p in resident) == set()

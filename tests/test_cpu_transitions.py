@@ -1,0 +1,191 @@
+"""CPU transition tests: EENTER/EEXIT/ERESUME/AEX and fault delivery —
+the §5.1.3 pending-exception mechanics in particular."""
+
+import pytest
+
+from repro.errors import AttackDetected, PageFault, SgxError
+from repro.runtime.libos import GrapheneRuntime, EnclaveLayout
+from repro.runtime.policies import RateLimitPolicy
+from repro.runtime.rate_limit import RateLimiter
+from repro.sgx.params import AccessType, PAGE_SIZE
+
+
+def heap_page(runtime, i):
+    return runtime.regions["heap"].page(i)
+
+
+class TestAexAndPendingFlag:
+    def test_aex_pushes_ssa_and_sets_flag(self, kernel, launched):
+        fault = PageFault(heap_page(launched, 0), present=False)
+        kernel.cpu.aex(launched.enclave, launched.tcs, fault)
+        assert launched.tcs.ssa.depth == 1
+        assert launched.tcs.pending_exception
+        frame = launched.tcs.ssa.peek()
+        assert frame.exitinfo.vaddr == heap_page(launched, 0)
+
+    def test_aex_flushes_tlb(self, kernel, launched):
+        kernel.tlb.install(heap_page(launched, 0), 1, True, False)
+        kernel.cpu.aex(
+            launched.enclave, launched.tcs, PageFault(0x1000)
+        )
+        assert heap_page(launched, 0) not in kernel.tlb
+
+    def test_legacy_aex_does_not_set_flag(self, kernel, legacy):
+        kernel.cpu.aex(legacy.enclave, legacy.tcs, PageFault(0x1000))
+        assert not legacy.tcs.pending_exception
+        legacy.tcs.ssa.pop()
+
+    def test_eresume_fails_with_pending_exception(self, kernel, launched):
+        """The core Autarky guarantee: no silent resume after a fault."""
+        kernel.cpu.aex(
+            launched.enclave, launched.tcs, PageFault(0x1000)
+        )
+        with pytest.raises(SgxError, match="pending exception"):
+            kernel.cpu.eresume(launched.enclave, launched.tcs)
+
+    def test_eenter_clears_flag_then_eresume_works(self, kernel, launched):
+        page = heap_page(launched, 0)
+        kernel.cpu.aex(
+            launched.enclave, launched.tcs,
+            PageFault(page, present=False),
+        )
+        kernel.cpu.eenter(launched.enclave, launched.tcs)
+        assert not launched.tcs.pending_exception
+        kernel.cpu.eresume(launched.enclave, launched.tcs)
+        assert launched.tcs.ssa.depth == 0
+
+    def test_legacy_silent_eresume_allowed(self, kernel, legacy):
+        """Vanilla SGX lets the OS hide faults — the attack enabler."""
+        kernel.cpu.aex(legacy.enclave, legacy.tcs, PageFault(0x1000))
+        kernel.cpu.eresume(legacy.enclave, legacy.tcs)
+        assert legacy.tcs.ssa.depth == 0
+
+
+class TestFaultMasking:
+    def test_self_paging_mask_hides_everything(self, kernel, launched):
+        secret_addr = heap_page(launched, 17) + 0x123
+        fault = PageFault(secret_addr, write=True, present=False)
+        masked = kernel.cpu.masked_fault(launched.enclave, fault)
+        assert masked.vaddr == launched.enclave.base
+        assert not masked.write and not masked.exec_
+
+    def test_legacy_mask_zeroes_offset_only(self, kernel, legacy):
+        secret_addr = heap_page(legacy, 17) + 0x123
+        fault = PageFault(secret_addr, write=True, present=False)
+        masked = kernel.cpu.masked_fault(legacy.enclave, fault)
+        assert masked.vaddr == heap_page(legacy, 17)  # page leaks
+        assert masked.write                            # type leaks
+
+
+class TestFaultDelivery:
+    def test_fault_resolved_via_handler(self, kernel, launched):
+        page = heap_page(launched, 3)
+        kernel.cpu.access(
+            launched.enclave, launched.tcs, page, AccessType.WRITE
+        )
+        assert launched.handled_faults == 1
+        assert launched.pager.is_resident(page)
+        assert launched.tcs.ssa.depth == 0
+
+    def test_os_fault_log_only_sees_base(self, kernel, launched):
+        kernel.cpu.access(
+            launched.enclave, launched.tcs, heap_page(launched, 3),
+            AccessType.WRITE,
+        )
+        assert all(
+            f.vaddr == launched.enclave.base for f in kernel.fault_log
+        )
+
+    def test_legacy_fault_resolved_silently(self, kernel, legacy):
+        page = heap_page(legacy, 3)
+        kernel.cpu.access(legacy.enclave, legacy.tcs, page,
+                          AccessType.WRITE)
+        assert legacy.handled_faults == 0  # handler never ran
+        assert kernel.fault_log[0].vaddr == page
+
+    def test_termination_marks_enclave_dead(self, kernel, launched):
+        page = heap_page(launched, 3)
+        kernel.cpu.access(launched.enclave, launched.tcs, page,
+                          AccessType.WRITE)
+        kernel.page_table.unmap(page)
+        with pytest.raises(AttackDetected):
+            kernel.cpu.access(launched.enclave, launched.tcs, page,
+                              AccessType.READ)
+        assert launched.enclave.dead
+        with pytest.raises(SgxError):
+            kernel.cpu.access(launched.enclave, launched.tcs, page,
+                              AccessType.READ)
+
+    def test_wedged_platform_detected(self, kernel, launched):
+        """An OS that refuses to fix anything trips the retry bound
+        instead of looping forever."""
+        page = heap_page(launched, 3)
+
+        class StubbornAttacker:
+            def on_enclave_fault(self, enclave, tcs, masked):
+                tcs.pending_exception = False  # fake handled
+                return True
+
+        kernel.attacker = StubbornAttacker()
+        with pytest.raises(SgxError, match="still faulting"):
+            kernel.cpu.access(launched.enclave, launched.tcs, page,
+                              AccessType.READ)
+
+
+class TestEnclaveCalls:
+    def test_call_runs_inside_and_returns(self, kernel, launched):
+        result = launched.call(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert kernel.cpu.eenter_count >= 1
+        assert kernel.cpu.eexit_count >= 1
+
+    def test_unexpected_entry_detected(self, kernel, launched):
+        """§5.3: spurious EENTER (no fault, no expected call) is an
+        attack on the handler."""
+        with pytest.raises(AttackDetected):
+            kernel.cpu.eenter(launched.enclave, launched.tcs)
+
+    def test_busy_tcs_rejected(self, kernel, launched):
+        def reenter():
+            kernel.cpu.eenter(launched.enclave, launched.tcs)
+
+        with pytest.raises(SgxError, match="busy"):
+            launched.call(reenter)
+
+
+class TestArchOptimizations:
+    def _runtime(self, opts):
+        from repro.host.kernel import HostKernel
+        from repro.sgx.params import ArchOptimizations
+        kernel = HostKernel(epc_pages=2_048, arch_opts=opts)
+        policy = RateLimitPolicy(RateLimiter(100_000))
+        runtime = GrapheneRuntime.launch(
+            kernel, policy,
+            layout=EnclaveLayout(runtime_pages=4, code_pages=8,
+                                 data_pages=8, heap_pages=128),
+            quota_pages=512, enclave_managed_budget=256,
+        )
+        return kernel, runtime
+
+    def test_in_enclave_resume_skips_transitions(self):
+        from repro.sgx.params import ArchOptimizations
+        kernel, runtime = self._runtime(
+            ArchOptimizations(in_enclave_resume=True)
+        )
+        kernel.cpu.access(runtime.enclave, runtime.tcs,
+                          heap_page(runtime, 0), AccessType.WRITE)
+        # The fault was resolved without an ERESUME.
+        assert kernel.cpu.eresume_count == 0
+        assert runtime.tcs.ssa.depth == 0
+
+    def test_elide_aex_keeps_os_out_entirely(self):
+        from repro.sgx.params import ArchOptimizations
+        kernel, runtime = self._runtime(
+            ArchOptimizations(elide_aex=True, in_enclave_resume=True)
+        )
+        kernel.cpu.access(runtime.enclave, runtime.tcs,
+                          heap_page(runtime, 0), AccessType.WRITE)
+        assert kernel.cpu.aex_count == 0
+        assert kernel.cpu.eenter_count == 0
+        assert not kernel.fault_log  # the OS never saw the fault
+        assert runtime.handled_faults == 1

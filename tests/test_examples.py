@@ -1,0 +1,46 @@
+"""Smoke-run every example script — the quickstart must never rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).parent.parent.glob("examples/*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    args = [sys.executable, str(script)]
+    if script.name == "memcached_ycsb.py":
+        args.append("300")  # keep the figure-8 sweep quick
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_tells_the_whole_story():
+    result = subprocess.run(
+        [sys.executable, "examples/quickstart.py"],
+        capture_output=True, text=True, timeout=120,
+        cwd=pathlib.Path(__file__).parent.parent,
+    )
+    out = result.stdout
+    assert "faults handled by the enclave" in out
+    assert "enclave terminated itself" in out
+    # The OS saw exactly one (masked) address.
+    assert out.count("0x1000000000") >= 2

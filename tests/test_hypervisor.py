@@ -1,0 +1,136 @@
+"""VM-support tests (§5.4): static partitioning, cross-VM ballooning,
+and the impossibility of transparent hypervisor paging."""
+
+import pytest
+
+from repro.errors import AttackDetected, SgxError
+from repro.host.hypervisor import Hypervisor
+from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
+from repro.runtime.policies import RateLimitPolicy
+from repro.runtime.rate_limit import RateLimiter
+from repro.sgx.params import AccessType
+
+
+def launch_guest_enclave(vm, budget=400):
+    runtime = GrapheneRuntime.launch(
+        vm.kernel, RateLimitPolicy(RateLimiter(100_000)),
+        layout=EnclaveLayout(runtime_pages=4, code_pages=8,
+                             data_pages=8, heap_pages=512),
+        quota_pages=min(512, vm.epc_pages - 16),
+        enclave_managed_budget=budget,
+    )
+    return runtime
+
+
+class TestPartitioning:
+    def test_slices_are_disjoint_and_bounded(self):
+        hv = Hypervisor(2_048)
+        hv.create_vm("a", 1_024)
+        hv.create_vm("b", 512)
+        assert hv.unallocated_pages == 512
+        with pytest.raises(SgxError):
+            hv.create_vm("c", 1_024)
+
+    def test_duplicate_vm_rejected(self):
+        hv = Hypervisor(1_024)
+        hv.create_vm("a", 256)
+        with pytest.raises(SgxError):
+            hv.create_vm("a", 256)
+
+    def test_guest_autarky_runs_unchanged(self):
+        """'Cloud platforms that statically partition EPC will require
+        no modification.'"""
+        hv = Hypervisor(4_096)
+        vm = hv.create_vm("guest", 2_048)
+        runtime = launch_guest_enclave(vm)
+        heap = runtime.regions["heap"]
+        for i in range(64):
+            runtime.access(heap.page(i), AccessType.WRITE)
+        assert runtime.handled_faults == 64
+        assert not runtime.enclave.dead
+
+    def test_one_guest_cannot_touch_anothers_epc(self):
+        hv = Hypervisor(1_024)
+        vm_a = hv.create_vm("a", 512)
+        vm_b = hv.create_vm("b", 512)
+        # Separate allocators: exhausting A leaves B untouched.
+        while vm_a.kernel.epc.free_pages:
+            vm_a.kernel.epc.alloc()
+        assert vm_b.kernel.epc.free_pages == 512
+
+
+class TestCrossVmBallooning:
+    def _two_guests(self):
+        hv = Hypervisor(4_096)
+        donor = hv.create_vm("donor", 2_048)
+        recipient = hv.create_vm("recipient", 1_024)
+        runtime = launch_guest_enclave(donor)
+        hv.register_enclave("donor", runtime.enclave)
+        heap = runtime.regions["heap"]
+        for i in range(300):
+            runtime.access(heap.page(i), AccessType.WRITE)
+        return hv, donor, recipient, runtime
+
+    def test_rebalance_moves_capacity(self):
+        hv, donor, recipient, _runtime = self._two_guests()
+        moved = hv.rebalance("donor", "recipient", 256)
+        assert moved == 256
+        assert donor.epc_pages == 2_048 - 256
+        assert recipient.epc_pages == 1_024 + 256
+        assert recipient.kernel.epc.total_pages == 1_024 + 256
+
+    def test_rebalance_upcalls_when_epc_tight(self):
+        hv, donor, _recipient, runtime = self._two_guests()
+        # Consume the donor's free EPC so ballooning must upcall.
+        spare = donor.kernel.epc.free_pages - 32
+        holders = [donor.kernel.epc.alloc() for _ in range(spare)]
+        requests_before = runtime.balloon.requests
+        moved = hv.rebalance("donor", "recipient", 64)
+        assert runtime.balloon.requests > requests_before
+        assert moved > 0
+        del holders
+
+    def test_donor_enclave_survives_rebalance(self):
+        hv, _donor, _recipient, runtime = self._two_guests()
+        hv.rebalance("donor", "recipient", 128)
+        heap = runtime.regions["heap"]
+        runtime.access(heap.page(0), AccessType.READ)
+        assert not runtime.enclave.dead
+
+    def test_shrink_below_usage_rejected(self):
+        hv = Hypervisor(1_024)
+        vm = hv.create_vm("a", 512)
+        frames = [vm.kernel.epc.alloc() for _ in range(500)]
+        with pytest.raises(SgxError):
+            vm.kernel.epc.resize(400)
+        del frames
+
+
+class TestHypervisorCannotPage:
+    def test_transparent_hypervisor_eviction_detected(self):
+        """§5.4: 'transparent demand paging by the hypervisor cannot be
+        supported' — evicting a self-paging enclave's page behind the
+        guest is detected like any controlled-channel attack."""
+        hv = Hypervisor(4_096)
+        vm = hv.create_vm("guest", 2_048)
+        runtime = launch_guest_enclave(vm)
+        heap = runtime.regions["heap"]
+        runtime.access(heap.page(0), AccessType.WRITE)
+        # The hypervisor (full control of the machine) unmaps the page.
+        vm.kernel.page_table.unmap(heap.page(0))
+        with pytest.raises(AttackDetected):
+            runtime.access(heap.page(0), AccessType.READ)
+
+    def test_hypervisor_observations_are_masked(self):
+        hv = Hypervisor(4_096)
+        vm = hv.create_vm("guest", 2_048)
+        runtime = launch_guest_enclave(vm)
+        heap = runtime.regions["heap"]
+        for i in range(16):
+            runtime.access(heap.page(i), AccessType.WRITE)
+        observations = hv.observed_faults()
+        assert observations
+        assert all(
+            fault.vaddr == runtime.enclave.base
+            for _vm_name, fault in observations
+        )

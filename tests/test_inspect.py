@@ -1,0 +1,89 @@
+"""Cross-layer introspection tests."""
+
+import pytest
+
+from repro.core.inspect import audit, page_view, system_summary
+from repro.sgx.params import AccessType
+
+
+class TestPageView:
+    def test_resident_page_all_layers_agree(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        view = page_view(system, heap.page(0) + 17)
+        assert view.vaddr == heap.page(0)
+        assert view.region == "heap"
+        assert view.pte_present and view.pte_accessed
+        assert view.backed_pfn is not None
+        assert view.epcm_valid
+        assert view.enclave_managed and view.pager_resident
+        assert not view.swapped_copy
+        assert view.consistent() == []
+
+    def test_evicted_page_view(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        system.runtime.pager.evict_all()
+        view = page_view(system, heap.page(0))
+        assert view.backed_pfn is None
+        assert view.pager_resident is False
+        assert view.swapped_copy
+        assert view.consistent() == []
+
+    def test_unmap_attack_is_an_inconsistency(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        system.kernel.page_table.unmap(heap.page(0))
+        problems = page_view(system, heap.page(0)).consistent()
+        assert any("attack" in p for p in problems)
+
+    def test_cluster_membership_shown(self, small_system):
+        system = small_system("clusters", cluster_pages=4)
+        pages = system.runtime.allocator.alloc_pages(4)
+        view = page_view(system, pages[0])
+        assert len(view.clusters) == 1
+
+
+class TestSummaryAndAudit:
+    def test_summary_counts(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        for i in range(10):
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        summary = system_summary(system)
+        assert summary.policy == "rate_limit"
+        assert summary.faults_total == 10
+        assert summary.epc_used == summary.enclave_backed
+        assert summary.pager_resident <= summary.pager_budget
+        assert any("faults" in line for line in summary.lines())
+
+    def test_audit_clean_system(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        for i in range(30):
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        system.runtime.pager.evict_all()
+        for i in range(10):
+            system.runtime.access(heap.page(i), AccessType.READ)
+        assert audit(system) == {}
+
+    def test_audit_flags_tampering(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(3), AccessType.WRITE)
+        system.kernel.page_table.unmap(heap.page(3))
+        findings = audit(system, sample_pages=[heap.page(3)])
+        assert heap.page(3) in findings
+
+    def test_baseline_summary(self, small_system):
+        system = small_system("baseline")
+        assert system_summary(system).policy == "baseline"

@@ -1,0 +1,181 @@
+"""GrapheneRuntime integration tests: regions, claims, fault routing."""
+
+import pytest
+
+from repro.errors import AttackDetected
+from repro.runtime.libos import Management
+from repro.sgx.params import AccessType, PAGE_SIZE
+
+
+class TestLaunch:
+    def test_regions_laid_out_in_order(self, launched):
+        regions = launched.regions
+        assert regions["runtime"].start < regions["code"].start \
+            < regions["data"].start < regions["heap"].start
+        assert regions["heap"].end <= launched.enclave.limit
+
+    def test_runtime_pages_pinned_resident(self, launched):
+        runtime_region = launched.regions["runtime"]
+        for page in runtime_region.pages():
+            assert launched.pager.is_resident(page)
+
+    def test_self_paging_attribute_set(self, launched):
+        assert launched.enclave.self_paging
+
+    def test_legacy_launch_is_vanilla(self, legacy):
+        assert not legacy.enclave.self_paging
+        assert all(r.management is Management.OS
+                   for r in legacy.regions.values())
+
+    def test_enclave_managed_regions_claimed(self, launched):
+        heap = launched.regions["heap"]
+        assert launched.pager.is_managed(heap.page(0))
+
+    def test_region_lookup(self, launched):
+        heap = launched.regions["heap"]
+        assert launched.region_of(heap.page(3)).name == "heap"
+        assert launched.region_of(0xDEAD_0000) is None
+
+
+class TestManagementChanges:
+    def test_release_region_to_os(self, launched):
+        launched.set_region_management("heap", Management.OS)
+        heap = launched.regions["heap"]
+        assert not launched.pager.is_managed(heap.page(0))
+        # Faults now route to the OS: no policy, no detection.
+        launched.access(heap.page(0), AccessType.WRITE)
+        assert launched.policy.legit_faults == 0
+
+    def test_reclaim_region(self, launched):
+        launched.set_region_management("heap", Management.OS)
+        launched.set_region_management("heap", Management.ENCLAVE)
+        heap = launched.regions["heap"]
+        assert launched.pager.is_managed(heap.page(0))
+
+    def test_page_level_claims_override_region(self, launched):
+        launched.set_region_management("heap", Management.OS)
+        heap = launched.regions["heap"]
+        launched.claim([heap.page(5)])
+        launched.access(heap.page(5), AccessType.WRITE)
+        assert launched.policy.legit_faults == 1
+
+    def test_release_pages(self, launched):
+        heap = launched.regions["heap"]
+        launched.release([heap.page(0)])
+        assert not launched.pager.is_managed(heap.page(0))
+
+
+class TestFaultRouting:
+    def test_enclave_managed_fault_goes_to_policy(self, launched):
+        heap = launched.regions["heap"]
+        launched.access(heap.page(0), AccessType.WRITE)
+        assert launched.policy.legit_faults == 1
+
+    def test_os_managed_fault_forwarded(self, kernel, launched):
+        launched.set_region_management("heap", Management.OS)
+        heap = launched.regions["heap"]
+        launched.access(heap.page(0), AccessType.WRITE)
+        assert kernel.driver.resident(launched.enclave, heap.page(0))
+        assert launched.handled_faults == 1  # handler ran, forwarded
+
+    def test_fault_outside_regions_is_attack(self, kernel, launched):
+        # Forge a fault on the TCS page (page 0 — in no region).
+        from repro.errors import PageFault
+        fault = PageFault(launched.enclave.base, present=False)
+        with pytest.raises(AttackDetected):
+            kernel.cpu.deliver_fault(launched.enclave, launched.tcs,
+                                     fault)
+
+    def test_ad_clear_on_os_managed_page_recovers(self, kernel, launched):
+        """A/D cleared on an OS-managed page: the fault is forwarded
+        and the driver re-sets the bits — execution continues (the
+        accepted leak on insensitive pages)."""
+        launched.set_region_management("heap", Management.OS)
+        heap = launched.regions["heap"]
+        launched.access(heap.page(0), AccessType.WRITE)
+        kernel.page_table.set_accessed_dirty(heap.page(0),
+                                             accessed=False)
+        launched.access(heap.page(0), AccessType.READ)
+        assert not launched.enclave.dead
+
+
+class TestPreload:
+    def test_preload_pins(self, launched):
+        heap = launched.regions["heap"]
+        pages = [heap.page(i) for i in range(8)]
+        launched.preload(pages, pin=True)
+        assert all(launched.pager.is_resident(p) for p in pages)
+        # Pinned pages never leave, even under pressure.
+        for i in range(8, 510):
+            launched.access(heap.page(i), AccessType.WRITE)
+        assert all(launched.pager.is_resident(p) for p in pages)
+
+    def test_preload_os(self, kernel, legacy):
+        heap = legacy.regions["heap"]
+        pages = [heap.page(i) for i in range(4)]
+        legacy.preload_os(pages)
+        assert all(
+            kernel.driver.resident(legacy.enclave, p) for p in pages
+        )
+
+    def test_configure_heap_allocator(self, launched):
+        alloc = launched.configure_heap(cluster_pages=4)
+        assert launched.allocator is alloc
+        bases = alloc.alloc_pages(4)
+        assert launched.regions["heap"].contains(bases[0])
+
+
+class TestComputeAndProgress:
+    def test_compute_charges_clock(self, kernel, launched):
+        before = kernel.clock.cycles
+        launched.compute(12_345)
+        assert kernel.clock.cycles == before + 12_345
+
+    def test_progress_reaches_policy(self, launched):
+        from repro.runtime.rate_limit import ProgressKind
+        launched.progress(ProgressKind.IO)
+        assert launched.policy.limiter.progress_events == 1
+
+
+class TestHeapGrowth:
+    def test_grow_extends_region_and_claims(self, small_system):
+        from repro.sgx.params import AccessType
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000,
+                              reserve_pages=64)
+        heap = system.runtime.regions["heap"]
+        end_before = heap.end
+        first_new = system.runtime.grow_heap(32)
+        assert first_new == end_before
+        assert heap.npages == 512 + 32
+        assert system.runtime.pager.is_managed(first_new)
+        system.runtime.access(first_new, AccessType.WRITE)
+        assert system.runtime.pager.is_resident(first_new)
+
+    def test_growth_beyond_reserve_rejected(self, small_system):
+        from repro.errors import PolicyError
+        system = small_system("rate_limit", reserve_pages=8)
+        with pytest.raises(PolicyError, match="reserve_pages"):
+            system.runtime.grow_heap(9)
+
+    def test_no_reserve_means_no_growth(self, small_system):
+        from repro.errors import PolicyError
+        system = small_system("rate_limit")
+        with pytest.raises(PolicyError):
+            system.runtime.grow_heap(1)
+
+    def test_grown_pages_feed_the_allocator(self, small_system):
+        system = small_system("clusters", cluster_pages=4,
+                              reserve_pages=64)
+        heap = system.runtime.regions["heap"]
+        system.runtime.allocator.alloc_pages(heap.npages)  # exhaust
+        with pytest.raises(MemoryError):
+            system.runtime.allocator.alloc_pages(1)
+        system.runtime.grow_heap(16)
+        assert len(system.runtime.allocator.alloc_pages(16)) == 16
+
+    def test_zero_growth_rejected(self, small_system):
+        from repro.errors import PolicyError
+        system = small_system("rate_limit", reserve_pages=8)
+        with pytest.raises(PolicyError):
+            system.runtime.grow_heap(0)

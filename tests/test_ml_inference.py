@@ -1,0 +1,157 @@
+"""Decision-forest inference: model correctness and attack/defense."""
+
+import random
+
+import pytest
+
+from repro.apps.ml_inference import DecisionForest
+from repro.attacks.controlled_channel import PageFaultTracer
+from repro.attacks.oracles import SignatureOracle
+from repro.errors import AttackDetected, PolicyError, RateLimitExceeded
+from repro.sgx.params import PAGE_SIZE
+
+
+class RecordingEngine:
+    def __init__(self):
+        self.trace = []
+        self.progress_events = 0
+
+    def data_access(self, vaddr, write=False):
+        self.trace.append(vaddr)
+
+    def compute(self, cycles):
+        pass
+
+    def progress(self, kind):
+        self.progress_events += 1
+
+
+def features(rng, n=16):
+    return [rng.random() for _ in range(n)]
+
+
+class TestModel:
+    def _forest(self, **kw):
+        return DecisionForest(RecordingEngine(), 0x9000_0000, **kw)
+
+    def test_classify_deterministic(self):
+        forest = self._forest()
+        rng = random.Random(1)
+        x = features(rng)
+        assert forest.classify(x) == forest.classify(x)
+
+    def test_different_inputs_can_differ(self):
+        forest = self._forest()
+        rng = random.Random(2)
+        classes = {forest.classify(features(rng)) for _ in range(24)}
+        assert len(classes) > 1
+
+    def test_trace_matches_signature(self):
+        forest = self._forest(n_trees=3, depth=6)
+        rng = random.Random(3)
+        x = features(rng)
+        forest.classify(x)
+        assert tuple(forest.engine.trace) == forest.path_signature(x)
+
+    def test_progress_emitted_per_classification(self):
+        forest = self._forest(n_trees=2, depth=4)
+        rng = random.Random(4)
+        forest.classify(features(rng))
+        assert forest.engine.progress_events == 1
+
+    def test_wrong_feature_count_rejected(self):
+        forest = self._forest()
+        with pytest.raises(PolicyError):
+            forest.classify([0.5])
+
+    def test_geometry(self):
+        forest = self._forest(n_trees=2, depth=3)
+        assert forest.nodes_per_tree == 15
+        assert forest.total_pages == 2 * forest.tree_pages
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(PolicyError):
+            self._forest(depth=0)
+
+
+class TestAttackAndDefense:
+    def _system(self, small_system, policy):
+        system = small_system(policy)
+        # Depth 12: the lower levels fan out across many pages, so
+        # distinct inputs get distinct page signatures (shallow trees
+        # stay within one page per level and collide).
+        forest = DecisionForest(
+            system.engine(), system.heap_start(),
+            n_trees=4, depth=12,
+        )
+        return system, forest
+
+    def test_vanilla_trace_recovers_decision_path(self, small_system):
+        system, forest = self._system(small_system, "baseline")
+        system.runtime.preload_os(forest.pages())
+        tracer = PageFaultTracer(system.kernel, system.enclave,
+                                 forest.pages())
+        system.attach_attacker(tracer)
+        tracer.arm()
+
+        rng = random.Random(7)
+        secret = features(rng)
+        forest.classify(secret)
+
+        # Offline profiling: candidate inputs → collapsed signatures.
+        def collapse(sig):
+            out = []
+            for page in sig:
+                if not out or out[-1] != page:
+                    out.append(page)
+            return tuple(out)
+
+        candidates = {i: features(random.Random(100 + i))
+                      for i in range(40)}
+        candidates[99] = secret
+        oracle = SignatureOracle({
+            key: collapse(forest.path_signature(x))
+            for key, x in candidates.items()
+        })
+        recovered = oracle.recover(tracer.log.trace)
+        assert 99 in recovered  # the secret input was identified
+
+    def test_autarky_pinned_model_blocks(self, small_system):
+        system, forest = self._system(small_system, "pin_all")
+        system.runtime.preload(forest.pages(), pin=True)
+        system.policy.seal()
+        tracer = PageFaultTracer(system.kernel, system.enclave,
+                                 forest.pages())
+        system.attach_attacker(tracer)
+        tracer.arm()
+        rng = random.Random(8)
+        with pytest.raises(AttackDetected):
+            forest.classify(features(rng))
+        assert system.enclave.dead
+
+    def test_rate_limited_inference(self, small_system):
+        """§5.2.4's ML example: the fault budget is expressed per
+        classification (a memory-allocation progress event)."""
+        system = small_system(
+            "rate_limit",
+            max_faults_per_progress=64,
+            enclave_managed_budget=400,
+        )
+        forest = DecisionForest(
+            system.engine(), system.heap_start(),
+            n_trees=4, depth=8,
+        )
+        rng = random.Random(9)
+        for _ in range(12):
+            forest.classify(features(rng))
+        assert not system.enclave.dead
+
+        # An attacker inflating the fault rate (evict-storm via the
+        # pager's own interface is unavailable to it, so it unmaps and
+        # eats the detection) cannot stay under the budget silently:
+        # shrink the budget to show the limiter also guards the flow.
+        system.policy.limiter.max_faults_per_progress = 1
+        system.runtime.pager.evict_all()
+        with pytest.raises(RateLimitExceeded):
+            for _ in range(6):
+                forest.classify(features(rng))

@@ -1,0 +1,181 @@
+"""MMU walk tests: x86 checks, SGX checks, and Autarky's A/D check."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.errors import PageFault
+from repro.sgx.enclave import EnclaveAttributes
+from repro.sgx.epc import EpcAllocator
+from repro.sgx.epcm import Epcm, Permissions
+from repro.sgx.instructions import SgxInstructions
+from repro.sgx.mmu import Mmu
+from repro.sgx.pagetable import PageTable
+from repro.sgx.params import PAGE_SIZE, AccessType, CostModel
+from repro.sgx.tlb import Tlb
+
+BASE = 0x1000_0000
+
+
+@pytest.fixture
+def rig():
+    """A wired-together MMU with one enclave and one backed page."""
+    clock = Clock()
+    cost = CostModel()
+    epc = EpcAllocator(32)
+    epcm = Epcm(32)
+    instr = SgxInstructions(epc, epcm, clock, cost)
+    pt = PageTable()
+    tlb = Tlb()
+    pt.register_tlb(tlb)
+    mmu = Mmu(pt, tlb, epcm, clock, cost)
+
+    class Rig:
+        pass
+
+    rig = Rig()
+    rig.clock, rig.cost, rig.instr = clock, cost, instr
+    rig.pt, rig.tlb, rig.mmu = pt, tlb, mmu
+    return rig
+
+
+def make_enclave(rig, self_paging=False):
+    enclave = rig.instr.ecreate(
+        BASE, 16, EnclaveAttributes(self_paging=self_paging)
+    )
+    pfn = rig.instr.eadd(enclave, BASE, perms=Permissions.RW)
+    pre = self_paging
+    rig.pt.map(BASE, pfn, writable=True, accessed=pre, dirty=pre)
+    return enclave, pfn
+
+
+class TestBasicWalk:
+    def test_translate_installs_tlb(self, rig):
+        enclave, pfn = make_enclave(rig)
+        assert rig.mmu.translate(BASE, AccessType.READ, enclave) == pfn
+        assert rig.tlb.lookup(BASE, AccessType.READ) == pfn
+
+    def test_tlb_hit_skips_walk(self, rig):
+        enclave, _pfn = make_enclave(rig)
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        walks = rig.mmu.walks
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert rig.mmu.walks == walks
+
+    def test_not_present_faults(self, rig):
+        enclave, _pfn = make_enclave(rig)
+        rig.pt.unmap(BASE)
+        with pytest.raises(PageFault) as info:
+            rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert not info.value.present
+
+    def test_unmapped_address_faults(self, rig):
+        enclave, _ = make_enclave(rig)
+        with pytest.raises(PageFault):
+            rig.mmu.translate(BASE + PAGE_SIZE, AccessType.READ, enclave)
+
+    def test_write_to_readonly_faults(self, rig):
+        enclave, _ = make_enclave(rig)
+        rig.pt.set_protection(BASE, writable=False)
+        with pytest.raises(PageFault) as info:
+            rig.mmu.translate(BASE, AccessType.WRITE, enclave)
+        assert info.value.present and info.value.write
+
+    def test_walk_charges_fill_cost(self, rig):
+        enclave, _ = make_enclave(rig)
+        cycles = rig.clock.cycles
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert rig.clock.cycles >= cycles + rig.cost.tlb_fill
+
+
+class TestSgxChecks:
+    def test_wrong_frame_mapping_faults(self, rig):
+        """The OS maps a different enclave page's frame here — the
+        EPCM vaddr linkage catches it (remapping attack)."""
+        enclave, _ = make_enclave(rig)
+        other_pfn = rig.instr.eadd(enclave, BASE + PAGE_SIZE)
+        rig.pt.map(BASE, other_pfn)  # wrong frame for this vaddr
+        with pytest.raises(PageFault) as info:
+            rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert "EPCM" in info.value.reason
+
+    def test_cross_enclave_frame_faults(self, rig):
+        enclave, _ = make_enclave(rig)
+        other = rig.instr.ecreate(BASE + 0x100000, 8)
+        foreign_pfn = rig.instr.eadd(other, BASE + 0x100000)
+        rig.pt.map(BASE, foreign_pfn)
+        with pytest.raises(PageFault):
+            rig.mmu.translate(BASE, AccessType.READ, enclave)
+
+    def test_epcm_perm_stricter_than_pte(self, rig):
+        """PTE says writable, EPCM says read-only: EPCM wins."""
+        enclave, pfn = make_enclave(rig)
+        rig.instr.epcm.entry(pfn).perms = Permissions.R
+        with pytest.raises(PageFault):
+            rig.mmu.translate(BASE, AccessType.WRITE, enclave)
+
+    def test_host_access_skips_epcm(self, rig):
+        """Accesses outside the enclave region use plain x86 rules."""
+        rig.pt.map(0x9000_0000, pfn=5)
+        assert rig.mmu.translate(0x9000_0000, AccessType.READ) == 5
+
+
+class TestLegacyAdBits:
+    def test_walk_sets_accessed(self, rig):
+        enclave, _ = make_enclave(rig, self_paging=False)
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        accessed, dirty = rig.pt.read_accessed_dirty(BASE)
+        assert accessed and not dirty
+
+    def test_write_sets_dirty(self, rig):
+        enclave, _ = make_enclave(rig, self_paging=False)
+        rig.mmu.translate(BASE, AccessType.WRITE, enclave)
+        assert rig.pt.read_accessed_dirty(BASE) == (True, True)
+
+
+class TestAutarkyAdCheck:
+    def test_cleared_accessed_bit_faults(self, rig):
+        enclave, _ = make_enclave(rig, self_paging=True)
+        rig.pt.set_accessed_dirty(BASE, accessed=False)
+        with pytest.raises(PageFault) as info:
+            rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert "accessed/dirty" in info.value.reason
+
+    def test_cleared_dirty_bit_faults(self, rig):
+        enclave, _ = make_enclave(rig, self_paging=True)
+        rig.pt.set_accessed_dirty(BASE, dirty=False)
+        with pytest.raises(PageFault):
+            rig.mmu.translate(BASE, AccessType.READ, enclave)
+
+    def test_preset_bits_pass_and_are_not_rewritten(self, rig):
+        """Self-paging walks never write A/D back — the assumption that
+        defeats the §5.1.4 TOCTOU."""
+        enclave, pfn = make_enclave(rig, self_paging=True)
+        assert rig.mmu.translate(BASE, AccessType.WRITE, enclave) == pfn
+        # Bits stay exactly as the driver set them (True, True).
+        assert rig.pt.read_accessed_dirty(BASE) == (True, True)
+
+    def test_ad_check_charges_extra_cycles(self, rig):
+        enclave, _ = make_enclave(rig, self_paging=True)
+        cycles = rig.clock.cycles
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert rig.clock.cycles == (
+            cycles + rig.cost.tlb_fill + rig.cost.autarky_ad_check
+        )
+        assert rig.mmu.ad_checks == 1
+
+    def test_legacy_enclave_unaffected(self, rig):
+        """The check is gated on the attested attribute: legacy
+        enclaves keep the (leaky) legacy behaviour."""
+        enclave, _ = make_enclave(rig, self_paging=False)
+        rig.pt.set_accessed_dirty(BASE, accessed=False, dirty=False)
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert rig.mmu.ad_checks == 0
+
+    def test_tlb_hit_bypasses_check(self, rig):
+        """Once cached, later hits do not consult the PTE — the
+        fill-time semantics §5.1.4 specifies."""
+        enclave, _ = make_enclave(rig, self_paging=True)
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        checks = rig.mmu.ad_checks
+        rig.mmu.translate(BASE, AccessType.READ, enclave)
+        assert rig.mmu.ad_checks == checks

@@ -1,0 +1,124 @@
+"""Parent-enclave supervision tests (§3 multi-process mode)."""
+
+import pytest
+
+from repro.errors import AttackDetected
+from repro.host.kernel import HostKernel
+from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
+from repro.runtime.multiprocess import EnclaveSupervisor, LockdownError
+from repro.runtime.policies import PinAllPolicy
+from repro.sgx.params import AccessType
+
+
+def make_factory(legacy=False):
+    """Each child gets a fresh kernel (fresh machine per launch keeps
+    the test independent of EPC leftovers)."""
+    def factory():
+        kernel = HostKernel(epc_pages=1_024)
+        runtime = GrapheneRuntime.launch(
+            kernel,
+            None if legacy else PinAllPolicy(),
+            layout=EnclaveLayout(runtime_pages=4, code_pages=8,
+                                 data_pages=8, heap_pages=128),
+            quota_pages=512, enclave_managed_budget=256,
+            legacy=legacy,
+        )
+        if not legacy:
+            heap = runtime.regions["heap"]
+            runtime.preload([heap.page(i) for i in range(16)], pin=True)
+            runtime.policy.seal()
+        return runtime
+    return factory
+
+
+def benign_workload(runtime):
+    heap = runtime.regions["heap"]
+    for i in range(16):
+        runtime.access(heap.page(i), AccessType.READ)
+    return "done"
+
+
+def attacked_workload(runtime):
+    """The OS kills the child via the termination channel every run."""
+    heap = runtime.regions["heap"]
+    runtime.kernel.page_table.unmap(heap.page(0))
+    runtime.access(heap.page(0), AccessType.READ)
+    return "unreachable"
+
+
+class TestSupervision:
+    def test_benign_child_runs_once(self):
+        supervisor = EnclaveSupervisor(make_factory())
+        record = supervisor.spawn()
+        assert supervisor.run_child(record, benign_workload) == "done"
+        assert record.restarts == 0
+
+    def test_attacked_child_restarts_then_lockdown(self):
+        supervisor = EnclaveSupervisor(make_factory(), max_restarts=3)
+        record = supervisor.spawn()
+        with pytest.raises(LockdownError):
+            supervisor.run_child(record, attacked_workload)
+        assert record.restarts == 3
+        assert len(record.terminations) == 4
+        assert supervisor.locked_down
+
+    def test_lockdown_blocks_new_spawns(self):
+        supervisor = EnclaveSupervisor(make_factory(), max_restarts=0)
+        record = supervisor.spawn()
+        with pytest.raises(LockdownError):
+            supervisor.run_child(record, attacked_workload)
+        with pytest.raises(LockdownError):
+            supervisor.spawn()
+
+    def test_transient_failure_recovers(self):
+        """One termination, then clean runs: restart succeeds and the
+        workload completes."""
+        state = {"attacks_left": 1}
+
+        def flaky_workload(runtime):
+            if state["attacks_left"]:
+                state["attacks_left"] -= 1
+                return attacked_workload(runtime)
+            return benign_workload(runtime)
+
+        supervisor = EnclaveSupervisor(make_factory(), max_restarts=3)
+        record = supervisor.spawn()
+        assert supervisor.run_child(record, flaky_workload) == "done"
+        assert record.restarts == 1
+
+    def test_legacy_child_rejected(self):
+        supervisor = EnclaveSupervisor(make_factory(legacy=True))
+        with pytest.raises(AttackDetected):
+            supervisor.spawn()
+
+    def test_measurement_pinning(self):
+        """Trust-on-first-launch pins the measurement; a different
+        binary is rejected on restart."""
+        calls = {"n": 0}
+        honest = make_factory()
+
+        def switcheroo():
+            calls["n"] += 1
+            runtime = honest()
+            if calls["n"] > 1:
+                runtime.enclave.measurement.extend("EVIL", 0xBAD)
+            return runtime
+
+        supervisor = EnclaveSupervisor(switcheroo, max_restarts=3)
+        record = supervisor.spawn()
+        with pytest.raises(AttackDetected, match="measurement"):
+            supervisor.run_child(record, attacked_workload)
+
+    def test_total_restart_accounting(self):
+        supervisor = EnclaveSupervisor(make_factory(), max_restarts=5)
+        record = supervisor.spawn()
+        state = {"attacks_left": 2}
+
+        def flaky(runtime):
+            if state["attacks_left"]:
+                state["attacks_left"] -= 1
+                return attacked_workload(runtime)
+            return benign_workload(runtime)
+
+        supervisor.run_child(record, flaky)
+        assert supervisor.total_restarts() == 2

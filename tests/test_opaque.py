@@ -1,0 +1,124 @@
+"""Oblivious analytics tests: correctness AND trace independence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.opaque import ObliviousDataset, next_power_of_two
+from repro.errors import PolicyError
+
+REGION = 0x8000_0000
+
+
+class RecordingEngine:
+    def __init__(self):
+        self.trace = []
+
+    def data_access(self, vaddr, write=False):
+        self.trace.append((vaddr, write))
+
+    def compute(self, cycles):
+        pass
+
+    def progress(self, kind):
+        pass
+
+
+def dataset(rows):
+    return ObliviousDataset(RecordingEngine(), REGION, rows)
+
+
+class TestCorrectness:
+    def test_sort_sorts(self):
+        rng = random.Random(3)
+        rows = [rng.randrange(1_000) for _ in range(37)]
+        assert dataset(rows).oblivious_sort() == sorted(rows)
+
+    def test_filter_filters(self):
+        rows = list(range(20))
+        result = dataset(rows).oblivious_filter(lambda r: r % 3 == 0)
+        assert result == [r for r in rows if r % 3 == 0]
+
+    def test_aggregate_folds(self):
+        rows = [1, 2, 3, 4]
+        assert dataset(rows).oblivious_aggregate(
+            lambda acc, r: acc + r
+        ) == 10
+
+    def test_padding_rows_ignored(self):
+        rows = [5, 1, 9]  # capacity pads to 4
+        d = dataset(rows)
+        assert d.oblivious_sort() == [1, 5, 9]
+        assert d.oblivious_filter(lambda r: True) == [1, 5, 9]
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError):
+            dataset([])
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+
+
+class TestObliviousness:
+    """The headline property: traces depend only on the input size."""
+
+    def _trace(self, rows, op):
+        d = dataset(rows)
+        op(d)
+        return d.engine.trace
+
+    @pytest.mark.parametrize("op", [
+        lambda d: d.oblivious_sort(),
+        lambda d: d.oblivious_filter(lambda r: r > 50),
+        lambda d: d.oblivious_aggregate(lambda a, r: a + r),
+    ], ids=["sort", "filter", "aggregate"])
+    def test_trace_identical_for_different_data(self, op):
+        rng = random.Random(11)
+        rows_a = [rng.randrange(100) for _ in range(24)]
+        rows_b = [rng.randrange(100) for _ in range(24)]
+        assert rows_a != rows_b
+        assert self._trace(rows_a, op) == self._trace(rows_b, op)
+
+    def test_filter_selectivity_invisible(self):
+        """All-match and none-match filters look identical."""
+        rows = list(range(16))
+        all_match = self._trace(rows,
+                                lambda d: d.oblivious_filter(
+                                    lambda r: True))
+        none_match = self._trace(rows,
+                                 lambda d: d.oblivious_filter(
+                                     lambda r: False))
+        assert all_match == none_match
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=48))
+@settings(max_examples=60, deadline=None)
+def test_property_sort_matches_sorted(rows):
+    assert dataset(rows).oblivious_sort() == sorted(rows)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=32),
+       st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_property_filter_matches_comprehension(rows, threshold):
+    result = dataset(rows).oblivious_filter(lambda r: r >= threshold)
+    assert sorted(result) == sorted(r for r in rows if r >= threshold)
+
+
+@given(st.lists(st.integers(1, 32), min_size=1, max_size=24),
+       st.lists(st.integers(1, 32), min_size=1, max_size=24))
+@settings(max_examples=40, deadline=None)
+def test_property_same_size_same_trace(rows_a, rows_b):
+    if len(rows_a) != len(rows_b):
+        rows_b = (rows_b * len(rows_a))[:len(rows_a)]
+
+    def trace(rows):
+        d = dataset(rows)
+        d.oblivious_sort()
+        d.oblivious_filter(lambda r: r % 2 == 0)
+        return d.engine.trace
+
+    assert trace(rows_a) == trace(rows_b)

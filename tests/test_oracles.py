@@ -1,0 +1,66 @@
+"""Secret-recovery oracle tests."""
+
+import pytest
+
+from repro.attacks.oracles import (
+    SignatureOracle,
+    sequence_contains,
+    trace_accuracy,
+)
+
+
+class TestSequenceContains:
+    def test_found(self):
+        assert sequence_contains((1, 2, 3, 4), (2, 3)) == 1
+
+    def test_not_found(self):
+        assert sequence_contains((1, 2, 3), (3, 2)) == -1
+
+    def test_empty_needle(self):
+        assert sequence_contains((1, 2), (), start=1) == 1
+
+    def test_start_offset(self):
+        assert sequence_contains((1, 2, 1, 2), (1, 2), start=1) == 2
+
+
+class TestSignatureOracle:
+    def test_recovers_sequence(self):
+        oracle = SignatureOracle({"a": (1, 2), "b": (3, 4)})
+        assert oracle.recover([1, 2, 3, 4, 1, 2]) == ["a", "b", "a"]
+
+    def test_prefers_longer_signature(self):
+        oracle = SignatureOracle({"short": (1, 2), "long": (1, 2, 3)})
+        assert oracle.recover([1, 2, 3]) == ["long"]
+
+    def test_skips_noise(self):
+        oracle = SignatureOracle({"a": (1, 2)})
+        assert oracle.recover([9, 1, 2, 9, 9, 1, 2]) == ["a", "a"]
+
+    def test_empty_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureOracle({})
+
+    def test_distinguishable_fraction(self):
+        oracle = SignatureOracle({
+            "a": (1, 2), "b": (1, 2), "c": (3,),
+        })
+        assert oracle.distinguishable_fraction() == pytest.approx(1 / 3)
+
+
+class TestTraceAccuracy:
+    def test_perfect(self):
+        assert trace_accuracy(["x", "y"], ["x", "y"]) == 1.0
+
+    def test_total_miss(self):
+        assert trace_accuracy(["x", "y"], ["a", "b"]) == 0.0
+
+    def test_insertion_tolerant(self):
+        assert trace_accuracy(["x", "y"], ["x", "noise", "y"]) == 1.0
+
+    def test_deletion_partial(self):
+        assert trace_accuracy(["x", "y", "z"], ["x", "z"]) == \
+            pytest.approx(2 / 3)
+
+    def test_empty_truth(self):
+        assert trace_accuracy([], []) == 1.0
+        assert trace_accuracy([], ["junk"]) == 0.0

@@ -1,0 +1,138 @@
+"""Page table (the attack surface) and TLB unit tests."""
+
+import pytest
+
+from repro.errors import SgxError
+from repro.sgx.pagetable import PageTable
+from repro.sgx.params import PAGE_SIZE, AccessType
+from repro.sgx.tlb import Tlb
+
+A = 0x4000_0000  # an arbitrary page-aligned address
+
+
+class TestPageTable:
+    def test_map_lookup(self):
+        pt = PageTable()
+        pt.map(A, pfn=7)
+        pte = pt.lookup(A)
+        assert pte.pfn == 7 and pte.present
+
+    def test_lookup_covers_whole_page(self):
+        pt = PageTable()
+        pt.map(A, pfn=7)
+        assert pt.lookup(A + 123).pfn == 7
+        assert pt.lookup(A + PAGE_SIZE) is None
+
+    def test_unmap_remap_cycle(self):
+        """The attacker's core primitive: clear/restore the P bit."""
+        pt = PageTable()
+        pt.map(A, pfn=1)
+        pt.unmap(A)
+        assert not pt.lookup(A).present
+        pt.remap(A)
+        assert pt.lookup(A).present
+        assert pt.lookup(A).pfn == 1
+
+    def test_unmap_missing_pte_rejected(self):
+        pt = PageTable()
+        with pytest.raises(SgxError):
+            pt.unmap(A)
+
+    def test_drop_removes_entry(self):
+        pt = PageTable()
+        pt.map(A, pfn=1)
+        pt.drop(A)
+        assert pt.lookup(A) is None
+
+    def test_protection_changes(self):
+        pt = PageTable()
+        pt.map(A, pfn=1, writable=True, executable=False)
+        pt.set_protection(A, writable=False)
+        pte = pt.lookup(A)
+        assert not pte.writable
+        assert pte.allows(AccessType.READ)
+        assert not pte.allows(AccessType.WRITE)
+
+    def test_accessed_dirty_read_and_clear(self):
+        """The fault-free attack's primitive."""
+        pt = PageTable()
+        pt.map(A, pfn=1, accessed=True, dirty=True)
+        assert pt.read_accessed_dirty(A) == (True, True)
+        pt.set_accessed_dirty(A, accessed=False, dirty=False)
+        assert pt.read_accessed_dirty(A) == (False, False)
+
+    def test_mapped_vpns_enumeration(self):
+        pt = PageTable()
+        pt.map(A, pfn=1)
+        pt.map(A + PAGE_SIZE, pfn=2)
+        pt.unmap(A)
+        assert pt.mapped_vpns() == [(A + PAGE_SIZE) >> 12]
+
+    def test_unmap_shoots_down_tlb(self):
+        pt = PageTable()
+        tlb = Tlb()
+        pt.register_tlb(tlb)
+        pt.map(A, pfn=1)
+        tlb.install(A, 1, True, False)
+        pt.unmap(A)
+        assert tlb.lookup(A, AccessType.READ) is None
+
+    def test_ad_clear_shoots_down_tlb(self):
+        """Without the shootdown a stale TLB entry would let accesses
+        bypass the cleared A/D bits — hiding them from the attacker and
+        from Autarky's check alike."""
+        pt = PageTable()
+        tlb = Tlb()
+        pt.register_tlb(tlb)
+        pt.map(A, pfn=1, accessed=True, dirty=True)
+        tlb.install(A, 1, True, False)
+        pt.set_accessed_dirty(A, accessed=False)
+        assert A not in tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert tlb.lookup(A, AccessType.READ) is None
+        tlb.install(A, 9, writable=True, executable=False)
+        assert tlb.lookup(A, AccessType.READ) == 9
+        assert tlb.hits == 1
+
+    def test_permission_mismatch_is_miss(self):
+        tlb = Tlb()
+        tlb.install(A, 9, writable=False, executable=False)
+        assert tlb.lookup(A, AccessType.WRITE) is None
+        assert tlb.lookup(A, AccessType.READ) == 9
+
+    def test_exec_permission(self):
+        tlb = Tlb()
+        tlb.install(A, 9, writable=False, executable=True)
+        assert tlb.lookup(A, AccessType.EXEC) == 9
+
+    def test_full_flush(self):
+        tlb = Tlb()
+        tlb.install(A, 1, True, False)
+        tlb.flush()
+        assert tlb.lookup(A, AccessType.READ) is None
+        assert tlb.flushes == 1
+
+    def test_capacity_eviction_fifo(self):
+        tlb = Tlb(capacity=2)
+        tlb.install(A, 1, True, False)
+        tlb.install(A + PAGE_SIZE, 2, True, False)
+        tlb.install(A + 2 * PAGE_SIZE, 3, True, False)
+        # Oldest entry evicted.
+        assert tlb.lookup(A, AccessType.READ) is None
+        assert tlb.lookup(A + 2 * PAGE_SIZE, AccessType.READ) == 3
+
+    def test_unbounded_by_default(self):
+        tlb = Tlb()
+        for i in range(10_000):
+            tlb.install(A + i * PAGE_SIZE, i, True, False)
+        assert tlb.lookup(A, AccessType.READ) == 0
+
+    def test_fill_counter(self):
+        tlb = Tlb()
+        tlb.install(A, 1, True, False)
+        tlb.install(A, 1, True, False)
+        assert tlb.fills == 2

@@ -1,0 +1,149 @@
+"""Secure paging policy tests against a real launched runtime."""
+
+import pytest
+
+from repro.errors import AttackDetected, PolicyError, RateLimitExceeded
+from repro.runtime.rate_limit import ProgressKind
+from repro.sgx.params import AccessType, PAGE_SIZE
+
+
+class TestPinAll:
+    def test_warmup_then_seal(self, small_system):
+        system = small_system("pin_all")
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        system.policy.seal()
+        system.runtime.access(heap.page(0), AccessType.READ)  # no fault
+
+    def test_post_seal_fault_is_attack(self, small_system):
+        system = small_system("pin_all")
+        heap = system.runtime.regions["heap"]
+        system.policy.seal()
+        with pytest.raises(AttackDetected):
+            system.runtime.access(heap.page(1), AccessType.READ)
+
+    def test_warmup_pages_are_pinned(self, small_system):
+        system = small_system("pin_all", enclave_managed_budget=64)
+        heap = system.runtime.regions["heap"]
+        for i in range(40):
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        assert all(
+            system.runtime.pager.is_resident(heap.page(i))
+            for i in range(40)
+        )
+
+
+class TestClusterPolicy:
+    def _system(self, small_system, **kw):
+        system = small_system("clusters", cluster_pages=4,
+                              enclave_managed_budget=64, **kw)
+        return system
+
+    def test_fault_fetches_whole_cluster(self, small_system):
+        system = self._system(small_system)
+        pages = system.runtime.allocator.alloc_pages(8)
+        system.runtime.access(pages[0], AccessType.READ)
+        # The whole 4-page cluster came in from one fault.
+        for page in pages[:4]:
+            assert system.runtime.pager.is_resident(page)
+        assert not system.runtime.pager.is_resident(pages[4])
+
+    def test_invariant_after_pressure(self, small_system):
+        system = self._system(small_system)
+        pages = system.runtime.allocator.alloc_pages(200)
+        for page in pages:
+            system.runtime.access(page, AccessType.WRITE)
+        violations = system.runtime.clusters.check_invariant(
+            system.runtime.pager.is_resident
+        )
+        assert violations == set()
+
+    def test_unclustered_rejected_by_default(self, small_system):
+        system = self._system(small_system)
+        heap = system.runtime.regions["heap"]
+        # Page 400 was never allocated → not clustered.
+        with pytest.raises(PolicyError):
+            system.runtime.access(heap.page(400), AccessType.READ)
+
+    def test_unclustered_demand_mode(self, small_system):
+        system = small_system("clusters", cluster_pages=4,
+                              cluster_unclustered="demand",
+                              enclave_managed_budget=64)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(400), AccessType.READ)
+        assert system.policy.unclustered_faults == 1
+
+    def test_fault_on_resident_is_attack(self, small_system):
+        system = self._system(small_system)
+        pages = system.runtime.allocator.alloc_pages(4)
+        system.runtime.access(pages[0], AccessType.READ)
+        system.kernel.page_table.unmap(pages[1])
+        with pytest.raises(AttackDetected):
+            system.runtime.access(pages[1], AccessType.READ)
+
+    def test_bad_unclustered_mode_rejected(self):
+        from repro.runtime.policies import ClusterPolicy
+        with pytest.raises(PolicyError):
+            ClusterPolicy(manager=None, unclustered="nonsense")
+
+
+class TestRateLimitPolicy:
+    def test_demand_paging_works(self, small_system):
+        system = small_system("rate_limit", max_faults_per_progress=512)
+        heap = system.runtime.regions["heap"]
+        for i in range(100):
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        assert system.policy.legit_faults == 100
+
+    def test_excess_faults_terminate(self, small_system):
+        system = small_system("rate_limit", max_faults_per_progress=4,
+                              grace_faults=8)
+        heap = system.runtime.regions["heap"]
+        with pytest.raises(RateLimitExceeded):
+            for i in range(64):
+                system.runtime.access(heap.page(i), AccessType.WRITE)
+        assert system.enclave.dead
+
+    def test_progress_keeps_it_alive(self, small_system):
+        system = small_system("rate_limit", max_faults_per_progress=4,
+                              grace_faults=8)
+        heap = system.runtime.regions["heap"]
+        for i in range(64):
+            if i % 2 == 0:
+                system.runtime.progress(ProgressKind.IO)
+            system.runtime.access(heap.page(i), AccessType.WRITE)
+        assert not system.enclave.dead
+
+    def test_code_pages_fetch_by_library_cluster(self, small_system):
+        from repro.runtime.loader import LibraryImage
+        system = small_system("rate_limit", max_faults_per_progress=512)
+        lib = system.runtime.loader.load(
+            LibraryImage("libfoo", code_pages=6)
+        )
+        system.runtime.access(lib.code_page(3), AccessType.EXEC)
+        # One fault pulled the whole library.
+        for i in range(6):
+            assert system.runtime.pager.is_resident(lib.code_page(i))
+        assert system.policy.legit_faults == 1
+
+    def test_fault_on_resident_is_attack(self, small_system):
+        system = small_system("rate_limit", max_faults_per_progress=512)
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        system.kernel.page_table.set_accessed_dirty(
+            heap.page(0), accessed=False
+        )
+        with pytest.raises(AttackDetected):
+            system.runtime.access(heap.page(0), AccessType.READ)
+
+
+class TestBaseline:
+    def test_no_policy_no_detection(self, small_system):
+        """Vanilla SGX: unmap/remap goes entirely unnoticed."""
+        system = small_system("baseline")
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        system.kernel.page_table.unmap(heap.page(0))
+        system.runtime.access(heap.page(0), AccessType.READ)
+        assert not system.enclave.dead
+        assert system.runtime.handled_faults == 0

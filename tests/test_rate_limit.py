@@ -1,0 +1,79 @@
+"""Rate limiter tests (§5.2.4 bounded leakage)."""
+
+import pytest
+
+from repro.errors import RateLimitExceeded
+from repro.runtime.rate_limit import ProgressKind, RateLimiter
+
+
+def test_faults_within_budget_pass():
+    limiter = RateLimiter(5)
+    limiter.note_progress()
+    for _ in range(5):
+        limiter.note_fault()
+    assert limiter.total_faults == 5
+    assert not limiter.tripped
+
+
+def test_exceeding_budget_trips():
+    limiter = RateLimiter(3)
+    limiter.note_progress()
+    for _ in range(3):
+        limiter.note_fault()
+    with pytest.raises(RateLimitExceeded):
+        limiter.note_fault()
+    assert limiter.tripped
+
+
+def test_progress_resets_window():
+    limiter = RateLimiter(2)
+    limiter.note_progress()
+    limiter.note_fault()
+    limiter.note_fault()
+    limiter.note_progress()
+    limiter.note_fault()  # fresh window — fine
+    assert limiter.window_faults == 1
+
+
+def test_grace_before_first_progress():
+    """Cold-start warm-up gets a larger budget (tuning out false
+    positives, as §7.2 describes)."""
+    limiter = RateLimiter(2, grace_faults=10)
+    for _ in range(10):
+        limiter.note_fault()
+    with pytest.raises(RateLimitExceeded):
+        limiter.note_fault()
+
+
+def test_default_grace_is_multiple_of_budget():
+    limiter = RateLimiter(5)
+    assert limiter.grace_faults == 20
+
+
+def test_kind_filtering():
+    """A server bounding faults per socket receive ignores allocations."""
+    limiter = RateLimiter(1, kinds=[ProgressKind.IO])
+    limiter.note_progress(ProgressKind.IO)
+    limiter.note_fault()
+    limiter.note_progress(ProgressKind.ALLOCATION)  # filtered out
+    with pytest.raises(RateLimitExceeded):
+        limiter.note_fault()
+
+
+def test_headroom():
+    limiter = RateLimiter(4)
+    limiter.note_progress()
+    limiter.note_fault()
+    assert limiter.headroom() == 3
+
+
+def test_nonpositive_budget_rejected():
+    with pytest.raises(ValueError):
+        RateLimiter(0)
+
+
+def test_progress_counter():
+    limiter = RateLimiter(2)
+    limiter.note_progress(ProgressKind.IO)
+    limiter.note_progress(ProgressKind.SYSCALL)
+    assert limiter.progress_events == 2

@@ -1,0 +1,96 @@
+"""Recursive PathORAM tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import Clock
+from repro.oram.path_oram import PathOram
+from repro.oram.recursive import RecursivePathOram
+
+
+def make(blocks=4_096, **kw):
+    return RecursivePathOram(blocks, Clock(), **kw)
+
+
+class TestGeometry:
+    def test_recursion_depth_grows_with_size(self):
+        small = make(blocks=256, top_map_entries=256)
+        big = make(blocks=1 << 16, top_map_entries=256,
+                   pack_factor=16)
+        assert small.recursion_depth == 0
+        assert big.recursion_depth >= 2
+
+    def test_pinned_state_is_constant(self):
+        for blocks in (1 << 12, 1 << 16, 1 << 20):
+            oram = make(blocks=blocks, top_map_entries=128)
+            assert oram.pinned_entries() == 128
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make(blocks=0)
+        with pytest.raises(ValueError):
+            make(pack_factor=1)
+
+
+class TestFunctional:
+    def test_write_read_roundtrip(self):
+        oram = make(blocks=2_048, top_map_entries=64)
+        oram.access(1_234, data="payload", write=True)
+        assert oram.access(1_234) == "payload"
+
+    def test_out_of_range_rejected(self):
+        oram = make(blocks=64)
+        with pytest.raises(ValueError):
+            oram.access(64)
+
+    def test_stash_bounded_across_levels(self):
+        import random
+        oram = make(blocks=2_048, top_map_entries=64)
+        rng = random.Random(5)
+        for _ in range(400):
+            oram.access(rng.randrange(2_048), data="x", write=True)
+        assert oram.stash_size() < 128
+
+
+class TestCosts:
+    def test_costlier_than_flat_per_access(self):
+        """Each recursion level adds a full path's work."""
+        flat_clock, rec_clock = Clock(), Clock()
+        flat = PathOram(1 << 14, flat_clock)
+        recursive = RecursivePathOram(
+            1 << 14, rec_clock, pack_factor=8, top_map_entries=64,
+        )
+        flat.access(7)
+        recursive.access(7)
+        assert rec_clock.cycles > flat_clock.cycles
+        # But bounded: ≤ ~2 paths per recursion level (first-touch
+        # map blocks cost an extra write-back path) plus the data path.
+        assert rec_clock.cycles < flat_clock.cycles * (
+            2 * recursive.recursion_depth + 2
+        )
+
+    def test_cost_independent_of_address(self):
+        clocks = []
+        for block in (0, 1_000, 4_095):
+            clock = Clock()
+            RecursivePathOram(4_096, clock, top_map_entries=64) \
+                .access(block)
+            clocks.append(clock.cycles)
+        assert len(set(clocks)) == 1
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 511), st.booleans(), st.integers(0, 99)),
+    min_size=1, max_size=60,
+))
+@settings(max_examples=30, deadline=None)
+def test_property_recursive_matches_dict(ops):
+    oram = RecursivePathOram(512, Clock(), pack_factor=8,
+                             top_map_entries=32)
+    shadow = {}
+    for block, write, value in ops:
+        if write:
+            oram.access(block, data=value, write=True)
+            shadow[block] = value
+        else:
+            assert oram.access(block) == shadow.get(block)

@@ -1,0 +1,120 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.core.trace import TraceRecorder
+from repro.errors import PolicyError
+from repro.runtime.rate_limit import ProgressKind
+from repro.workloads.replay import (
+    TraceReplayer,
+    dumps_trace,
+    parse_trace,
+)
+from repro.sgx.params import AccessType
+
+
+class TestParsing:
+    def test_full_roundtrip_format(self):
+        text = """
+        # a comment
+        data 0x1000 w
+        data 0x2000
+        code 0x3000
+        compute 500
+        progress io
+        """
+        ops = parse_trace(text.splitlines())
+        assert ops == [
+            ("data", 0x1000, True),
+            ("data", 0x2000, False),
+            ("code", 0x3000),
+            ("compute", 500),
+            ("progress", ProgressKind.IO),
+        ]
+
+    def test_bad_line_reports_position(self):
+        with pytest.raises(PolicyError, match="line 2"):
+            parse_trace(["data 0x1000", "gibberish here"])
+
+    def test_bad_progress_kind(self):
+        with pytest.raises(PolicyError):
+            parse_trace(["progress sideways"])
+
+    def test_blank_lines_skipped(self):
+        assert parse_trace(["", "   ", "# note"]) == []
+
+
+class TestRecordThenReplay:
+    def test_recorded_trace_replays_identically(self, small_system):
+        # Record against one system...
+        source = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        recorder = TraceRecorder(source.engine(), source.clock)
+        heap = source.runtime.regions["heap"]
+        for i in range(12):
+            recorder.data_access(heap.page(i), write=(i % 2 == 0))
+        text = dumps_trace(recorder.events)
+
+        # ...replay against a fresh one under a different policy.
+        target = small_system("clusters", cluster_pages=4,
+                              cluster_unclustered="demand")
+        replayer = TraceReplayer(target.engine())
+        assert replayer.replay_text(text) == 12
+        for i in range(12):
+            assert target.runtime.pager.is_resident(heap.page(i))
+
+    def test_replay_drives_real_faults(self, small_system):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        text = "\n".join(
+            f"data {heap.page(i):#x} w" for i in range(20)
+        )
+        TraceReplayer(system.engine()).replay_text(text)
+        assert system.kernel.cpu.fault_count == 20
+
+    def test_replay_file(self, small_system, tmp_path):
+        system = small_system("rate_limit",
+                              max_faults_per_progress=100_000)
+        heap = system.runtime.regions["heap"]
+        path = tmp_path / "trace.txt"
+        path.write_text(
+            f"data {heap.page(0):#x} w\ncompute 1000\nprogress io\n"
+        )
+        replayer = TraceReplayer(system.engine())
+        assert replayer.replay_file(str(path)) == 3
+
+    def test_dump_rejects_unknown_kind(self):
+        class Weird:
+            kind = "teleport"
+            vaddr = 0
+            write = False
+
+        with pytest.raises(PolicyError):
+            dumps_trace([Weird()])
+
+
+class TestCrossPolicyComparison:
+    def test_same_trace_cheaper_under_elision(self, small_system):
+        """The replay tool's purpose: one workload, two configs,
+        comparable cycle counts."""
+        from repro.sgx.params import ArchOptimizations
+        heap_probe = small_system("rate_limit")
+        heap = heap_probe.runtime.regions["heap"]
+        text = "\n".join(
+            f"data {heap.page(i):#x} w" for i in range(30)
+        )
+
+        def cycles_for(**kw):
+            system = small_system("rate_limit",
+                                  max_faults_per_progress=100_000,
+                                  **kw)
+            before = system.clock.cycles
+            TraceReplayer(system.engine()).replay_text(text)
+            return system.clock.cycles - before
+
+        plain = cycles_for()
+        elided = cycles_for(arch_opts=ArchOptimizations(
+            elide_aex=True, in_enclave_resume=True,
+        ))
+        assert elided < plain

@@ -1,0 +1,205 @@
+"""End-to-end security invariants (DESIGN.md §5), property-based.
+
+These drive the full stack — CPU, MMU, driver, runtime, policies —
+under randomized workloads and adversarial interleavings, checking the
+guarantees the paper's design rests on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.system import AutarkySystem
+from repro.errors import EnclaveTerminated, SgxError
+from repro.sgx.params import AccessType, PAGE_SIZE
+
+
+def build(policy="rate_limit", **overrides):
+    kwargs = dict(
+        epc_pages=2_048,
+        quota_pages=512,
+        enclave_managed_budget=256,
+        runtime_pages=4, code_pages=8, data_pages=8, heap_pages=512,
+        max_faults_per_progress=100_000,
+        cluster_pages=4,
+    )
+    kwargs.update(overrides)
+    return AutarkySystem(SystemConfig.for_policy(policy, **kwargs))
+
+
+page_indexes = st.lists(st.integers(0, 400), min_size=1, max_size=80)
+
+
+@given(page_indexes)
+@settings(max_examples=25, deadline=None)
+def test_invariant_os_sees_only_masked_faults(indexes):
+    """I2: every fault the OS observes from a self-paging enclave is a
+    non-present read at the enclave base — regardless of access pattern."""
+    system = build()
+    heap = system.runtime.regions["heap"]
+    for i in indexes:
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    for fault in system.kernel.fault_log:
+        assert fault.vaddr == system.enclave.base
+        assert not fault.write and not fault.exec_ and not fault.present
+
+
+@given(page_indexes)
+@settings(max_examples=25, deadline=None)
+def test_invariant_budget_never_exceeded(indexes):
+    """The self-pager's resident set never exceeds its budget."""
+    system = build(enclave_managed_budget=64)
+    heap = system.runtime.regions["heap"]
+    for i in indexes:
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+        assert system.runtime.pager.resident_count() <= 64
+
+
+@given(page_indexes)
+@settings(max_examples=20, deadline=None)
+def test_invariant_cluster_residency(indexes):
+    """I4: after any access sequence under the cluster policy, every
+    non-resident page has a fully-non-resident cluster."""
+    system = build("clusters", enclave_managed_budget=64)
+    pages = system.runtime.allocator.alloc_pages(401)
+    for i in indexes:
+        system.runtime.access(pages[i], AccessType.WRITE)
+    violations = system.runtime.clusters.check_invariant(
+        system.runtime.pager.is_resident
+    )
+    assert violations == set()
+
+
+@given(page_indexes, st.integers(0, 400))
+@settings(max_examples=25, deadline=None)
+def test_invariant_unmap_always_detected(indexes, victim_index):
+    """I1: unmapping any resident enclave-managed page is detected on
+    the next access — never silently survived."""
+    system = build()
+    heap = system.runtime.regions["heap"]
+    for i in indexes:
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    victim = heap.page(indexes[victim_index % len(indexes)])
+    assert system.runtime.pager.is_resident(victim)
+    system.kernel.page_table.unmap(victim)
+    with pytest.raises(EnclaveTerminated):
+        system.runtime.access(victim, AccessType.READ)
+    assert system.enclave.dead
+
+
+@given(page_indexes, st.booleans(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_invariant_ad_clear_always_detected(indexes, clear_a, clear_d):
+    """I3: clearing either A or D on a resident self-paging page trips
+    the fill check and terminates the enclave."""
+    if not (clear_a or clear_d):
+        clear_a = True
+    system = build()
+    heap = system.runtime.regions["heap"]
+    for i in indexes:
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    victim = heap.page(indexes[0])
+    system.kernel.page_table.set_accessed_dirty(
+        victim,
+        accessed=False if clear_a else None,
+        dirty=False if clear_d else None,
+    )
+    with pytest.raises(EnclaveTerminated):
+        system.runtime.access(victim, AccessType.READ)
+
+
+@given(page_indexes)
+@settings(max_examples=15, deadline=None)
+def test_invariant_silent_resume_never_succeeds(indexes):
+    """I1 (hardware half): ERESUME while a fault is pending always
+    raises, for any fault in any access sequence."""
+    from repro.errors import PageFault
+    system = build()
+    heap = system.runtime.regions["heap"]
+    runtime = system.runtime
+    for i in indexes[:-1]:
+        runtime.access(heap.page(i), AccessType.WRITE)
+    # Force a raw AEX and try to resume around the protocol.
+    fault = PageFault(heap.page(indexes[-1]), present=False)
+    system.kernel.cpu.aex(runtime.enclave, runtime.tcs, fault)
+    with pytest.raises(SgxError):
+        system.kernel.cpu.eresume(runtime.enclave, runtime.tcs)
+    # Clean up the intentionally half-delivered fault.
+    runtime.tcs.ssa.pop()
+    runtime.tcs.pending_exception = False
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_invariant_oram_trace_secret_independent(data):
+    """I7: the ORAM server-side trace distribution is independent of
+    the client's (secret) access pattern — identical path counts and
+    identical tree-node universes for any two same-length patterns."""
+    from repro.clock import Clock
+    from repro.oram.path_oram import PathOram
+
+    pattern_a = data.draw(st.lists(st.integers(0, 31), min_size=5,
+                                   max_size=40))
+    pattern_b = data.draw(st.lists(st.integers(0, 31),
+                                   min_size=len(pattern_a),
+                                   max_size=len(pattern_a)))
+
+    def observable(pattern):
+        oram = PathOram(32, Clock(), seed=1234)
+        for block in pattern:
+            oram.access(block, data="x", write=True)
+        return oram.accesses
+
+    # The *number* of protocol rounds (all the server can count) is a
+    # function of pattern length alone.
+    assert observable(pattern_a) == observable(pattern_b)
+
+
+@given(page_indexes)
+@settings(max_examples=20, deadline=None)
+def test_invariant_swap_roundtrip_preserves_epc_accounting(indexes):
+    """I6-adjacent: arbitrary paging activity never leaks EPC frames
+    (allocated == resident backed pages + metadata)."""
+    system = build(enclave_managed_budget=64)
+    heap = system.runtime.regions["heap"]
+    for i in indexes:
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    backed = len(system.enclave.backed)
+    assert system.kernel.epc.used_pages == backed
+
+
+def test_invariant_whole_enclave_swap_contract():
+    """The OS's one legitimate big hammer: suspend evicts pinned pages
+    too, resume restores them, and the enclave keeps running."""
+    system = build()
+    heap = system.runtime.regions["heap"]
+    for i in range(32):
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    system.kernel.driver.suspend_enclave(system.enclave)
+    assert system.kernel.driver.resident_count(system.enclave) == 0
+    system.kernel.driver.resume_enclave(system.enclave)
+    system.runtime.access(heap.page(0), AccessType.READ)
+    assert not system.enclave.dead
+
+
+def test_invariant_backing_store_tamper_detected():
+    """I6: substituting a stale or foreign blob in the backing store is
+    caught at reload time."""
+    from repro.errors import IntegrityError
+    system = build(enclave_managed_budget=24)
+    heap = system.runtime.regions["heap"]
+    # Page 0 gets evicted and re-fetched twice so a stale blob exists.
+    for i in range(40):
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    system.runtime.access(heap.page(0), AccessType.READ)
+    for i in range(40, 80):
+        system.runtime.access(heap.page(i), AccessType.WRITE)
+    stale = system.kernel.backing.stale_copy(
+        system.enclave.enclave_id, heap.page(0)
+    )
+    assert stale is not None
+    system.kernel.backing.substitute(
+        system.enclave.enclave_id, heap.page(0), stale
+    )
+    with pytest.raises(IntegrityError):
+        system.runtime.access(heap.page(0), AccessType.READ)

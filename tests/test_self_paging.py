@@ -1,0 +1,189 @@
+"""SelfPager tests: residency, budgets, unit eviction, regrouping."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.runtime.self_paging import EvictionOrder, SelfPager
+from repro.sgx.params import PAGE_SIZE
+
+
+class FakeOps:
+    """Records batch calls without touching hardware."""
+
+    def __init__(self):
+        self.fetched = []
+        self.evicted = []
+        self.adopted = []
+
+    def fetch_batch(self, vaddrs):
+        self.fetched.append(list(vaddrs))
+        return list(vaddrs)
+
+    def evict_batch(self, vaddrs):
+        self.evicted.append(list(vaddrs))
+
+    def adopt(self, vaddrs):
+        self.adopted.extend(vaddrs)
+
+
+class FakeChannel:
+    def __init__(self, residency=None):
+        self.calls = []
+        self.residency = residency or {}
+
+    def call(self, name, *args):
+        self.calls.append((name, args))
+        if name == "ay_set_enclave_managed":
+            return {
+                base: self.residency.get(base, False)
+                for base in args[1]
+            }
+        return None
+
+
+def make_pager(budget=8, order=EvictionOrder.FIFO, residency=None,
+               min_batch=4):
+    ops = FakeOps()
+    channel = FakeChannel(residency)
+    pager = SelfPager(object(), channel, ops, budget, order=order,
+                      min_evict_batch=min_batch)
+    return pager, ops, channel
+
+
+def pages(*indexes):
+    return [0x100000 + i * PAGE_SIZE for i in indexes]
+
+
+class TestClaiming:
+    def test_claim_adopts_resident_pages(self):
+        resident = {pages(0)[0]: True}
+        pager, ops, _ = make_pager(residency=resident)
+        residency = pager.claim_pages(pages(0, 1))
+        assert residency[pages(0)[0]] is True
+        assert pager.is_resident(pages(0)[0])
+        assert not pager.is_resident(pages(1)[0])
+        assert ops.adopted == pages(0)
+
+    def test_claim_marks_managed(self):
+        pager, _, _ = make_pager()
+        pager.claim_pages(pages(0, 1))
+        assert pager.is_managed(pages(0)[0])
+        assert not pager.is_managed(pages(2)[0])
+
+    def test_release_undoes_claim(self):
+        pager, _, channel = make_pager()
+        pager.claim_pages(pages(0))
+        pager.release_pages(pages(0))
+        assert not pager.is_managed(pages(0)[0])
+        assert channel.calls[-1][0] == "ay_set_os_managed"
+
+
+class TestFetchAndBudget:
+    def test_fetch_unit_updates_residency(self):
+        pager, ops, _ = make_pager()
+        fetched = pager.fetch_unit(pages(0, 1))
+        assert fetched == pages(0, 1)
+        assert pager.resident_count() == 2
+        assert ops.fetched == [pages(0, 1)]
+
+    def test_fetch_skips_resident_pages(self):
+        pager, ops, _ = make_pager()
+        pager.fetch_unit(pages(0, 1))
+        assert pager.fetch_unit(pages(1, 2)) == pages(2)
+
+    def test_budget_respected_via_eviction(self):
+        pager, ops, _ = make_pager(budget=4)
+        for i in range(8):
+            pager.fetch_unit(pages(i))
+        assert pager.resident_count() <= 4
+        assert ops.evicted  # something was evicted
+
+    def test_eviction_batched(self):
+        pager, ops, _ = make_pager(budget=4, min_batch=4)
+        for i in range(12):
+            pager.fetch_unit(pages(i))
+        assert all(len(batch) >= 2 for batch in ops.evicted)
+
+    def test_fifo_order(self):
+        pager, ops, _ = make_pager(budget=4, min_batch=1)
+        for i in range(5):
+            pager.fetch_unit(pages(i))
+        assert pages(0)[0] in ops.evicted[0]
+        assert pager.is_resident(pages(4)[0])
+
+    def test_unit_larger_than_budget_rejected(self):
+        pager, _, _ = make_pager(budget=2)
+        with pytest.raises(PolicyError):
+            pager.fetch_unit(pages(0, 1, 2))
+
+    def test_all_pinned_budget_error(self):
+        pager, _, _ = make_pager(budget=2)
+        pager.fetch_unit(pages(0, 1), pin=True)
+        with pytest.raises(PolicyError):
+            pager.fetch_unit(pages(2))
+
+    def test_pinned_pages_survive_pressure(self):
+        pager, _, _ = make_pager(budget=4)
+        pager.fetch_unit(pages(0), pin=True)
+        for i in range(1, 10):
+            pager.fetch_unit(pages(i))
+        assert pager.is_resident(pages(0)[0])
+
+
+class TestUnits:
+    def test_unit_evicts_together(self):
+        pager, ops, _ = make_pager(budget=4, min_batch=1)
+        pager.fetch_unit(pages(0, 1))        # one unit
+        pager.fetch_unit(pages(2, 3))
+        pager.fetch_unit(pages(4))           # forces eviction
+        assert ops.evicted[0] == pages(0, 1)
+
+    def test_regroup_forms_new_unit(self):
+        pager, ops, _ = make_pager(budget=4, min_batch=1)
+        pager.fetch_unit(pages(0))
+        pager.fetch_unit(pages(1))
+        pager.regroup(pages(0, 1))
+        pager.fetch_unit(pages(2))
+        pager.fetch_unit(pages(3))
+        pager.fetch_unit(pages(4))
+        # Regrouped unit went out as one batch.
+        assert pages(0, 1) in ops.evicted or \
+            any(set(pages(0, 1)) <= set(b) for b in ops.evicted)
+
+    def test_evict_all(self):
+        pager, _, _ = make_pager(budget=8)
+        pager.fetch_unit(pages(0, 1, 2))
+        pager.fetch_unit(pages(3), pin=True)
+        evicted = pager.evict_all()
+        assert evicted == 3
+        assert pager.resident_count() == 1  # the pinned page
+
+
+class TestFrequencyEviction:
+    def test_hot_unit_survives(self):
+        pager, ops, _ = make_pager(
+            budget=4, order=EvictionOrder.FAULT_FREQUENCY, min_batch=1,
+        )
+        hot, cold = pages(0)[0], pages(1)[0]
+        for _ in range(5):
+            pager.note_fault(hot)
+        pager.fetch_unit([hot])
+        pager.fetch_unit([cold])
+        pager.fetch_unit(pages(2))
+        pager.fetch_unit(pages(3))
+        pager.fetch_unit(pages(4))  # needs room
+        assert pager.is_resident(hot)
+        assert not pager.is_resident(cold)
+
+    def test_counts_survive_refetch(self):
+        pager, _, _ = make_pager(
+            budget=2, order=EvictionOrder.FAULT_FREQUENCY, min_batch=1,
+        )
+        hot = pages(0)[0]
+        pager.note_fault(hot)
+        pager.fetch_unit([hot])
+        pager.evict_all()
+        pager.note_fault(hot)
+        pager.fetch_unit([hot])
+        unit = pager._unit_of[hot >> 12]
+        assert unit.fault_count == 2

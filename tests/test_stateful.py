@@ -1,0 +1,136 @@
+"""Stateful property-based testing of the full paging stack.
+
+A hypothesis state machine drives a live system with an interleaving
+of: enclave accesses, attacker page-table tampering, OS balloon
+requests, and whole-enclave suspend/resume — checking global invariants
+after every step:
+
+* the enclave is dead if and only if tampering was observed;
+* the resident budget is never exceeded;
+* EPC frame accounting never leaks;
+* the OS never sees an unmasked fault address;
+* the cluster residency invariant holds continuously.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.system import AutarkySystem
+from repro.errors import EnclaveTerminated, ReproError
+from repro.sgx.params import AccessType
+
+BUDGET = 96
+HEAP_SPAN = 300
+
+
+class PagingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = AutarkySystem(SystemConfig.for_policy(
+            "clusters",
+            cluster_pages=4,
+            cluster_unclustered="demand",
+            epc_pages=2_048,
+            quota_pages=512,
+            enclave_managed_budget=BUDGET,
+            runtime_pages=4, code_pages=8, data_pages=8,
+            heap_pages=HEAP_SPAN + 32,
+        ))
+        self.pages = self.system.runtime.allocator.alloc_pages(HEAP_SPAN)
+        self.tampered = False
+        self.dead = False
+
+    @rule(index=st.integers(0, HEAP_SPAN - 1), write=st.booleans())
+    def access(self, index, write):
+        if self.dead:
+            return
+        access = AccessType.WRITE if write else AccessType.READ
+        try:
+            self.system.runtime.access(self.pages[index], access)
+        except EnclaveTerminated:
+            self.dead = True
+            assert self.tampered, \
+                "enclave died without any attacker tampering"
+
+    @rule(index=st.integers(0, HEAP_SPAN - 1))
+    def attacker_unmaps(self, index):
+        if self.dead:
+            return
+        page = self.pages[index]
+        pte = self.system.kernel.page_table.lookup(page)
+        if pte is not None and pte.present:
+            self.system.kernel.page_table.unmap(page)
+            if self.system.runtime.pager.is_resident(page):
+                self.tampered = True
+
+    @rule(index=st.integers(0, HEAP_SPAN - 1))
+    def attacker_clears_ad(self, index):
+        if self.dead:
+            return
+        page = self.pages[index]
+        pte = self.system.kernel.page_table.lookup(page)
+        if pte is not None and pte.present and pte.accessed:
+            self.system.kernel.page_table.set_accessed_dirty(
+                page, accessed=False
+            )
+            if self.system.runtime.pager.is_resident(page):
+                self.tampered = True
+
+    @rule(pages=st.integers(1, 64))
+    def os_balloons(self, pages):
+        if self.dead:
+            return
+        self.system.kernel.request_memory_reduction(
+            self.system.enclave, pages
+        )
+
+    @precondition(lambda self: not self.dead and not self.tampered)
+    @rule()
+    def os_suspends_and_resumes(self):
+        self.system.kernel.driver.suspend_enclave(self.system.enclave)
+        self.system.kernel.driver.resume_enclave(self.system.enclave)
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def budget_respected(self):
+        assert self.system.runtime.pager.resident_count() <= BUDGET
+
+    @invariant()
+    def epc_accounting_clean(self):
+        assert self.system.kernel.epc.used_pages == \
+            len(self.system.enclave.backed)
+
+    @invariant()
+    def fault_log_masked(self):
+        base = self.system.enclave.base
+        assert all(
+            f.vaddr == base for f in self.system.kernel.fault_log
+        )
+
+    @invariant()
+    def cluster_invariant_holds(self):
+        violations = self.system.runtime.clusters.check_invariant(
+            self.system.runtime.pager.is_resident
+        )
+        assert violations == set()
+
+    @invariant()
+    def death_implies_tampering(self):
+        if self.system.enclave.dead:
+            assert self.tampered
+
+
+PagingMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None,
+)
+TestPagingMachine = PagingMachine.TestCase

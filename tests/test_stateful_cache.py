@@ -1,0 +1,62 @@
+"""Stateful property testing of the cached ORAM against a dict model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.clock import Clock
+from repro.oram.cached import CachedOram
+from repro.oram.path_oram import PathOram
+from repro.sgx.params import PAGE_SIZE
+
+REGION = 0xA000_0000
+PAGES = 48
+CAPACITY = 6
+
+
+class CachedOramMachine(RuleBasedStateMachine):
+    """Random reads/writes/flushes: the cache must behave exactly like
+    a dict while never exceeding capacity."""
+
+    def __init__(self):
+        super().__init__()
+        clock = Clock()
+        self.cache = CachedOram(
+            PathOram(PAGES, clock, seed=17), CAPACITY, clock,
+            region_start=REGION,
+        )
+        self.shadow = {}
+
+    @rule(index=st.integers(0, PAGES - 1), value=st.integers(0, 999))
+    def write(self, index, value):
+        vaddr = REGION + index * PAGE_SIZE
+        self.cache.access(vaddr, data=value, write=True)
+        self.shadow[vaddr] = value
+
+    @rule(index=st.integers(0, PAGES - 1))
+    def read(self, index):
+        vaddr = REGION + index * PAGE_SIZE
+        assert self.cache.access(vaddr) == self.shadow.get(vaddr)
+
+    @rule()
+    def flush(self):
+        self.cache.flush()
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.cached_pages() <= CAPACITY
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.cache.hits + self.cache.misses >= \
+            self.cache.cached_pages()
+
+
+CachedOramMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None,
+)
+TestCachedOramMachine = CachedOramMachine.TestCase

@@ -1,0 +1,147 @@
+"""Multi-threaded enclave tests (multiple TCS)."""
+
+import pytest
+
+from repro.core.threads import ThreadScheduler, access_op, compute_op
+from repro.errors import EnclaveTerminated, SgxError
+from repro.sgx.params import AccessType
+
+
+@pytest.fixture
+def sched(small_system):
+    system = small_system("rate_limit", max_faults_per_progress=100_000)
+    return system, ThreadScheduler(system.runtime)
+
+
+class TestScheduling:
+    def test_two_threads_interleave_and_complete(self, sched):
+        system, scheduler = sched
+        heap = system.runtime.regions["heap"]
+        t1 = scheduler.spawn("t1").push(
+            *[access_op(heap.page(i), write=True) for i in range(10)]
+        )
+        t2 = scheduler.spawn("t2").push(
+            *[access_op(heap.page(100 + i), write=True)
+              for i in range(6)]
+        )
+        done = scheduler.run()
+        assert done == {"t1": 10, "t2": 6}
+        assert t1.tcs is not t2.tcs
+
+    def test_threads_share_the_resident_set(self, sched):
+        system, scheduler = sched
+        heap = system.runtime.regions["heap"]
+        scheduler.spawn("writer").push(
+            access_op(heap.page(0), write=True)
+        )
+        scheduler.spawn("reader").push(access_op(heap.page(0)))
+        scheduler.run()
+        # Second thread's access hit the page the first faulted in:
+        # only one fault total.
+        assert system.kernel.cpu.fault_count == 1
+
+    def test_faults_tracked_per_tcs(self, sched):
+        system, scheduler = sched
+        heap = system.runtime.regions["heap"]
+        t1 = scheduler.spawn("t1").push(
+            access_op(heap.page(1), write=True)
+        )
+        t2 = scheduler.spawn("t2").push(
+            access_op(heap.page(2), write=True)
+        )
+        scheduler.run()
+        # Both SSA stacks drained cleanly back to empty.
+        assert t1.tcs.ssa.depth == 0
+        assert t2.tcs.ssa.depth == 0
+        assert not t1.tcs.pending_exception
+        assert not t2.tcs.pending_exception
+
+    def test_compute_ops(self, sched):
+        system, scheduler = sched
+        before = system.clock.cycles
+        scheduler.spawn("t").push(compute_op(5_000), compute_op(5_000))
+        scheduler.run()
+        assert system.clock.cycles - before == 10_000
+
+    def test_bad_quantum_rejected(self, small_system):
+        system = small_system("rate_limit")
+        with pytest.raises(ValueError):
+            ThreadScheduler(system.runtime, quantum=0)
+
+    def test_unknown_op_rejected(self, sched):
+        _system, scheduler = sched
+        scheduler.spawn("t").push(("teleport",))
+        with pytest.raises(SgxError):
+            scheduler.run()
+
+    def test_adopt_main_uses_launch_tcs(self, sched):
+        system, scheduler = sched
+        main = scheduler.adopt_main()
+        assert main.tcs is system.runtime.tcs
+
+
+class TestPerThreadSecurity:
+    def test_attack_on_one_thread_kills_all(self, sched):
+        system, scheduler = sched
+        heap = system.runtime.regions["heap"]
+        system.runtime.access(heap.page(0), AccessType.WRITE)
+        scheduler.spawn("victim").push(access_op(heap.page(0)))
+        scheduler.spawn("bystander").push(
+            *[access_op(heap.page(50 + i)) for i in range(20)]
+        )
+        system.kernel.page_table.unmap(heap.page(0))
+        with pytest.raises(EnclaveTerminated):
+            scheduler.run()
+        assert system.enclave.dead
+
+    def test_pending_flag_is_per_thread(self, kernel, launched):
+        """An undelivered fault on one TCS blocks only that TCS's
+        resume; another thread keeps running."""
+        from repro.errors import PageFault
+        from repro.sgx.tcs import Tcs
+        heap = launched.regions["heap"]
+        other = Tcs()
+        launched.enclave.add_tcs(other)
+
+        kernel.cpu.aex(launched.enclave, launched.tcs,
+                       PageFault(heap.page(0), present=False))
+        assert launched.tcs.pending_exception
+        with pytest.raises(SgxError):
+            kernel.cpu.eresume(launched.enclave, launched.tcs)
+        # The other thread is unaffected.
+        kernel.cpu.access(launched.enclave, other, heap.page(1),
+                          AccessType.WRITE)
+        # Clean up the half-delivered fault.
+        launched.tcs.ssa.pop()
+        launched.tcs.pending_exception = False
+
+    def test_sgx2_freeze_faults_concurrent_writer(self):
+        """§6's thread-safety mechanism: mid-eviction (EMODPR'd RO), a
+        write from another thread faults instead of racing."""
+        from repro.host.kernel import HostKernel
+        from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
+        from repro.runtime.policies import RateLimitPolicy
+        from repro.runtime.rate_limit import RateLimiter
+        from repro.sgx.epcm import Permissions
+        from repro.sgx.params import SgxVersion
+        from repro.errors import EnclaveTerminated
+
+        kernel = HostKernel(epc_pages=2_048)
+        runtime = GrapheneRuntime.launch(
+            kernel, RateLimitPolicy(RateLimiter(100_000)),
+            layout=EnclaveLayout(runtime_pages=4, code_pages=8,
+                                 data_pages=8, heap_pages=128),
+            quota_pages=512, enclave_managed_budget=256,
+            sgx_version=SgxVersion.SGX2,
+        )
+        heap = runtime.regions["heap"]
+        page = heap.page(0)
+        runtime.access(page, AccessType.WRITE)
+        # Freeze the page exactly as the SGX2 evict path does.
+        kernel.driver.sgx2_modpr_batch(runtime.enclave, [page],
+                                       Permissions.R)
+        # A concurrent writer faults (EPCM denies the write) — the
+        # handler sees a fault on a resident page and treats it as
+        # tampering, which is the safe failure mode.
+        with pytest.raises(EnclaveTerminated):
+            runtime.access(page, AccessType.WRITE)

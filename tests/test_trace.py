@@ -1,0 +1,95 @@
+"""Trace-instrumentation tests: ground truth vs the adversary's view."""
+
+import pytest
+
+from repro.core.trace import (
+    TraceRecorder,
+    adversary_view,
+    first_divergence,
+)
+from repro.sgx.params import PAGE_SIZE, AccessType
+
+
+@pytest.fixture
+def recorded(small_system):
+    system = small_system("rate_limit", max_faults_per_progress=100_000)
+    recorder = TraceRecorder(system.engine(), system.clock)
+    return system, recorder
+
+
+class TestRecorder:
+    def test_records_data_and_code(self, recorded):
+        system, recorder = recorded
+        heap = system.runtime.regions["heap"]
+        code = system.runtime.regions["code"]
+        recorder.data_access(heap.page(0), write=True)
+        recorder.code_access(code.page(0))
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == ["data", "code"]
+        assert recorder.events[0].write
+
+    def test_timestamps_monotone(self, recorded):
+        system, recorder = recorded
+        heap = system.runtime.regions["heap"]
+        for i in range(5):
+            recorder.data_access(heap.page(i))
+        stamps = [e.cycles for e in recorder.events]
+        assert stamps == sorted(stamps)
+
+    def test_page_trace_page_granular(self, recorded):
+        system, recorder = recorded
+        heap = system.runtime.regions["heap"]
+        recorder.data_access(heap.page(0) + 123)
+        recorder.data_access(heap.page(0) + 999)
+        assert recorder.page_trace() == [heap.page(0), heap.page(0)]
+        assert recorder.distinct_pages() == {heap.page(0)}
+
+    def test_working_set_curve(self, recorded):
+        system, recorder = recorded
+        heap = system.runtime.regions["heap"]
+        for i in range(8):
+            recorder.data_access(heap.page(i))
+            recorder.compute(1_000_000)
+        curve = recorder.working_set_curve(bucket_cycles=2_000_000)
+        assert sum(count for _i, count in curve) >= 8
+
+    def test_bad_bucket_rejected(self, recorded):
+        _system, recorder = recorded
+        with pytest.raises(ValueError):
+            recorder.working_set_curve(0)
+
+
+class TestAdversaryView:
+    def test_self_paging_leaks_nothing(self, recorded):
+        system, recorder = recorded
+        heap = system.runtime.regions["heap"]
+        for i in range(32):
+            recorder.data_access(heap.page(i), write=True)
+        view = adversary_view(recorder, system.kernel)
+        assert view.leaked_fraction == 0.0
+        assert not view.distinct_leaked
+        assert len(view.observed_pages) == 32  # masked faults only
+
+    def test_legacy_leaks_every_cold_page(self, small_system):
+        system = small_system("baseline")
+        recorder = TraceRecorder(system.engine(), system.clock)
+        heap = system.runtime.regions["heap"]
+        for i in range(32):
+            recorder.data_access(heap.page(i), write=True)
+        view = adversary_view(recorder, system.kernel)
+        assert view.leaked_fraction == 1.0
+        assert view.leaked_events == 32
+
+
+class TestDivergence:
+    def test_identical_traces(self):
+        assert first_divergence([1, 2, 3], [1, 2, 3]) is None
+
+    def test_value_divergence(self):
+        assert first_divergence([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_length_divergence(self):
+        assert first_divergence([1, 2], [1, 2, 3]) == 2
+
+    def test_empty(self):
+        assert first_divergence([], []) is None

@@ -1,0 +1,79 @@
+"""Config-validation tests: every misconfiguration caught up front."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import AutarkySystem
+from repro.core.validation import ConfigError, check, validate
+
+
+def ok_config(**kw):
+    base = dict(
+        epc_pages=2_048, quota_pages=1_024,
+        enclave_managed_budget=512,
+        runtime_pages=4, code_pages=8, data_pages=8, heap_pages=256,
+    )
+    base.update(kw)
+    return SystemConfig.for_policy(base.pop("name", "rate_limit"),
+                                   **base)
+
+
+class TestValidate:
+    def test_valid_config_has_no_problems(self):
+        assert validate(ok_config()) == []
+
+    def test_quota_above_epc(self):
+        problems = validate(ok_config(quota_pages=4_096))
+        assert any("exceeds" in p and "epc_pages" in p
+                   for p in problems)
+
+    def test_budget_above_quota(self):
+        problems = validate(ok_config(enclave_managed_budget=2_000))
+        assert any("deadlock" in p for p in problems)
+
+    def test_budget_below_runtime_plus_batch(self):
+        problems = validate(ok_config(enclave_managed_budget=10))
+        assert any("eviction" in p for p in problems)
+
+    def test_tiny_epc(self):
+        problems = validate(ok_config(epc_pages=8, quota_pages=8,
+                                      enclave_managed_budget=8))
+        assert any("epc_pages" in p for p in problems)
+
+    def test_cluster_bigger_than_budget(self):
+        problems = validate(
+            ok_config(name="clusters", cluster_pages=10_000)
+        )
+        assert any("cluster_pages" in p for p in problems)
+
+    def test_bad_rate_limit(self):
+        problems = validate(
+            ok_config(name="rate_limit", max_faults_per_progress=0)
+        )
+        assert any("max_faults_per_progress" in p for p in problems)
+
+    def test_oram_cache_above_budget(self):
+        problems = validate(ok_config(
+            name="oram", oram_tree_pages=256, oram_cache_pages=5_000,
+        ))
+        assert any("oram_cache_pages" in p for p in problems)
+
+    def test_multiple_problems_reported_together(self):
+        cfg = ok_config(quota_pages=4_096,
+                        enclave_managed_budget=8_000)
+        with pytest.raises(ConfigError) as info:
+            check(cfg)
+        assert len(info.value.problems) >= 2
+
+    def test_defaults_are_valid(self):
+        assert validate(SystemConfig()) == []
+
+
+class TestSystemIntegration:
+    def test_system_rejects_bad_config_early(self):
+        with pytest.raises(ConfigError):
+            AutarkySystem(ok_config(enclave_managed_budget=2_000))
+
+    def test_error_message_contains_fix(self):
+        with pytest.raises(ConfigError, match="raise quota_pages"):
+            AutarkySystem(ok_config(enclave_managed_budget=2_000))
