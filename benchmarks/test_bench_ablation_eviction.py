@@ -2,7 +2,6 @@
 alternative §5.1.4 sketches, on a tight-budget Memcached."""
 
 from repro.experiments import ablation_eviction
-from repro.runtime.self_paging import EvictionOrder
 
 from conftest import run_once
 

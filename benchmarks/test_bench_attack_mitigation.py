@@ -1,7 +1,6 @@
 """E7 — published attacks recover secrets on vanilla SGX; Autarky
 blocks all of them (§2.2, §7.3)."""
 
-import pytest
 
 from repro.experiments import attack_mitigation
 

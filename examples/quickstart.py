@@ -17,7 +17,7 @@ Run:  python examples/quickstart.py
 from repro.core import AutarkySystem, SystemConfig
 from repro.errors import AttackDetected, SgxError
 from repro.runtime.rate_limit import ProgressKind
-from repro.sgx.params import PAGE_SIZE, AccessType
+from repro.sgx.params import AccessType
 
 
 def main():

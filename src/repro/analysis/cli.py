@@ -1,0 +1,65 @@
+"""The ``python -m repro analyze`` subcommand.
+
+Exit status is the gate: 0 when the tree is clean (all remaining
+violations carry ``# repro: allow[RULE]`` annotations), 1 when any
+unsuppressed finding exists.  ``--strict`` additionally reports stale
+annotations that no longer suppress anything, so the allow inventory
+cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.walker import analyze_paths, analyze_tree
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Statically check the Autarky reproduction's trust-boundary, "
+            "mutation-discipline, determinism, and cycle-accounting "
+            "invariants (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the installed "
+             "repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale # repro: allow[...] annotations",
+    )
+    return parser
+
+
+def run(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.paths:
+        # A typo'd path must not pass the gate vacuously.
+        missing = [p for p in args.paths if not Path(p).exists()]
+        if missing:
+            for p in missing:
+                print(f"repro analyze: no such path: {p}",
+                      file=sys.stderr)
+            return 2
+        report = analyze_paths(args.paths, strict=args.strict)
+    else:
+        report = analyze_tree(strict=args.strict)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok() else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,169 @@
+"""Policy configuration for the static-analysis passes.
+
+Everything the passes treat as special — which modules sit on which
+side of the trust boundary, which attribute names are enclave-private,
+which modules are the sanctioned ISA mutators, which paths are exempt
+from determinism — is declared here rather than hard-coded in the
+passes, so the policy is reviewable in one place and synthetic tests
+can build tighter or looser configs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+def _default(value):
+    return field(default_factory=lambda: value)
+
+
+@dataclass
+class AnalysisConfig:
+    """Tunable policy for all four pass families."""
+
+    # -- trust boundary (§5.1.2 / §5.1.3) --------------------------------
+    #: Module prefixes that run on the untrusted side of the boundary.
+    untrusted_prefixes: tuple = ("repro.host.", "repro.attacks.")
+    #: The sanctioned driver/IOCTL surface: the one untrusted module
+    #: allowed to touch enclave bookkeeping, because it *implements*
+    #: the two-level page-management contract (§5.2.1).
+    trust_sanctioned: frozenset = _default(frozenset({
+        "repro.host.driver",
+    }))
+    #: Modules holding enclave-private state; untrusted code may not
+    #: import them at all (the SSA is readable only from inside, §2.1).
+    enclave_private_modules: frozenset = _default(frozenset({
+        "repro.sgx.ssa",
+    }))
+    #: Attribute names that denote enclave-private state when read
+    #: through another object (``tcs.ssa``, ``enclave.backed``, …).
+    #: A direct ``self.<name>`` on the module's own object is fine.
+    enclave_private_attrs: frozenset = _default(frozenset({
+        "ssa",                  # SSA stack: true fault addresses (§5.1.2)
+        "exitinfo",             # EXITINFO: unmasked vaddr + access type
+        "saved_context",        # saved register context in the SSA frame
+        "backed",               # hardware-side residency map (EPCM view)
+        "runtime",              # the enclave's trusted software object
+        "measurement",          # MRENCLAVE log (attestation-private)
+        "_balloon_request",     # in-enclave balloon mailbox
+        "_balloon_response",
+    }))
+
+    # -- mutation discipline (§2.1, §5.1.4) ------------------------------
+    #: Modules allowed to mutate EPC/EPCM/TLB state: the ISA model
+    #: itself.  ``cpu`` flushes the TLB on mode transitions the way the
+    #: silicon does, and ``pagetable`` delivers the OS-initiated IPI
+    #: shootdowns that the SGX eviction flows require — both are
+    #: architectural actions, not software reaching around the ISA.
+    mutation_sanctioned: frozenset = _default(frozenset({
+        "repro.sgx.instructions",
+        "repro.sgx.mmu",
+        "repro.sgx.cpu",
+        "repro.sgx.pagetable",
+        # The state-owning modules may of course mutate themselves.
+        "repro.sgx.epc",
+        "repro.sgx.epcm",
+        "repro.sgx.tlb",
+    }))
+    #: Component-name → methods that mutate it.  A call such as
+    #: ``anything.epc.resize(...)`` outside the sanctioned modules is a
+    #: violation; reads (``epc.free_pages``, ``epcm.entry(p)``) are not.
+    mutating_methods: dict = _default({
+        "epc": frozenset({"alloc", "free", "resize"}),
+        "epcm": frozenset(),      # mutations happen via entry-attr stores
+        "tlb": frozenset({"install", "flush", "flush_page"}),
+    })
+    #: Components whose attribute stores count as mutations
+    #: (``x.epcm.entry(p).pending = True``; ``kernel.instr.tlb = ...``).
+    mutable_components: frozenset = _default(frozenset({
+        "epc", "epcm", "tlb",
+    }))
+
+    # -- determinism ------------------------------------------------------
+    #: Modules exempt from the determinism pass.  Only the CLI's
+    #: progress display may read the wall clock: its output is chatter,
+    #: never part of a simulated result.
+    determinism_exempt: frozenset = _default(frozenset({
+        "repro.cli",
+    }))
+    #: Wall-clock functions of the ``time`` module.
+    wallclock_time_attrs: frozenset = _default(frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    }))
+    #: ``datetime``/``date`` constructors that read the wall clock.
+    wallclock_datetime_attrs: frozenset = _default(frozenset({
+        "now", "utcnow", "today",
+    }))
+    #: Module-level ``random.*`` calls (global, unseeded RNG).
+    global_random_attrs: frozenset = _default(frozenset({
+        "random", "randint", "randrange", "randbytes", "choice",
+        "choices", "shuffle", "sample", "uniform", "triangular",
+        "gauss", "normalvariate", "expovariate", "betavariate",
+        "gammavariate", "lognormvariate", "paretovariate",
+        "weibullvariate", "vonmisesvariate", "getrandbits", "seed",
+    }))
+    #: Entropy sources that can never be reproduced from a seed.
+    entropy_calls: frozenset = _default(frozenset({
+        "os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbelow", "secrets.choice", "secrets.randbits",
+    }))
+
+    # -- cycle accounting (Figures 5–8) ----------------------------------
+    #: Modules whose fault/paging entry points must charge the clock.
+    accounting_modules: frozenset = _default(frozenset({
+        "repro.host.driver",
+        "repro.sgx.instructions",
+        "repro.sgx.cpu",
+        "repro.sgx.mmu",
+        "repro.runtime.self_paging",
+        "repro.runtime.paging_ops",
+        "repro.runtime.libos",
+    }))
+    #: A function in an accounting module whose name matches this is a
+    #: modeled fault/paging path and must (transitively) charge.
+    accounting_name_re: str = (
+        r"(^|_)(fetch|evict|page_in|page_out|swap|fault|paging"
+        r"|ewb|eldu|eaug|eaccept|emod|eremove|eblock|etrack"
+        r"|augment|trim|remove_batch|aex|eenter|eexit|eresume"
+        r"|resume|suspend|interrupt|make_room|os_resolve"
+        r"|claim|release)"
+    )
+    #: Reviewed exemptions: these match the verb pattern but are pure
+    #: data transformations or bookkeeping inside an already-charged
+    #: path, not modeled hardware/OS actions of their own.
+    accounting_exempt_names: frozenset = _default(frozenset({
+        "masked_fault",      # rewrites fault info; no architectural cost
+        "_fault_access",     # error-code decoding helper
+        "raise_pf",          # test convenience constructor
+        "note_fault",        # statistics update inside the handler
+        "make_paging_ops",   # constructor dispatch, not a modeled path
+    }))
+    #: A call through one of these receiver names is assumed to charge
+    #: (the component's own methods charge the clock themselves).
+    charging_receivers: frozenset = _default(frozenset({
+        "clock", "instr", "instructions", "mmu", "cpu", "driver",
+        "kernel", "ops", "channel", "runtime", "pager",
+    }))
+
+    #: Rule families with dedicated pass implementations (used by the
+    #: CLI for validation and by the docs test for coverage).
+    rule_families: tuple = (
+        "trust-boundary",
+        "mutation-discipline",
+        "determinism",
+        "cycle-accounting",
+    )
+
+    def accounting_pattern(self):
+        return re.compile(self.accounting_name_re)
+
+    def is_untrusted(self, module):
+        if module in self.trust_sanctioned:
+            return False
+        return module.startswith(self.untrusted_prefixes)
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,75 @@
+"""Structured findings and their rendering.
+
+A :class:`Finding` pins one rule violation to a file and line, with a
+fix hint so the annotation/refactor decision is quick.  Rendering lives
+here too (text for humans and CI logs, JSON for tooling) so every
+consumer — CLI, pytest gate, CI — prints findings identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str            # file path as scanned (relative when possible)
+    line: int            # 1-based line of the offending node
+    rule: str            # e.g. "trust-boundary/attr"
+    message: str         # what is wrong, concretely
+    hint: str = ""       # how to fix or annotate it
+    module: str = ""     # dotted module name ("repro.host.kernel")
+
+    @property
+    def family(self):
+        """The rule family ("trust-boundary" for "trust-boundary/attr")."""
+        return self.rule.split("/", 1)[0]
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self):
+        return asdict(self)
+
+    def render(self):
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Report:
+    """The outcome of one analyzer run over a set of modules."""
+
+    findings: list = field(default_factory=list)
+    suppressed: int = 0
+    checked_files: int = 0
+
+    def ok(self):
+        return not self.findings
+
+    def sorted_findings(self):
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def render_text(self):
+        lines = [f.render() for f in self.sorted_findings()]
+        lines.append(
+            f"{len(self.findings)} finding(s), "
+            f"{self.suppressed} suppressed, "
+            f"{self.checked_files} file(s) checked"
+        )
+        return "\n".join(lines)
+
+    def render_json(self):
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.sorted_findings()],
+                "suppressed": self.suppressed,
+                "checked_files": self.checked_files,
+            },
+            indent=2,
+        )

@@ -1,0 +1,31 @@
+"""The pass registry.
+
+Each pass family lives in its own module and exposes one class with:
+
+* ``family``  — the rule-family id (findings use ``family/subrule``);
+* ``applies(module)`` — whether the pass runs on a dotted module name;
+* ``run(mod)`` — yield :class:`~repro.analysis.findings.Finding`
+  objects for one :class:`~repro.analysis.walker.ModuleSource`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.passes.accounting import CycleAccountingPass
+from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.mutation import MutationDisciplinePass
+from repro.analysis.passes.trust_boundary import TrustBoundaryPass
+
+PASS_CLASSES = (
+    TrustBoundaryPass,
+    MutationDisciplinePass,
+    DeterminismPass,
+    CycleAccountingPass,
+)
+
+
+def build_passes(config):
+    return [cls(config) for cls in PASS_CLASSES]
+
+
+def rule_families():
+    return tuple(cls.family for cls in PASS_CLASSES)

@@ -1,0 +1,158 @@
+"""Cycle-accounting pass: modeled paging paths must charge the clock.
+
+Figures 5–8 are rebuilt from per-category cycle totals, so a fault or
+paging path that returns without charging silently deflates a bar in
+every downstream experiment.  For each function in the configured
+accounting modules whose name matches the paging-verb pattern, this
+pass requires that a ``*.charge(...)`` call is reachable:
+
+* directly in the body;
+* through same-module calls (``self.make_room`` → ``self.evict_page``
+  → ``clock.charge``), resolved as a fixpoint over the module's local
+  call graph;
+* or through a call on a *charging receiver* (``self.instr.ewb(...)``)
+  — a component whose own methods are known to charge.
+
+Abstract methods (bodies of only ``pass``/``raise``/docstring),
+properties, and the reviewed exemption list in the config are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.walker import attr_chain
+
+RULE_UNCHARGED = "cycle-accounting/uncharged"
+
+
+def _is_abstract(body):
+    """A body that only raises/passes (plus a docstring) models an
+    interface, not a path."""
+    statements = list(body)
+    if statements and isinstance(statements[0], ast.Expr) and \
+            isinstance(statements[0].value, ast.Constant):
+        statements = statements[1:]
+    if not statements:
+        return True
+    return all(
+        isinstance(stmt, (ast.Raise, ast.Pass)) or
+        (isinstance(stmt, ast.Expr) and
+         isinstance(stmt.value, ast.Constant))
+        for stmt in statements
+    )
+
+
+def _decorator_names(node):
+    names = set()
+    for decorator in node.decorator_list:
+        chain = attr_chain(decorator)
+        names.update(chain)
+    return names
+
+
+class _FunctionInfo:
+    def __init__(self, name, node):
+        self.name = name
+        self.node = node
+        self.charges = False       # charge reachable (fixpoint state)
+        self.local_calls = set()   # names of same-module callees
+
+
+class CycleAccountingPass:
+    family = "cycle-accounting"
+    rules = (RULE_UNCHARGED,)
+
+    def __init__(self, config):
+        self.config = config
+        self.pattern = config.accounting_pattern()
+
+    def applies(self, module):
+        return module in self.config.accounting_modules
+
+    def run(self, mod):
+        functions = self._collect_functions(mod.tree)
+        self._propagate(functions)
+        for info in functions.values():
+            if not self._in_scope(info):
+                continue
+            if not info.charges:
+                yield Finding(
+                    path=mod.path,
+                    line=info.node.lineno,
+                    rule=RULE_UNCHARGED,
+                    message=(
+                        f"modeled paging path {info.name}() returns "
+                        f"without charging the clock"
+                    ),
+                    hint=(
+                        "charge the simulated cost (clock.charge(...)) "
+                        "or delegate to a charging component; annotate "
+                        "costs folded into another figure with "
+                        "# repro: allow[cycle-accounting]"
+                    ),
+                    module=mod.module,
+                )
+
+    def _in_scope(self, info):
+        name = info.name
+        if name.startswith("__") or name in \
+                self.config.accounting_exempt_names:
+            return False
+        if "property" in _decorator_names(info.node) or \
+                "staticmethod" in _decorator_names(info.node):
+            return False
+        if _is_abstract(info.node.body):
+            return False
+        return bool(self.pattern.search(name))
+
+    def _collect_functions(self, tree):
+        functions = {}
+
+        def visit(node):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = _FunctionInfo(child.name, child)
+                    self._scan_body(child, info)
+                    # Last definition wins on name collisions across
+                    # classes — acceptable for a per-module heuristic.
+                    functions[child.name] = info
+                visit(child)
+
+        visit(tree)
+        return functions
+
+    def _scan_body(self, func_node, info):
+        receivers = self.config.charging_receivers
+        for node in ast.walk(func_node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if not chain:
+                continue
+            if chain[-1] == "charge":
+                info.charges = True
+            elif len(chain) >= 2 and chain[-2] in receivers:
+                # e.g. self.instr.ewb(...) — the component charges.
+                info.charges = True
+            elif len(chain) == 2 and chain[0] in ("self", "cls"):
+                info.local_calls.add(chain[1])
+            elif len(chain) == 1:
+                info.local_calls.add(chain[0])
+
+    @staticmethod
+    def _propagate(functions):
+        changed = True
+        while changed:
+            changed = False
+            for info in functions.values():
+                if info.charges:
+                    continue
+                for callee in info.local_calls:
+                    target = functions.get(callee)
+                    if target is not None and target.charges:
+                        info.charges = True
+                        changed = True
+                        break

@@ -1,0 +1,147 @@
+"""Determinism pass: simulated results must be bit-reproducible.
+
+The whole point of driving benchmarks off a simulated
+:class:`~repro.clock.Clock` is that every figure reproduces exactly —
+the same property the controlled channel itself exploits.  Wall-clock
+reads, the process-global ``random`` module, OS entropy, and
+``PYTHONHASHSEED``-dependent ``hash()`` all break that, often silently
+(a golden file that only fails on the next interpreter invocation).
+
+Flagged:
+
+* ``time.time()`` / ``perf_counter()`` / ``monotonic()`` / … and
+  ``datetime.now()``-style constructors (rule ``determinism/time``);
+* module-level ``random.*`` calls, unseeded ``random.Random()``, and
+  entropy sources (``os.urandom``, ``uuid.uuid4``, ``secrets.*``,
+  ``random.SystemRandom``) (rule ``determinism/random``);
+* the builtin ``hash()`` (rule ``determinism/hash``) — salted per
+  process for strings; use :mod:`hashlib` for stable digests.
+
+The CLI's progress display is exempt by configuration; seeded
+``random.Random(seed)`` instances are the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.walker import attr_chain
+
+RULE_TIME = "determinism/time"
+RULE_RANDOM = "determinism/random"
+RULE_HASH = "determinism/hash"
+
+#: Modules whose members we track through ``from X import Y``.
+_TRACKED_FROM = ("time", "random", "datetime", "os", "uuid", "secrets")
+
+
+class DeterminismPass:
+    family = "determinism"
+    rules = (RULE_TIME, RULE_RANDOM, RULE_HASH)
+
+    def __init__(self, config):
+        self.config = config
+
+    def applies(self, module):
+        return module not in self.config.determinism_exempt
+
+    def run(self, mod):
+        aliases = self._collect_aliases(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(mod, node, aliases)
+
+    @staticmethod
+    def _collect_aliases(tree):
+        """Map local names to canonical dotted origins.
+
+        ``import random as rnd`` → ``{"rnd": "random"}``;
+        ``from time import perf_counter`` →
+        ``{"perf_counter": "time.perf_counter"}``.
+        """
+        aliases = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module in _TRACKED_FROM:
+                    for alias in node.names:
+                        aliases[alias.asname or alias.name] = \
+                            f"{node.module}.{alias.name}"
+        return aliases
+
+    def _canonical(self, chain, aliases):
+        """Resolve a call chain to its dotted origin, or None."""
+        if not chain:
+            return None
+        root = aliases.get(chain[0])
+        if root is None:
+            return None
+        return ".".join([root] + chain[1:])
+
+    def _check_call(self, mod, node, aliases):
+        chain = attr_chain(node.func)
+        name = self._canonical(chain, aliases)
+
+        # hash() needs no import: it is always the salted builtin
+        # unless shadowed, which the alias table would show.
+        if chain == ["hash"] and "hash" not in aliases:
+            yield self._finding(
+                mod, node, RULE_HASH,
+                "builtin hash() is PYTHONHASHSEED-dependent",
+                "use hashlib (e.g. sha256 of a canonical encoding) for "
+                "digests that must be stable across runs",
+            )
+            return
+        if name is None:
+            return
+
+        if name.startswith("time.") and \
+                name.split(".", 1)[1] in self.config.wallclock_time_attrs:
+            yield self._finding(
+                mod, node, RULE_TIME,
+                f"wall-clock read {name}() in cycle-accounted code",
+                "simulated results must come from repro.clock.Clock; "
+                "wall time is display-only (see the CLI exemption)",
+            )
+        elif name.split(".")[-1] in self.config.wallclock_datetime_attrs \
+                and name.split(".")[0] in ("datetime", "date"):
+            yield self._finding(
+                mod, node, RULE_TIME,
+                f"wall-clock read {name}() in cycle-accounted code",
+                "simulated results must come from repro.clock.Clock",
+            )
+        elif name.startswith("random.") and \
+                name.split(".", 1)[1] in self.config.global_random_attrs:
+            yield self._finding(
+                mod, node, RULE_RANDOM,
+                f"process-global RNG call {name}()",
+                "thread a seeded random.Random(seed) instance through "
+                "instead, so repeated runs are reproducible",
+            )
+        elif name == "random.Random" and not node.args and \
+                not node.keywords:
+            yield self._finding(
+                mod, node, RULE_RANDOM,
+                "random.Random() constructed without a seed",
+                "pass an explicit seed: random.Random(seed)",
+            )
+        elif name in self.config.entropy_calls:
+            yield self._finding(
+                mod, node, RULE_RANDOM,
+                f"irreproducible entropy source {name}()",
+                "derive pseudo-randomness from a seeded random.Random",
+            )
+
+    def _finding(self, mod, node, rule, message, hint):
+        return Finding(
+            path=mod.path,
+            line=node.lineno,
+            rule=rule,
+            message=message,
+            hint=hint,
+            module=mod.module,
+        )

@@ -111,9 +111,14 @@ class PageFaultTracer(Attacker):
             )
         else:  # remap: swap in some other frame of the same enclave
             self._saved[base] = pte.pfn
+            # Intentional: the Foreshadow-style remap needs some other
+            # EPC frame of the victim, and the OS legitimately knows
+            # frame assignments (it installed the PTEs).  ``backed`` is
+            # the simulator's stand-in for the driver's own records.
+            # repro: allow[trust-boundary] attacker uses OS frame table
+            frames = self.enclave.backed.items()
             other = next(
-                (pfn for vpn, pfn in self.enclave.backed.items()
-                 if pfn != pte.pfn),
+                (pfn for _vpn, pfn in frames if pfn != pte.pfn),
                 pte.pfn,
             )
             pte.pfn = other

@@ -5,6 +5,12 @@ Lists and runs the reproduction experiments without writing any code:
     python -m repro list
     python -m repro fig6 --requests 800
     python -m repro all
+    python -m repro analyze --strict
+
+Wall-clock reads in this module are progress chatter only — simulated
+results always come from :class:`repro.clock.Clock` (the ``analyze``
+subcommand's determinism pass enforces exactly that, and exempts this
+module by configuration).
 """
 
 from __future__ import annotations
@@ -57,6 +63,8 @@ def cmd_list():
         print(f"  {key.ljust(width)}  {description}  "
               f"[repro.experiments.{module}]")
     print("\n  all" + " " * (width - 3) + "  run everything, in order")
+    print("\nother subcommands: verify, report [path], "
+          "analyze [--strict] [--format text|json]")
 
 
 def cmd_run(names, quiet=False):
@@ -72,6 +80,13 @@ def cmd_run(names, quiet=False):
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "analyze":
+        # The analyzer has its own flags (--strict, --format); hand the
+        # rest of the command line straight to its parser.
+        from repro.analysis.cli import run as analyze_run
+        return analyze_run(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Autarky (EuroSys 2020) reproduction harness",
@@ -79,7 +94,8 @@ def main(argv=None):
     parser.add_argument(
         "experiment", nargs="*",
         help="experiment id(s): e1, fig5..fig8, table2, attacks, "
-             "leakage, a1, a2, all, or 'list'",
+             "leakage, a1, a2, all, 'list', or the analyze/verify/"
+             "report subcommands",
     )
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress progress chatter")

@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from repro.core.config import SystemConfig
 from repro.core.metrics import geomean
 from repro.core.system import AutarkySystem
-from repro.experiments.formatting import fmt_pct, render_table
+from repro.experiments.formatting import render_table
 from repro.sgx.params import AccessType, ArchOptimizations, PAGE_SIZE
 from repro.workloads.suites import SUITE_APPS, run_suite_app
 

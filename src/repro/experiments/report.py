@@ -53,11 +53,13 @@ def generate(path=None, sections=None, echo=False):
     parts = [HEADER]
     for name in chosen:
         module = importlib.import_module(f"repro.experiments.{name}")
-        started = time.time()
+        # Wall time is annotated as "host time" in the output and never
+        # feeds a simulated figure — display-only, like the CLI timer.
+        started = time.time()  # repro: allow[determinism] display only
         buffer = io.StringIO()
         with redirect_stdout(buffer):
             module.main()
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # repro: allow[determinism] display only
         parts.append(f"## {titles.get(name, name)}\n")
         parts.append("```text")
         parts.append(buffer.getvalue().rstrip())

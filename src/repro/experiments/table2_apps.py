@@ -40,7 +40,6 @@ from repro.apps.jpeg import JpegCodec, make_block_image
 from repro.core.config import SystemConfig
 from repro.core.system import AutarkySystem
 from repro.experiments.formatting import render_table
-from repro.runtime.libos import Management
 from repro.runtime.loader import LibraryImage
 from repro.sgx.params import PAGE_SIZE, ArchOptimizations
 

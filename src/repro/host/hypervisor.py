@@ -101,8 +101,14 @@ class Hypervisor:
         movable = min(pages, donor.kernel.epc.free_pages)
         if movable <= 0:
             return 0
+        # Slice resizing models the platform reassigning EPC *capacity*
+        # between VMs (the §5.4 oversubscription extensions) — a
+        # below-the-ISA reconfiguration of free frames, not software
+        # reaching into EPCM state.  Contents never move.
+        # repro: allow[mutation-discipline] EPC capacity move (§5.4)
         donor.kernel.epc.resize(donor.kernel.epc.total_pages - movable)
         donor.epc_pages -= movable
+        # repro: allow[mutation-discipline] EPC capacity move (§5.4)
         recipient.kernel.epc.resize(
             recipient.kernel.epc.total_pages + movable
         )

@@ -118,6 +118,10 @@ class HostKernel:
                     "hardware model broken"
                 )
         self.cpu.eenter(enclave, tcs)
+        # The OS cannot read the SSA; checking frame *depth* stands in
+        # for the return value of its own EENTER stub (did the handler
+        # consume the fault in-enclave, or EEXIT back for an ERESUME?).
+        # repro: allow[trust-boundary] models the stub's return path
         if tcs.ssa.depth:
             # The handler EEXITed back to a stub that will ERESUME.
             self.cpu.eexit_cost()
@@ -153,13 +157,20 @@ class HostKernel:
         whole eviction units, so the upcall leaks nothing beyond what
         its ordinary self-paging already does.
         """
+        # The three reads below model the balloon upcall ABI — an
+        # EENTER with the request in a register and the response read
+        # back at EEXIT — not the OS inspecting enclave memory.  The
+        # enclave still chooses what (and whether) to answer.
+        # repro: allow[trust-boundary] upcall ABI stand-in (EENTER arg)
         runtime = enclave.runtime
         if runtime is None or getattr(runtime, "balloon", None) is None:
             return 0
         tcs = enclave.tcs_list[0]
+        # repro: allow[trust-boundary] request register of the upcall
         runtime._balloon_request = pages
         self.cpu.eenter(enclave, tcs)
         self.cpu.eexit_cost()
+        # repro: allow[trust-boundary] response register of the upcall
         return runtime._balloon_response
 
     # -- convenience ---------------------------------------------------------

@@ -49,7 +49,7 @@ class PathOram:
     """One PathORAM instance over ``num_blocks`` page-size blocks."""
 
     def __init__(self, num_blocks, clock, costs=None, bucket_size=4,
-                 seed=0x5EED, oblivious_metadata=False):
+                 seed=0x5EED, oblivious_metadata=False, rng=None):
         if num_blocks < 1:
             raise ValueError("ORAM needs at least one block")
         self.num_blocks = num_blocks
@@ -62,7 +62,10 @@ class PathOram:
         self.levels = max(1, (num_blocks - 1).bit_length())
         self.num_leaves = 1 << self.levels
 
-        self._rng = random.Random(seed)
+        # Leaf remaps draw from a seeded private stream (``rng`` lets a
+        # caller share one stream across instances); the process-global
+        # ``random`` module is never touched, so runs replay exactly.
+        self._rng = rng or random.Random(seed)
         self._tree = {}        # (level, index) -> [(block_id, data), ...]
         self._position = {}    # block_id -> leaf
         self._stash = {}       # block_id -> data

@@ -19,7 +19,7 @@ restarts."  This module implements that machinery:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SgxError
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.clock import Category
 from repro.errors import AttackDetected, PolicyError
-from repro.sgx.params import PAGE_SIZE, AccessType, SgxVersion, vpn_of
+from repro.sgx.params import PAGE_SIZE, AccessType, SgxVersion
 from repro.runtime.allocator import ClusteringAllocator
 from repro.runtime.clusters import ClusterManager
 from repro.runtime.exitless import HostCallChannel

@@ -97,4 +97,9 @@ class PagingCrypto:
 
     @staticmethod
     def _mac(enclave_id, vaddr, version, nonce, contents):
+        # The MAC must cover the ciphertext object's *identity* so
+        # substitution is caught; tokens are produced and checked within
+        # one run and never surface in any simulated result, so the
+        # per-process salt is harmless here.
+        # repro: allow[determinism] intra-run token, never in results
         return hash((enclave_id, vaddr, version, nonce, id(contents)))

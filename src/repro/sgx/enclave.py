@@ -8,6 +8,7 @@ defense is enabled.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import SgxError
@@ -38,7 +39,18 @@ class Measurement:
         self.records.append((op, vaddr))
 
     def digest(self):
-        return hash(tuple(self.records))
+        """A stable digest of the measurement log.
+
+        Must not vary across interpreter invocations (a remote verifier
+        compares it against an expected value), so it is sha256 over a
+        canonical encoding rather than the salted builtin ``hash``.
+        """
+        encoded = "\x1f".join(
+            f"{op}:{vaddr}" for op, vaddr in self.records
+        ).encode()
+        return int.from_bytes(
+            hashlib.sha256(encoded).digest()[:8], "big"
+        )
 
 
 class Enclave:

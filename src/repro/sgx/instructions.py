@@ -71,6 +71,10 @@ class SgxInstructions:
 
     # -- SGX1 paging (privileged) ------------------------------------------
 
+    # EBLOCK's few hundred cycles are folded into the EWB figure the
+    # cost model calibrates against (§7.1 measures the eviction
+    # sequence as a whole), so charging here would double-count.
+    # repro: allow[cycle-accounting] cost folded into the EWB figure
     def eblock(self, enclave, vaddr):
         """Mark a page blocked: no *new* TLB translations may be
         created for it (existing ones persist until shot down — the

@@ -52,17 +52,21 @@ NBENCH_KERNELS = [
 ]
 
 
-def run_kernel(runtime, kernel, ops=4_000, seed=3):
+def run_kernel(runtime, kernel, ops=4_000, seed=3, rng=None):
     """Execute one kernel inside an enclave runtime.
 
     Returns ``(cycles, tlb_fills, ad_checks)`` for the measured loop.
     The caller preloads the working set; this loop performs no paging,
     matching "its datasets fit in EPC (no paging)".
+
+    The access stream comes from a seeded private ``random.Random``
+    (pass ``rng`` to share one stream across kernels; the process-global
+    ``random`` module is never used).
     """
     heap = runtime.regions["heap"]
     if kernel.ws_pages > heap.npages:
         raise ValueError(f"{kernel.name}: working set exceeds the heap")
-    rng = random.Random(seed)
+    rng = rng or random.Random(seed)
     kernel_mmu = runtime.kernel.mmu
     clock = runtime.kernel.clock
 

@@ -4,20 +4,25 @@ Implements the generators the Memcached experiment needs (§7.3 /
 Figure 8): uniform, the standard YCSB scrambled-zipfian with θ = 0.99,
 and hotspot (a hot fraction of the keyspace receiving a hot fraction
 of the traffic — the paper uses 1% of keys at 90% and 99%).
+
+Every generator draws from an explicitly seeded ``random.Random`` —
+either its own (``seed=``) or one threaded in by the caller (``rng=``),
+so multi-generator experiments can share a single deterministic stream.
+The process-global ``random`` module is never touched (the
+``determinism`` rule of ``python -m repro analyze`` enforces this).
 """
 
 from __future__ import annotations
 
-import math
 import random
 
 
 class UniformGenerator:
     """Keys uniform over [0, n)."""
 
-    def __init__(self, n, seed=11):
+    def __init__(self, n, seed=11, rng=None):
         self.n = n
-        self._rng = random.Random(seed)
+        self._rng = rng or random.Random(seed)
 
     def next(self):
         return self._rng.randrange(self.n)
@@ -37,13 +42,13 @@ class ZipfianGenerator:
     FNV_OFFSET = 0xCBF29CE484222325
     FNV_PRIME = 0x100000001B3
 
-    def __init__(self, n, theta=0.99, seed=13, scrambled=True):
+    def __init__(self, n, theta=0.99, seed=13, scrambled=True, rng=None):
         if n < 2:
             raise ValueError("need at least two items")
         self.n = n
         self.theta = theta
         self.scrambled = scrambled
-        self._rng = random.Random(seed)
+        self._rng = rng or random.Random(seed)
 
         self.zetan = self._zeta(n, theta)
         self.zeta2 = self._zeta(2, theta)
@@ -93,11 +98,11 @@ class HotspotGenerator:
     """
 
     def __init__(self, n, hot_set_fraction=0.01, hot_opn_fraction=0.9,
-                 seed=17):
+                 seed=17, rng=None):
         self.n = n
         self.hot_keys = max(1, int(n * hot_set_fraction))
         self.hot_opn_fraction = hot_opn_fraction
-        self._rng = random.Random(seed)
+        self._rng = rng or random.Random(seed)
 
     def next(self):
         if self._rng.random() < self.hot_opn_fraction:
@@ -108,16 +113,23 @@ class HotspotGenerator:
         return [self.next() for _ in range(count)]
 
 
-def make_generator(name, n, seed=23):
-    """Factory for the four Figure 8 distributions."""
+def make_generator(name, n, seed=23, rng=None):
+    """Factory for the four Figure 8 distributions.
+
+    Pass ``rng`` to thread one shared seeded stream through several
+    generators (e.g. a warm-up and a measured phase that must not
+    re-correlate when one of them changes its draw count).
+    """
     if name == "uniform":
-        return UniformGenerator(n, seed=seed)
+        return UniformGenerator(n, seed=seed, rng=rng)
     if name == "zipf":
-        return ZipfianGenerator(n, theta=0.99, seed=seed)
+        return ZipfianGenerator(n, theta=0.99, seed=seed, rng=rng)
     if name == "hotspot90":
-        return HotspotGenerator(n, hot_opn_fraction=0.90, seed=seed)
+        return HotspotGenerator(n, hot_opn_fraction=0.90, seed=seed,
+                                rng=rng)
     if name == "hotspot99":
-        return HotspotGenerator(n, hot_opn_fraction=0.99, seed=seed)
+        return HotspotGenerator(n, hot_opn_fraction=0.99, seed=seed,
+                                rng=rng)
     raise ValueError(f"unknown distribution {name!r}")
 
 

@@ -8,7 +8,7 @@ from repro.core.config import SystemConfig
 from repro.core.system import AutarkySystem
 from repro.host.kernel import HostKernel
 from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
-from repro.runtime.policies import PinAllPolicy, RateLimitPolicy
+from repro.runtime.policies import RateLimitPolicy
 from repro.runtime.rate_limit import RateLimiter
 
 

@@ -1,0 +1,566 @@
+"""Static-analysis subsystem tests (``repro.analysis``).
+
+Each rule family gets a caught-violation case, a negative case, and a
+suppressed case, all driven through :func:`analyze_source` on synthetic
+snippets; the final gate runs every pass over the real tree and
+requires zero unsuppressed findings.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_CONFIG,
+    analyze_source,
+    analyze_tree,
+)
+from repro.analysis.walker import Suppressions, attr_chain, module_name_for
+
+
+def check(source, module="repro.host.probe", strict=False):
+    return analyze_source(textwrap.dedent(source), module=module,
+                          strict=strict)
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+# -- trust boundary -----------------------------------------------------------
+
+class TestTrustBoundary:
+    def test_private_import_flagged(self):
+        report = check("from repro.sgx.ssa import SsaFrame\n")
+        assert rules_of(report) == ["trust-boundary/import"]
+        assert "enclave-private" in report.findings[0].message
+
+    def test_plain_import_form_flagged(self):
+        report = check("import repro.sgx.ssa\n")
+        assert rules_of(report) == ["trust-boundary/import"]
+
+    def test_import_fine_from_trusted_side(self):
+        report = check("from repro.sgx.ssa import SsaFrame\n",
+                       module="repro.runtime.handler")
+        assert report.ok()
+
+    def test_import_fine_from_sanctioned_driver(self):
+        report = check("from repro.sgx.ssa import SsaFrame\n",
+                       module="repro.host.driver")
+        assert report.ok()
+
+    def test_private_attr_read_flagged(self):
+        report = check(
+            """
+            def peek(tcs):
+                return tcs.ssa
+            """
+        )
+        assert rules_of(report) == ["trust-boundary/attr"]
+
+    def test_deep_chain_flagged(self):
+        report = check(
+            """
+            def peek(self):
+                return self.enclave.runtime
+            """,
+            module="repro.attacks.probe",
+        )
+        assert rules_of(report) == ["trust-boundary/attr"]
+
+    def test_own_state_exempt(self):
+        # ``self.ssa`` names the module's own attribute, not a reach
+        # across the boundary.
+        report = check(
+            """
+            class Probe:
+                def mine(self):
+                    return self.ssa
+            """
+        )
+        assert report.ok()
+
+    def test_suppressed_same_line(self):
+        report = check(
+            """
+            def peek(tcs):
+                return tcs.ssa  # repro: allow[trust-boundary] probe
+            """
+        )
+        assert report.ok()
+        assert report.suppressed == 1
+
+    def test_suppressed_standalone_above(self):
+        report = check(
+            """
+            def peek(tcs):
+                # repro: allow[trust-boundary] documented probe
+                return tcs.ssa
+            """
+        )
+        assert report.ok()
+        assert report.suppressed == 1
+
+
+# -- mutation discipline ------------------------------------------------------
+
+class TestMutationDiscipline:
+    def test_mutator_call_flagged(self):
+        report = check(
+            """
+            def grow(kernel):
+                kernel.epc.resize(64)
+            """,
+            module="repro.experiments.grow",
+        )
+        assert rules_of(report) == ["mutation-discipline/call"]
+
+    def test_tlb_flush_flagged(self):
+        report = check(
+            """
+            def scrub(self):
+                self.tlb.flush()
+            """,
+            module="repro.host.scrub",
+        )
+        assert rules_of(report) == ["mutation-discipline/call"]
+
+    def test_sanctioned_module_exempt(self):
+        report = check(
+            """
+            def grow(self):
+                self.epc.resize(64)
+            """,
+            module="repro.sgx.instructions",
+        )
+        assert report.ok()
+
+    def test_nonmutating_method_fine(self):
+        report = check(
+            """
+            def look(kernel):
+                return kernel.epc.frame(3)
+            """,
+            module="repro.experiments.look",
+        )
+        assert report.ok()
+
+    def test_store_through_component_flagged(self):
+        report = check(
+            """
+            def poke(self, pfn):
+                self.epcm.entry(pfn).pending = True
+            """,
+            module="repro.host.poke",
+        )
+        assert rules_of(report) == ["mutation-discipline/store"]
+
+    def test_init_wiring_exempt(self):
+        report = check(
+            """
+            class Kernel:
+                def __init__(self, tlb):
+                    self.tlb.owner = self
+            """,
+            module="repro.host.boot",
+        )
+        assert report.ok()
+
+    def test_local_variable_not_flagged(self):
+        report = check(
+            """
+            def make():
+                tlb = object()
+                return tlb
+            """,
+            module="repro.host.make",
+        )
+        assert report.ok()
+
+    def test_suppressed(self):
+        report = check(
+            """
+            def rebalance(self, donor):
+                # repro: allow[mutation-discipline] capacity move
+                donor.kernel.epc.resize(32)
+            """,
+            module="repro.host.balancer",
+        )
+        assert report.ok()
+        assert report.suppressed == 1
+
+
+# -- determinism --------------------------------------------------------------
+
+class TestDeterminism:
+    def test_wallclock_flagged(self):
+        report = check(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module="repro.experiments.stamp",
+        )
+        assert rules_of(report) == ["determinism/time"]
+
+    def test_from_import_alias_tracked(self):
+        report = check(
+            """
+            from time import perf_counter as tick
+
+            def stamp():
+                return tick()
+            """,
+            module="repro.experiments.stamp",
+        )
+        assert rules_of(report) == ["determinism/time"]
+
+    def test_global_random_flagged(self):
+        report = check(
+            """
+            import random
+
+            def draw():
+                return random.randrange(10)
+            """,
+            module="repro.workloads.draw",
+        )
+        assert rules_of(report) == ["determinism/random"]
+
+    def test_unseeded_random_instance_flagged(self):
+        report = check(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """,
+            module="repro.workloads.make",
+        )
+        assert rules_of(report) == ["determinism/random"]
+
+    def test_seeded_random_instance_fine(self):
+        report = check(
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+            module="repro.workloads.make",
+        )
+        assert report.ok()
+
+    def test_entropy_source_flagged(self):
+        report = check(
+            """
+            import os
+
+            def token():
+                return os.urandom(8)
+            """,
+            module="repro.workloads.token",
+        )
+        assert rules_of(report) == ["determinism/random"]
+
+    def test_builtin_hash_flagged(self):
+        report = check(
+            """
+            def digest(x):
+                return hash(x)
+            """,
+            module="repro.sgx.digest",
+        )
+        assert rules_of(report) == ["determinism/hash"]
+
+    def test_hashlib_fine(self):
+        report = check(
+            """
+            import hashlib
+
+            def digest(data):
+                return hashlib.sha256(data).hexdigest()
+            """,
+            module="repro.sgx.digest",
+        )
+        assert report.ok()
+
+    def test_cli_module_exempt(self):
+        report = check(
+            """
+            import time
+
+            def banner():
+                return time.time()
+            """,
+            module="repro.cli",
+        )
+        assert report.ok()
+
+    def test_suppressed(self):
+        report = check(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[determinism] display
+            """,
+            module="repro.experiments.stamp",
+        )
+        assert report.ok()
+        assert report.suppressed == 1
+
+
+# -- cycle accounting ---------------------------------------------------------
+
+class TestCycleAccounting:
+    MODULE = "repro.sgx.mmu"  # in the configured accounting set
+
+    def test_uncharged_path_flagged(self):
+        report = check(
+            """
+            class Mmu:
+                def page_in(self, vaddr):
+                    return vaddr
+            """,
+            module=self.MODULE,
+        )
+        assert rules_of(report) == ["cycle-accounting/uncharged"]
+
+    def test_direct_charge_fine(self):
+        report = check(
+            """
+            class Mmu:
+                def page_in(self, vaddr):
+                    self.clock.charge(100, "paging")
+                    return vaddr
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+
+    def test_charge_via_local_call_graph(self):
+        report = check(
+            """
+            class Mmu:
+                def page_in(self, vaddr):
+                    return self._fill(vaddr)
+
+                def _fill(self, vaddr):
+                    self.clock.charge(100, "paging")
+                    return vaddr
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+
+    def test_charge_via_charging_receiver(self):
+        report = check(
+            """
+            class Pager:
+                def evict_page(self, vaddr):
+                    return self.instr.ewb(self.enclave, vaddr)
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+
+    def test_abstract_body_skipped(self):
+        report = check(
+            """
+            class Ops:
+                def page_in(self, vaddr):
+                    raise NotImplementedError
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+
+    def test_non_accounting_module_not_in_scope(self):
+        report = check(
+            """
+            class Helper:
+                def page_in(self, vaddr):
+                    return vaddr
+            """,
+            module="repro.workloads.helper",
+        )
+        assert report.ok()
+
+    def test_non_matching_name_not_in_scope(self):
+        report = check(
+            """
+            class Mmu:
+                def translate(self, vaddr):
+                    return vaddr
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+
+    def test_suppressed(self):
+        report = check(
+            """
+            class Mmu:
+                # repro: allow[cycle-accounting] folded into EWB
+                def page_out(self, vaddr):
+                    return vaddr
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok()
+        assert report.suppressed == 1
+
+
+# -- suppression semantics ----------------------------------------------------
+
+class TestSuppressions:
+    def test_exact_rule_id_suppresses(self):
+        report = check(
+            """
+            def peek(tcs):
+                return tcs.ssa  # repro: allow[trust-boundary/attr] x
+            """
+        )
+        assert report.ok()
+
+    def test_wrong_rule_does_not_suppress(self):
+        report = check(
+            """
+            def peek(tcs):
+                return tcs.ssa  # repro: allow[determinism] wrong family
+            """
+        )
+        assert rules_of(report) == ["trust-boundary/attr"]
+
+    def test_comma_separated_rules(self):
+        report = check(
+            """
+            import time
+
+            def peek(tcs):
+                # repro: allow[trust-boundary, determinism] both
+                return (tcs.ssa, time.time())
+            """
+        )
+        assert report.ok()
+        assert report.suppressed == 2
+
+    def test_unused_annotation_reported_in_strict(self):
+        report = check(
+            """
+            def fine():
+                return 1  # repro: allow[determinism] stale
+            """,
+            module="repro.experiments.fine",
+            strict=True,
+        )
+        assert rules_of(report) == ["suppression/unused"]
+
+    def test_unused_annotation_ignored_without_strict(self):
+        report = check(
+            """
+            def fine():
+                return 1  # repro: allow[determinism] stale
+            """,
+            module="repro.experiments.fine",
+        )
+        assert report.ok()
+
+    def test_docstring_mention_is_not_an_annotation(self):
+        report = check(
+            '''
+            def doc():
+                """Mentions # repro: allow[determinism] in prose."""
+                return 1
+            ''',
+            module="repro.experiments.doc",
+            strict=True,
+        )
+        assert report.ok()
+
+    def test_standalone_skips_blank_and_plain_comments(self):
+        source = textwrap.dedent(
+            """
+            # repro: allow[trust-boundary] reaches past the comment
+
+            # an ordinary comment
+            value = tcs.ssa
+            """
+        )
+        supp = Suppressions(source)
+        assert supp.suppresses("trust-boundary/attr", 5)
+
+
+# -- plumbing -----------------------------------------------------------------
+
+class TestPlumbing:
+    def test_attr_chain_flattening(self):
+        import ast
+        node = ast.parse("self.epcm.entry(pfn).pending", mode="eval").body
+        assert attr_chain(node) == ["self", "epcm", "entry", "pending"]
+        literal = ast.parse("(1).bit_length", mode="eval").body
+        assert attr_chain(literal) == []
+
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/host/kernel.py") == \
+            "repro.host.kernel"
+        assert module_name_for("src/repro/analysis/__init__.py") == \
+            "repro.analysis"
+
+    def test_report_rendering(self):
+        report = check("from repro.sgx.ssa import SsaFrame\n")
+        text = report.render_text()
+        assert "trust-boundary/import" in text
+        assert "1 finding(s)" in text
+        payload = json.loads(report.render_json())
+        assert payload["findings"][0]["rule"] == "trust-boundary/import"
+        assert payload["checked_files"] == 1
+
+    def test_finding_sort_order(self):
+        report = check(
+            """
+            import time
+
+            def late(tcs):
+                return tcs.ssa
+
+            def early():
+                return time.time()
+            """
+        )
+        lines = [f.line for f in report.sorted_findings()]
+        assert lines == sorted(lines)
+
+    def test_syntax_tolerant_suppression_parser(self):
+        # Unterminated string: tokenize raises, table comes back empty.
+        supp = Suppressions("x = '")
+        assert supp.by_line == {}
+
+
+# -- the gate -----------------------------------------------------------------
+
+class TestWholeTree:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_tree(strict=True)
+
+    def test_tree_is_clean(self, report):
+        assert report.findings == [], report.render_text()
+
+    def test_tree_coverage(self, report):
+        # Sanity: the walker really visited the package.
+        assert report.checked_files > 50
+
+    def test_known_suppressions_are_used(self, report):
+        # Every # repro: allow[...] in the tree suppresses something
+        # (strict mode would have reported stale ones above) and the
+        # count matches the documented threat-model inventory.
+        assert report.suppressed == 11
+
+    def test_config_families_cover_passes(self):
+        from repro.analysis.passes import rule_families
+        assert set(rule_families()) == set(DEFAULT_CONFIG.rule_families)

@@ -61,6 +61,42 @@ class TestReport:
         assert "leakage" in out.read_text().lower()
 
 
+class TestAnalyze:
+    def test_cli_analyze_clean_tree(self, capsys):
+        assert main(["analyze", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "file(s) checked" in out
+
+    def test_cli_analyze_json(self, capsys):
+        import json
+        assert main(["analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["checked_files"] > 50
+
+    def test_cli_analyze_seeded_violation(self, tmp_path, capsys):
+        evil = tmp_path / "repro" / "host" / "evil.py"
+        evil.parent.mkdir(parents=True)
+        evil.write_text(
+            "import time\n"
+            "def spy(tcs):\n"
+            "    return (tcs.ssa, time.time())\n"
+        )
+        assert main(["analyze", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "trust-boundary/attr" in out
+        assert "determinism/time" in out
+
+    def test_cli_analyze_missing_path_refused(self, capsys):
+        assert main(["analyze", "/no/such/tree"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_listed_in_help(self, capsys):
+        main(["list"])
+        assert "analyze" in capsys.readouterr().out
+
+
 class TestVerifyClaims:
     def test_cli_verify_command(self, capsys, monkeypatch):
         from repro.experiments import verify_claims

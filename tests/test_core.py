@@ -14,7 +14,6 @@ from repro.core.leakage import (
 from repro.core.metrics import RunMetrics, geomean, slowdown
 from repro.core.system import AutarkySystem, DirectEngine, OramEngine
 from repro.errors import PolicyError
-from repro.sgx.params import PAGE_SIZE
 
 
 class TestConfig:

@@ -7,7 +7,7 @@ from repro.errors import AttackDetected, PageFault, SgxError
 from repro.runtime.libos import GrapheneRuntime, EnclaveLayout
 from repro.runtime.policies import RateLimitPolicy
 from repro.runtime.rate_limit import RateLimiter
-from repro.sgx.params import AccessType, PAGE_SIZE
+from repro.sgx.params import AccessType
 
 
 def heap_page(runtime, i):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EpcExhausted, SgxError
-from repro.sgx.params import PAGE_SIZE, AccessType
+from repro.sgx.params import PAGE_SIZE
 
 BASE = 0x1000_0000
 

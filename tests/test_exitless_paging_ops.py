@@ -8,7 +8,7 @@ from repro.runtime.exitless import HostCallChannel
 from repro.runtime.libos import EnclaveLayout, GrapheneRuntime
 from repro.runtime.policies import RateLimitPolicy
 from repro.runtime.rate_limit import RateLimiter
-from repro.sgx.params import AccessType, PAGE_SIZE, SgxVersion
+from repro.sgx.params import AccessType, SgxVersion
 
 
 class TestHostCallChannel:

@@ -5,7 +5,6 @@ qualitative claims hold at reduced scale; the full-scale numbers live
 in benchmarks/ and EXPERIMENTS.md.
 """
 
-import dataclasses
 
 import pytest
 

@@ -8,7 +8,7 @@ commit, deliberately.
 
 import pytest
 
-from repro.sgx.params import AccessType, CostModel, PAGE_SIZE
+from repro.sgx.params import AccessType, CostModel
 
 
 class TestCostModelGoldens:

@@ -1,6 +1,5 @@
 """Cross-layer introspection tests."""
 
-import pytest
 
 from repro.core.inspect import audit, page_view, system_summary
 from repro.sgx.params import AccessType

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AttackDetected
 from repro.runtime.libos import Management
-from repro.sgx.params import AccessType, PAGE_SIZE
+from repro.sgx.params import AccessType
 
 
 class TestLaunch:

@@ -8,7 +8,6 @@ from repro.apps.ml_inference import DecisionForest
 from repro.attacks.controlled_channel import PageFaultTracer
 from repro.attacks.oracles import SignatureOracle
 from repro.errors import AttackDetected, PolicyError, RateLimitExceeded
-from repro.sgx.params import PAGE_SIZE
 
 
 class RecordingEngine:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AttackDetected, PolicyError, RateLimitExceeded
 from repro.runtime.rate_limit import ProgressKind
-from repro.sgx.params import AccessType, PAGE_SIZE
+from repro.sgx.params import AccessType
 
 
 class TestPinAll:

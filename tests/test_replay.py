@@ -10,7 +10,6 @@ from repro.workloads.replay import (
     dumps_trace,
     parse_trace,
 )
-from repro.sgx.params import AccessType
 
 
 class TestParsing:

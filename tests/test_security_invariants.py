@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import SystemConfig
 from repro.core.system import AutarkySystem
 from repro.errors import EnclaveTerminated, SgxError
-from repro.sgx.params import AccessType, PAGE_SIZE
+from repro.sgx.params import AccessType
 
 
 def build(policy="rate_limit", **overrides):

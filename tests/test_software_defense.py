@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import EnclaveTerminated
 from repro.experiments import software_defense_cmp
 from repro.runtime.software_defense import (
     AexDetectionTripped,

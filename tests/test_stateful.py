@@ -12,11 +12,9 @@ after every step:
 * the cluster residency invariant holds continuously.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     precondition,
     rule,
@@ -25,7 +23,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import SystemConfig
 from repro.core.system import AutarkySystem
-from repro.errors import EnclaveTerminated, ReproError
+from repro.errors import EnclaveTerminated
 from repro.sgx.params import AccessType
 
 BUDGET = 96

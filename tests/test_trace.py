@@ -7,7 +7,6 @@ from repro.core.trace import (
     adversary_view,
     first_divergence,
 )
-from repro.sgx.params import PAGE_SIZE, AccessType
 
 
 @pytest.fixture

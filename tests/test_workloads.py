@@ -97,7 +97,6 @@ class TestNbench:
         assert len({k.name for k in NBENCH_KERNELS}) == 10
 
     def test_run_kernel_counts_fills(self, small_system):
-        from repro.sgx.params import PAGE_SIZE
         system = small_system("pin_all", tlb_capacity=64,
                               enclave_managed_budget=600)
         kernel_profile = NBENCH_KERNELS[0]
