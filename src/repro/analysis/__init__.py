@@ -19,12 +19,20 @@ enclave interface orderliness:
   ``PYTHONHASHSEED``-dependent hashing.
 * ``cycle-accounting``    — every modeled fault/paging path charges the
   simulated clock before returning (Figures 5–8 depend on it).
+* ``leakage``             — secrets (app inputs, ORAM block ids,
+  ``# repro: secret`` declarations) must not flow into page addresses,
+  container indices in app code, or branches that guard paging — the
+  controlled channel itself, tracked interprocedurally over the
+  project call graph (``repro.analysis.callgraph``).
+* ``lifecycle``           — SGX ISA call sites respect the launch
+  (ECREATE→EADD→EINIT→EENTER), evict (EBLOCK→shootdown→EWB), and
+  resume (AEX→ERESUME) protocols.
 
 Intentional exceptions carry a ``# repro: allow[RULE]`` annotation so
 the analyzer doubles as documentation of the threat model.  Run it with
-``python -m repro analyze [--strict] [--format text|json]``; the pytest
-gate (``tests/test_analysis.py``) keeps the tree at zero unsuppressed
-findings.
+``python -m repro analyze [--strict] [--format text|json|sarif]``; the
+pytest gate (``tests/test_analysis.py``) keeps the tree at zero
+unsuppressed findings.
 """
 
 from __future__ import annotations

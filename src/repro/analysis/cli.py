@@ -21,17 +21,18 @@ def build_parser():
         prog="repro analyze",
         description=(
             "Statically check the Autarky reproduction's trust-boundary, "
-            "mutation-discipline, determinism, and cycle-accounting "
-            "invariants (see docs/static-analysis.md)."
+            "mutation-discipline, determinism, cycle-accounting, "
+            "leakage, and lifecycle invariants "
+            "(see docs/static-analysis.md)."
         ),
     )
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to analyze (default: the installed "
-             "repro package)",
+             "repro package plus benchmarks/ and examples/)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
@@ -56,6 +57,8 @@ def run(argv=None):
         report = analyze_tree(strict=args.strict)
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_text())
     return 0 if report.ok() else 1

@@ -20,7 +20,7 @@ def _default(value):
 
 @dataclass
 class AnalysisConfig:
-    """Tunable policy for all four pass families."""
+    """Tunable policy for all six pass families."""
 
     # -- trust boundary (§5.1.2 / §5.1.3) --------------------------------
     #: Module prefixes that run on the untrusted side of the boundary.
@@ -142,11 +142,81 @@ class AnalysisConfig:
         "make_paging_ops",   # constructor dispatch, not a modeled path
     }))
     #: A call through one of these receiver names is assumed to charge
-    #: (the component's own methods charge the clock themselves).
+    #: when the call graph cannot resolve the callee at all.  The list
+    #: used to carry every ISA-adjacent component name; now that the
+    #: accounting pass resolves cross-module callees interprocedurally,
+    #: only the receivers whose classes live outside the analyzed graph
+    #: or dispatch dynamically remain.
     charging_receivers: frozenset = _default(frozenset({
-        "clock", "instr", "instructions", "mmu", "cpu", "driver",
-        "kernel", "ops", "channel", "runtime", "pager",
+        "clock", "kernel", "ops", "channel", "runtime", "pager",
     }))
+
+    # -- secret taint / leakage (Pigeonhole; Autarky §3) ------------------
+    #: Default taint sources: module prefix → parameter names whose
+    #: values are secrets when they enter any function under that
+    #: prefix.  Apps receive secret inputs (lookup keys, glyphs,
+    #: feature vectors); ORAM code handles secret block identifiers.
+    #: Additional sources are declared in-line with ``# repro: secret``.
+    taint_secret_params: dict = _default({
+        "repro.apps.": frozenset({
+            "word", "words", "key", "keys", "item", "image", "glyph",
+            "text", "features", "rows", "query",
+        }),
+        "repro.oram.": frozenset({"block_id"}),
+    })
+    #: Page-address sinks: callee name → argument position that becomes
+    #: a page address.  A tainted value reaching one of these arguments
+    #: is exactly the controlled channel (the OS observes the page).
+    #: Bare ``access`` is deliberately absent: ``PathOram.access`` takes
+    #: a secret block id by design and reveals nothing.
+    taint_page_sinks: dict = _default({
+        "data_access": 0, "code_access": 0, "translate": 0,
+        "access_pages": 0, "fetch_batch": 0, "evict_batch": 0,
+        "page_in": 1, "evict_page": 1,
+        "ay_fetch_pages": 1, "ay_evict_pages": 1,
+        "claim_pages": 0, "release_pages": 0,
+    })
+    #: Module prefixes where a tainted *index* into a dict/list is a
+    #: finding on its own: app hot loops, where the index selects which
+    #: page of the table/array faults in.
+    taint_index_prefixes: tuple = ("repro.apps.",)
+    #: Calls whose result is not secret even for tainted arguments:
+    #: fresh randomness (the ORAM remap idiom) and ``len`` — input
+    #: *size* is public in the oblivious model (the §6 operators'
+    #: traces are functions of N by design).
+    taint_sanitizers: frozenset = _default(frozenset({
+        "randrange", "randint", "random", "choice", "sample",
+        "getrandbits", "randbytes", "len",
+    }))
+    #: Collection accessor methods: ``d.get(k)`` returns data taint of
+    #: the *collection*, not of the key — a dict lookup with a secret
+    #: key does not make the looked-up value secret.
+    taint_collection_accessors: frozenset = _default(frozenset({
+        "get", "pop", "setdefault", "items", "keys", "values",
+    }))
+    #: Collection mutator methods: ``l.append(v)`` makes the list as
+    #: secret as ``v`` (a later iteration over it carries the taint).
+    taint_collection_mutators: frozenset = _default(frozenset({
+        "append", "insert", "extend", "add",
+    }))
+    #: Attributes of tainted objects that are public size metadata and
+    #: break the taint (``image.n_blocks`` drives a sequential scan).
+    taint_public_attrs: frozenset = _default(frozenset({
+        "n_blocks",
+    }))
+    #: Module prefixes the leakage pass reports on.  The engine still
+    #: summarizes every module (flows cross the boundary), but findings
+    #: outside these prefixes would re-flag the same app secret at
+    #: every layer of the stack.
+    taint_report_prefixes: tuple = ("repro.apps.", "repro.oram.")
+
+    # -- lifecycle orderliness (Guardian; SGX ISA §2.1, §5.2) -------------
+    #: Module prefixes whose SGX ISA call sites are checked against the
+    #: launch / eviction / resume automata.
+    lifecycle_prefixes: tuple = (
+        "repro.runtime.", "repro.host.", "repro.experiments.",
+        "tests.", "benchmarks.", "examples.",
+    )
 
     #: Rule families with dedicated pass implementations (used by the
     #: CLI for validation and by the docs test for coverage).
@@ -155,6 +225,8 @@ class AnalysisConfig:
         "mutation-discipline",
         "determinism",
         "cycle-accounting",
+        "leakage",
+        "lifecycle",
     )
 
     def accounting_pattern(self):

@@ -73,3 +73,60 @@ class Report:
             },
             indent=2,
         )
+
+    def render_sarif(self):
+        """SARIF 2.1.0, the GitHub code-scanning ingestion format.
+
+        One run, one driver; every rule the analyzer can emit is listed
+        in the driver's rule table so code scanning can show the
+        invariant even for rules with no findings in this run.
+        """
+        from repro.analysis.passes import RULE_CATALOG
+
+        rule_ids = sorted(RULE_CATALOG)
+        rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+        results = []
+        for f in self.sorted_findings():
+            message = f.message
+            if f.hint:
+                message += f" ({f.hint})"
+            results.append({
+                "ruleId": f.rule,
+                "ruleIndex": rule_index.get(f.rule, -1),
+                "level": "error",
+                "message": {"text": message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": f.line},
+                    },
+                }],
+            })
+        return json.dumps(
+            {
+                "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                            "sarif-spec/master/Schemata/sarif-schema-"
+                            "2.1.0.json"),
+                "version": "2.1.0",
+                "runs": [{
+                    "tool": {
+                        "driver": {
+                            "name": "repro-analyze",
+                            "rules": [
+                                {
+                                    "id": rule,
+                                    "shortDescription": {
+                                        "text": RULE_CATALOG[rule],
+                                    },
+                                }
+                                for rule in rule_ids
+                            ],
+                        },
+                    },
+                    "results": results,
+                }],
+            },
+            indent=2,
+        )

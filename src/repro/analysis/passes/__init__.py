@@ -5,14 +5,19 @@ Each pass family lives in its own module and exposes one class with:
 * ``family``  — the rule-family id (findings use ``family/subrule``);
 * ``applies(module)`` — whether the pass runs on a dotted module name;
 * ``run(mod)`` — yield :class:`~repro.analysis.findings.Finding`
-  objects for one :class:`~repro.analysis.walker.ModuleSource`.
+  objects for one :class:`~repro.analysis.walker.ModuleSource`;
+* optionally ``prepare(project)`` — called once per analysis with the
+  interprocedural :class:`~repro.analysis.callgraph.Project` before any
+  ``run``, for passes whose findings need the whole call graph.
 """
 
 from __future__ import annotations
 
 from repro.analysis.passes.accounting import CycleAccountingPass
 from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.lifecycle import LifecyclePass
 from repro.analysis.passes.mutation import MutationDisciplinePass
+from repro.analysis.passes.taint import LeakagePass
 from repro.analysis.passes.trust_boundary import TrustBoundaryPass
 
 PASS_CLASSES = (
@@ -20,6 +25,8 @@ PASS_CLASSES = (
     MutationDisciplinePass,
     DeterminismPass,
     CycleAccountingPass,
+    LeakagePass,
+    LifecyclePass,
 )
 
 
@@ -29,3 +36,39 @@ def build_passes(config):
 
 def rule_families():
     return tuple(cls.family for cls in PASS_CLASSES)
+
+
+#: rule id -> one-line invariant, for SARIF rule metadata and the docs
+#: catalog.  ``suppression/unused`` is emitted by the driver itself.
+RULE_CATALOG = {
+    "trust-boundary/import":
+        "untrusted modules must not import enclave-private modules",
+    "trust-boundary/attr":
+        "untrusted modules must not read enclave-private attributes",
+    "mutation-discipline/call":
+        "only the ISA layer may call EPC/EPCM/TLB mutators",
+    "mutation-discipline/store":
+        "only the ISA layer may store through EPC/EPCM/TLB components",
+    "determinism/time":
+        "simulated results must not read the wall clock",
+    "determinism/random":
+        "simulated results must not use unseeded/global randomness",
+    "determinism/hash":
+        "builtin hash() is per-process salted; results must not use it",
+    "cycle-accounting/uncharged":
+        "modeled paging paths must charge the simulated clock",
+    "leakage/page-address":
+        "secret-tainted values must not become page addresses",
+    "leakage/index":
+        "app code must not index containers with secret-tainted values",
+    "leakage/branch":
+        "secret-tainted branches must not guard paging activity",
+    "lifecycle/launch-order":
+        "enclave build follows ECREATE → EADD/EEXTEND → EINIT → EENTER",
+    "lifecycle/evict-order":
+        "eviction follows EBLOCK → TLB shootdown → EWB",
+    "lifecycle/resume-order":
+        "ERESUME resumes an interrupted enclave: AEX comes first",
+    "suppression/unused":
+        "allow-annotations must suppress at least one finding (--strict)",
+}

@@ -7,11 +7,14 @@ accounting modules whose name matches the paging-verb pattern, this
 pass requires that a ``*.charge(...)`` call is reachable:
 
 * directly in the body;
-* through same-module calls (``self.make_room`` → ``self.evict_page``
-  → ``clock.charge``), resolved as a fixpoint over the module's local
-  call graph;
-* or through a call on a *charging receiver* (``self.instr.ewb(...)``)
-  — a component whose own methods are known to charge.
+* through any call the project-wide call graph resolves — same-module
+  helpers, ``self.instr.ewb(...)`` into ``sgx/instructions``, a
+  runtime's channel upcall into the driver — computed as a fixpoint
+  over the whole project (a call with several candidates charges if
+  *any* candidate does: duck-typed receivers share the contract);
+* or, only when the graph cannot resolve the callee at all, through a
+  call on one of the configured *charging receivers* (``clock``,
+  ``kernel``, ``ops``, …).
 
 Abstract methods (bodies of only ``pass``/``raise``/docstring),
 properties, and the reviewed exemption list in the config are skipped.
@@ -52,14 +55,6 @@ def _decorator_names(node):
     return names
 
 
-class _FunctionInfo:
-    def __init__(self, name, node):
-        self.name = name
-        self.node = node
-        self.charges = False       # charge reachable (fixpoint state)
-        self.local_calls = set()   # names of same-module callees
-
-
 class CycleAccountingPass:
     family = "cycle-accounting"
     rules = (RULE_UNCHARGED,)
@@ -67,17 +62,56 @@ class CycleAccountingPass:
     def __init__(self, config):
         self.config = config
         self.pattern = config.accounting_pattern()
+        self._charges = set()     # qualnames with a reachable charge
 
     def applies(self, module):
         return module in self.config.accounting_modules
 
+    def prepare(self, project):
+        """Project-wide charge-reachability fixpoint."""
+        self._project = project
+        receivers = self.config.charging_receivers
+        calls = {}                # qualname -> set of callee qualnames
+        charges = set()
+        for qual, info in project.functions.items():
+            callees = set()
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if not chain:
+                    continue
+                if chain[-1] == "charge":
+                    charges.add(qual)
+                    continue
+                candidates = project.resolve_call(
+                    node, info.module, caller=info)
+                if candidates:
+                    # Any-candidate semantics: duck-typed receivers
+                    # (PagingOps implementations, …) share the
+                    # charging contract.
+                    callees.update(c.qualname for c in candidates)
+                elif len(chain) >= 2 and chain[-2] in receivers:
+                    charges.add(qual)
+            calls[qual] = callees
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in calls.items():
+                if qual in charges:
+                    continue
+                if any(callee in charges for callee in callees):
+                    charges.add(qual)
+                    changed = True
+        self._charges = charges
+
     def run(self, mod):
-        functions = self._collect_functions(mod.tree)
-        self._propagate(functions)
-        for info in functions.values():
+        for info in self._project.functions.values():
+            if info.module != mod.module or info.path != mod.path:
+                continue
             if not self._in_scope(info):
                 continue
-            if not info.charges:
+            if info.qualname not in self._charges:
                 yield Finding(
                     path=mod.path,
                     line=info.node.lineno,
@@ -106,53 +140,3 @@ class CycleAccountingPass:
         if _is_abstract(info.node.body):
             return False
         return bool(self.pattern.search(name))
-
-    def _collect_functions(self, tree):
-        functions = {}
-
-        def visit(node):
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child,
-                              (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    info = _FunctionInfo(child.name, child)
-                    self._scan_body(child, info)
-                    # Last definition wins on name collisions across
-                    # classes — acceptable for a per-module heuristic.
-                    functions[child.name] = info
-                visit(child)
-
-        visit(tree)
-        return functions
-
-    def _scan_body(self, func_node, info):
-        receivers = self.config.charging_receivers
-        for node in ast.walk(func_node):
-            if not isinstance(node, ast.Call):
-                continue
-            chain = attr_chain(node.func)
-            if not chain:
-                continue
-            if chain[-1] == "charge":
-                info.charges = True
-            elif len(chain) >= 2 and chain[-2] in receivers:
-                # e.g. self.instr.ewb(...) — the component charges.
-                info.charges = True
-            elif len(chain) == 2 and chain[0] in ("self", "cls"):
-                info.local_calls.add(chain[1])
-            elif len(chain) == 1:
-                info.local_calls.add(chain[0])
-
-    @staticmethod
-    def _propagate(functions):
-        changed = True
-        while changed:
-            changed = False
-            for info in functions.values():
-                if info.charges:
-                    continue
-                for callee in info.local_calls:
-                    target = functions.get(callee)
-                    if target is not None and target.charges:
-                        info.charges = True
-                        changed = True
-                        break

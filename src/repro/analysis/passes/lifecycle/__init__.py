@@ -1,0 +1,77 @@
+"""Lifecycle pass: SGX ISA call sites must respect the protocol.
+
+See :mod:`repro.analysis.passes.lifecycle.automaton` for the three
+automata (launch, evict, resume) and the false-positive design.  The
+pass checks every function — and the module body, for example
+scripts — of modules under the configured lifecycle prefixes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.passes.lifecycle.automaton import (
+    RULE_EVICT,
+    RULE_LAUNCH,
+    RULE_RESUME,
+    OpCollector,
+    check_ops,
+)
+
+__all__ = ["LifecyclePass", "RULE_LAUNCH", "RULE_EVICT", "RULE_RESUME"]
+
+_HINTS = {
+    RULE_LAUNCH: ("build the enclave ECREATE → EADD/EEXTEND → EINIT → "
+                  "EENTER (docs/architecture.md); ECREATE starts over"),
+    RULE_EVICT: ("evict EBLOCK → page-table drop (TLB shootdown) → EWB "
+                 "(§2.1); ELDU starts the page over"),
+    RULE_RESUME: "ERESUME resumes an interrupted enclave: AEX comes first",
+}
+
+
+class LifecyclePass:
+    family = "lifecycle"
+    rules = (RULE_LAUNCH, RULE_EVICT, RULE_RESUME)
+
+    def __init__(self, config):
+        self.config = config
+        self._project = None
+
+    def prepare(self, project):
+        self._project = project
+        self._functions = {}
+        for info in project.functions.values():
+            self._functions.setdefault(info.module, []).append(info)
+        for infos in self._functions.values():
+            infos.sort(key=lambda f: f.node.lineno)
+
+    def applies(self, module):
+        return module.startswith(self.config.lifecycle_prefixes)
+
+    def run(self, mod):
+        if self._project is None:
+            return
+        contexts = [(None, self._module_body(mod))]
+        for info in self._functions.get(mod.module, ()):
+            contexts.append((info, info.node.body))
+        for caller, body in contexts:
+            collector = OpCollector(self._project, self.config,
+                                    mod.module, caller)
+            ops = collector.collect(body)
+            seen = set()
+            for rule, line, message in check_ops(ops):
+                if (rule, line) in seen:
+                    continue
+                seen.add((rule, line))
+                yield Finding(
+                    path=mod.path, line=line, rule=rule,
+                    message=message, hint=_HINTS[rule],
+                    module=mod.module,
+                )
+
+    @staticmethod
+    def _module_body(mod):
+        import ast
+        return [stmt for stmt in mod.tree.body
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.ClassDef))]

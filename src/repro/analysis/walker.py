@@ -168,19 +168,26 @@ class ModuleSource:
             self.suppressions = Suppressions(self.source)
 
 
+#: Directory names that anchor a dotted module name besides ``repro``:
+#: the repo's sibling trees the analyzer also covers.
+ROOT_COMPONENTS = ("repro", "tests", "benchmarks", "examples")
+
+
 def module_name_for(path):
     """Derive the dotted module name from a file path.
 
-    Looks for the last ``repro`` component so it works for the
-    installed tree, ``src/`` checkouts, and synthetic test trees alike;
-    falls back to the file stem.
+    Looks for the last ``repro`` component (or a ``tests``/
+    ``benchmarks``/``examples`` root) so it works for the installed
+    tree, ``src/`` checkouts, sibling trees, and synthetic test trees
+    alike; falls back to the file stem.
     """
     parts = list(Path(path).with_suffix("").parts)
     if parts and parts[-1] == "__init__":
         parts = parts[:-1]
-    for i in range(len(parts) - 1, -1, -1):
-        if parts[i] == "repro":
-            return ".".join(parts[i:])
+    for root in ROOT_COMPONENTS:  # "repro" wins over an enclosing root
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == root:
+                return ".".join(parts[i:])
     return parts[-1] if parts else str(path)
 
 
@@ -212,12 +219,33 @@ def default_root():
     return Path(repro.__file__).parent
 
 
+def default_roots():
+    """Default analysis scope: the package plus, when running from a
+    checkout (``src/repro`` layout with a ``pyproject.toml`` two levels
+    up), the ``benchmarks/`` and ``examples/`` trees."""
+    package = default_root()
+    roots = [package]
+    repo = package.parent.parent
+    if (repo / "pyproject.toml").is_file():
+        for extra in ("benchmarks", "examples"):
+            tree = repo / extra
+            if tree.is_dir():
+                roots.append(tree)
+    return roots
+
+
 def run_passes(modules, config=None, strict=False):
     """Run every registered pass over ``modules``; returns a Report."""
+    from repro.analysis.callgraph import Project
     from repro.analysis.passes import build_passes
 
     config = config or DEFAULT_CONFIG
     passes = build_passes(config)
+    project = Project(modules)
+    for pass_ in passes:
+        prepare = getattr(pass_, "prepare", None)
+        if prepare is not None:
+            prepare(project)
     report = Report()
     for mod in modules:
         report.checked_files += 1
@@ -253,9 +281,10 @@ def analyze_paths(paths, config=None, strict=False):
 
 
 def analyze_tree(root=None, config=None, strict=False):
-    """Analyze the whole ``repro`` package; returns a Report."""
-    return analyze_paths([root or default_root()], config=config,
-                         strict=strict)
+    """Analyze the default scope (package + benchmarks/ + examples/
+    when present); an explicit ``root`` narrows to that tree."""
+    roots = [root] if root is not None else default_roots()
+    return analyze_paths(roots, config=config, strict=strict)
 
 
 def analyze_source(source, module, path="<memory>", config=None,

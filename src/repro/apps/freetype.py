@@ -66,6 +66,8 @@ class FreeType:
             self.lib.code_page(i) for i in range(self.COMMON_PAGES)
         )
         specific = tuple(
+            # repro: allow[leakage] the oracle mirrors render()'s
+            # glyph-dependent page set by construction
             self.lib.code_page(i) for i in self._signatures[glyph]
         )
         return common + specific
@@ -76,9 +78,12 @@ class FreeType:
             raise KeyError(f"no glyph {glyph!r}")
         for i in range(self.COMMON_PAGES):
             self.engine.code_access(self.lib.code_page(i))
+        # repro: allow[leakage] deliberate victim (Table 2): the glyph
+        # selects which rasterizer code pages fault in
         for i in self._signatures[glyph]:
             self.engine.code_access(self.lib.code_page(i))
         slot = ord(glyph) % 8
+        # repro: allow[leakage] glyph-dependent bitmap slot write
         self.engine.data_access(
             self.bitmap_start + slot * PAGE_SIZE, write=True
         )

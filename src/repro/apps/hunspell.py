@@ -127,8 +127,11 @@ class Hunspell:
         self.checked += 1
         if self.code_page is not None:
             self.engine.code_access(self.code_page)
+        # repro: allow[leakage] deliberate victim (Table 2): the word
+        # hashes to the bucket page the OS observes
         self.engine.data_access(d.bucket_page(word))
         for page in d.chain_pages(word):
+            # repro: allow[leakage] word-dependent chain walk
             self.engine.data_access(page)
         self.engine.compute(self.WORD_COMPUTE)
         return True

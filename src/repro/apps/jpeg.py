@@ -119,6 +119,7 @@ class JpegCodec:
                 + (i // self.blocks_per_input_page) * PAGE_SIZE
             )
             # The leak: which IDCT page runs depends on the block.
+            # repro: allow[leakage] deliberate victim (Table 2)
             self.engine.code_access(self.idct_page_for(complex_block))
             self.engine.data_access(
                 self.temp_start + (i % self.temp_pages) * PAGE_SIZE,

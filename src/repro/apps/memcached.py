@@ -56,7 +56,10 @@ class Memcached:
             raise KeyError(key)
         self.gets += 1
         self.engine.compute(self.REQUEST_COMPUTE)
+        # repro: allow[leakage] deliberate victim (Table 2): the key
+        # selects the index page the OS observes
         self.engine.data_access(self.index_page(key))
+        # repro: allow[leakage] key-dependent item page
         self.engine.data_access(self.item_page(key))
         self.engine.compute(self.ITEM_COMPUTE)
 
@@ -66,7 +69,9 @@ class Memcached:
             raise KeyError(key)
         self.sets += 1
         self.engine.compute(self.REQUEST_COMPUTE)
+        # repro: allow[leakage] key-dependent index-page write
         self.engine.data_access(self.index_page(key), write=True)
+        # repro: allow[leakage] key-dependent item-page write
         self.engine.data_access(self.item_page(key), write=True)
         self.engine.compute(self.ITEM_COMPUTE)
 

@@ -81,12 +81,17 @@ class DecisionForest:
         node = 0
         for _level in range(self.depth):
             if touch:
+                # repro: allow[leakage] deliberate victim (Table 2):
+                # the decision path selects the node pages
                 self.engine.data_access(self.node_page(tree, node))
                 self.engine.compute(self.NODE_COMPUTE)
             feature, threshold = self._node_params(tree, node)
+            # repro: allow[leakage] feature-indexed comparison picks
+            # the child, and with it the next page
             node = 2 * node + (1 if features[feature] < threshold
                                else 2)
         if touch:
+            # repro: allow[leakage] input-dependent leaf page
             self.engine.data_access(self.node_page(tree, node))
         return node
 
@@ -101,6 +106,7 @@ class DecisionForest:
         votes = [0] * self.n_classes
         for tree in range(self.n_trees):
             leaf = self._walk(tree, features, touch=True)
+            # repro: allow[leakage] leaf class indexes the vote array
             votes[self._leaf_class(tree, leaf)] += 1
         self.engine.progress(ProgressKind.ALLOCATION)
         return max(range(self.n_classes), key=votes.__getitem__)
@@ -117,6 +123,8 @@ class DecisionForest:
             for _level in range(self.depth):
                 pages.append(self.node_page(tree, node))
                 feature, threshold = self._node_params(tree, node)
+                # repro: allow[leakage] the oracle replays _walk()'s
+                # input-dependent descent by construction
                 node = 2 * node + (1 if features[feature] < threshold
                                    else 2)
             pages.append(self.node_page(tree, node))

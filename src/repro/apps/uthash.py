@@ -95,9 +95,12 @@ class UthashTable:
         if not 0 <= item < self.n_items:
             raise KeyError(item)
         self.lookups += 1
+        # repro: allow[leakage] deliberate victim (Table 2): the item
+        # hashes to the bucket page the OS observes
         self.engine.data_access(self.bucket_page(self.bucket_of(item)))
         pos = self.chain_position(item)
         for node in self.chain_items(self.bucket_of(item), pos):
+            # repro: allow[leakage] item-dependent chain walk
             self.engine.data_access(self.item_page(node))
             self.engine.compute(self.NODE_COMPUTE)
         return item
@@ -105,13 +108,16 @@ class UthashTable:
     def insert(self, item):
         """PUT: walk to the chain end, then write the item's page."""
         self.lookups += 1
+        # repro: allow[leakage] item-dependent bucket-page write
         self.engine.data_access(
             self.bucket_page(self.bucket_of(item)), write=True
         )
         pos = self.chain_position(item)
         for node in self.chain_items(self.bucket_of(item), pos)[:-1]:
+            # repro: allow[leakage] item-dependent chain walk
             self.engine.data_access(self.item_page(node))
             self.engine.compute(self.NODE_COMPUTE)
+        # repro: allow[leakage] item-dependent insertion write
         self.engine.data_access(self.item_page(item), write=True)
 
     def rehash(self, factor=2):

@@ -1,0 +1,44 @@
+"""Correctly ordered SGX ISA flows: negative fixture for the
+lifecycle pass.  Analyzed as ``repro.experiments.fixture_ordered``;
+must produce zero findings — including the branch-arm and
+eviction/reload shapes the automata are designed not to flag."""
+
+
+def clean_launch(instr, epc, pages):
+    enclave = instr.ecreate(epc, size=4)
+    for page in pages:
+        instr.eadd(enclave, page)
+        instr.eextend(enclave, page)
+    instr.einit(enclave)
+    instr.eenter(enclave)
+    return enclave
+
+
+def clean_evict(instr, page_table, enclave, page):
+    instr.eblock(enclave, page)
+    page_table.drop(page)
+    instr.ewb(enclave, page)
+
+
+def evict_reload_cycle(instr, page_table, enclave, page):
+    instr.eblock(enclave, page)
+    page_table.drop(page)
+    instr.ewb(enclave, page)
+    instr.eldu(enclave, page)
+    instr.eblock(enclave, page)
+    page_table.drop(page)
+    instr.ewb(enclave, page)
+
+
+def branch_arms_are_independent(instr, page_table, enclave, page, fast):
+    if fast:
+        instr.ewb(enclave, page)
+    else:
+        instr.eblock(enclave, page)
+        page_table.drop(page)
+        instr.ewb(enclave, page)
+
+
+def clean_resume(cpu, enclave):
+    cpu.aex(enclave)
+    cpu.eresume(enclave)

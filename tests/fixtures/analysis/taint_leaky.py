@@ -1,0 +1,30 @@
+"""Deliberately leaky lookup structure: golden fixture for the
+leakage pass.  Analyzed as ``repro.apps.fixture_leaky`` — every rule
+in the family fires exactly once per marked line."""
+
+PAGE_SIZE = 4096
+
+
+class LeakyTable:
+    """Hash-table victim whose page trace encodes the key."""
+
+    def __init__(self, engine, base):
+        self.engine = engine
+        self.base = base
+
+    def bucket_page(self, value):
+        return self.base + ((value * 31) % 64) * PAGE_SIZE
+
+    def lookup(self, key):
+        return self.engine.data_access(self.bucket_page(key))  # page leak
+
+    def histogram(self, words, table):
+        counts = {}
+        for word in words:
+            weight = table[word]  # index leak (load)
+            counts[word] = weight + 1  # index leak (store)
+        return counts
+
+    def prefetch(self, key, hot):
+        if key > hot:  # branch leak: guards paging
+            self.engine.fetch_batch(self.base)

@@ -1,0 +1,29 @@
+"""Oblivious counterpart of ``taint_leaky.py``: same lookup API, but
+the page trace is independent of the key — every page is touched on
+every call, the way the paper's oblivious operators behave.  Analyzed
+as ``repro.apps.fixture_oblivious``; must produce zero findings."""
+
+PAGE_SIZE = 4096
+
+
+class ObliviousTable:
+    """Linear-scan lookup: the trace is a function of table size only."""
+
+    def __init__(self, engine, base, n_pages):
+        self.engine = engine
+        self.base = base
+        self.n_pages = n_pages
+
+    def lookup(self, key):
+        found = 0
+        for i in range(self.n_pages):
+            cell = self.engine.data_access(self.base + i * PAGE_SIZE)
+            found |= int(cell == key)
+        return found
+
+    def histogram(self, words):
+        counts = [0] * self.n_pages
+        for i in range(len(words)):
+            self.engine.data_access(self.base + (i % self.n_pages)
+                                    * PAGE_SIZE)
+        return counts

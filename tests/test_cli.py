@@ -75,6 +75,18 @@ class TestAnalyze:
         assert payload["findings"] == []
         assert payload["checked_files"] > 50
 
+    def test_cli_analyze_sarif(self, capsys):
+        import json
+        assert main(["analyze", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        assert run["results"] == []
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert any(r.startswith("leakage/") for r in rules)
+        assert any(r.startswith("lifecycle/") for r in rules)
+
     def test_cli_analyze_seeded_violation(self, tmp_path, capsys):
         evil = tmp_path / "repro" / "host" / "evil.py"
         evil.parent.mkdir(parents=True)
