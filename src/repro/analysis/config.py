@@ -210,6 +210,17 @@ class AnalysisConfig:
     #: every layer of the stack.
     taint_report_prefixes: tuple = ("repro.apps.", "repro.oram.")
 
+    # -- robustness (fail-safe exception discipline) ----------------------
+    #: Module prefixes where broad exception handlers (bare ``except``,
+    #: ``except Exception``, ``except BaseException``) are findings:
+    #: the whole runtime package.  Tests, benchmarks and examples are
+    #: exempt by omission — they assert on failures rather than handle
+    #: them, and are not part of the fail-safe story.
+    robustness_prefixes: tuple = ("repro.",)
+    #: Exact module names also covered (the package root itself, which
+    #: a bare prefix match would miss).
+    robustness_roots: frozenset = _default(frozenset({"repro"}))
+
     # -- lifecycle orderliness (Guardian; SGX ISA §2.1, §5.2) -------------
     #: Module prefixes whose SGX ISA call sites are checked against the
     #: launch / eviction / resume automata.
@@ -227,6 +238,7 @@ class AnalysisConfig:
         "cycle-accounting",
         "leakage",
         "lifecycle",
+        "robustness",
     )
 
     def accounting_pattern(self):

@@ -17,6 +17,7 @@ from repro.analysis.passes.accounting import CycleAccountingPass
 from repro.analysis.passes.determinism import DeterminismPass
 from repro.analysis.passes.lifecycle import LifecyclePass
 from repro.analysis.passes.mutation import MutationDisciplinePass
+from repro.analysis.passes.robustness import RobustnessPass
 from repro.analysis.passes.taint import LeakagePass
 from repro.analysis.passes.trust_boundary import TrustBoundaryPass
 
@@ -27,6 +28,7 @@ PASS_CLASSES = (
     CycleAccountingPass,
     LeakagePass,
     LifecyclePass,
+    RobustnessPass,
 )
 
 
@@ -69,6 +71,8 @@ RULE_CATALOG = {
         "eviction follows EBLOCK → TLB shootdown → EWB",
     "lifecycle/resume-order":
         "ERESUME resumes an interrupted enclave: AEX comes first",
+    "robustness/broad-except":
+        "runtime code must not swallow faults with broad except handlers",
     "suppression/unused":
         "allow-annotations must suppress at least one finding (--strict)",
 }

@@ -1,0 +1,105 @@
+"""Robustness pass: the runtime must not swallow faults wholesale.
+
+The hardened paging runtime's fail-safe story (docs/fault-injection.md)
+depends on exceptions keeping their identity: an
+:class:`~repro.errors.IntegrityError` must surface as a fail-stop, an
+:class:`~repro.errors.EnclaveTerminated` must carry its structured
+abort reason to :class:`~repro.core.metrics.AbortStats`.  A broad
+``except`` — bare, ``except Exception`` or ``except BaseException`` —
+flattens that taxonomy and can silently convert an attack detection
+into forward progress, which is exactly the outcome the chaos campaign
+exists to rule out.
+
+So this pass flags broad exception handlers anywhere in the ``repro``
+package.  Two shapes are deliberately *not* findings:
+
+* a handler that unconditionally re-raises (its last top-level
+  statement is a bare ``raise``) — log-and-rethrow masks nothing;
+* handlers outside the package (tests, benchmarks, examples routinely
+  assert "anything raised here" and are not runtime code).
+
+Intentional catch-alls — a top-level CLI report boundary, say — carry
+``# repro: allow[robustness]`` with a justification, keeping the
+inventory of broad handlers machine-checked like every other exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+
+RULE_BROAD_EXCEPT = "robustness/broad-except"
+
+#: Exception names too wide for runtime code to catch.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+class RobustnessPass:
+    family = "robustness"
+    rules = (RULE_BROAD_EXCEPT,)
+
+    def __init__(self, config):
+        self.config = config
+
+    def applies(self, module):
+        return (
+            module in self.config.robustness_roots
+            or module.startswith(self.config.robustness_prefixes)
+        )
+
+    def run(self, mod):
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if self._reraises(node):
+                continue
+            yield Finding(
+                path=mod.path,
+                line=node.lineno,
+                rule=RULE_BROAD_EXCEPT,
+                message=(
+                    f"broad exception handler ({broad}) can swallow "
+                    "integrity failures and structured aborts"
+                ),
+                hint=(
+                    "catch the narrowest repro.errors type the block "
+                    "can actually handle (IntegrityError, PolicyError, "
+                    "HostCallDenied, ...), re-raise at the end of the "
+                    "handler, or annotate a deliberate report boundary "
+                    "with # repro: allow[robustness]"
+                ),
+                module=mod.module,
+            )
+
+    @staticmethod
+    def _broad_name(type_node):
+        """The offending name if the handler is broad, else ``None``."""
+        if type_node is None:
+            return "bare except"
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            # Accept both ``Exception`` and ``builtins.Exception``.
+            if isinstance(candidate, ast.Attribute):
+                name = candidate.attr
+            elif isinstance(candidate, ast.Name):
+                name = candidate.id
+            else:
+                continue
+            if name in BROAD_NAMES:
+                return f"except {name}"
+        return None
+
+    @staticmethod
+    def _reraises(handler):
+        """True when the handler ends in an unconditional bare ``raise``."""
+        if not handler.body:
+            return False
+        last = handler.body[-1]
+        return isinstance(last, ast.Raise) and last.exc is None

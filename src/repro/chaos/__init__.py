@@ -1,0 +1,37 @@
+"""Deterministic Byzantine-host fault injection (chaos harness).
+
+The Autarky threat model gives the OS total control over every service
+the enclave depends on: paging syscalls can be denied, delayed, or
+answered with lies; the backing store can be tampered with or replayed;
+the EPC quota can shrink without warning; the enclave can be entered
+spuriously, interrupted in storms, or suspended at the worst moment.
+
+This package scripts that adversary.  A :class:`~repro.chaos.plan.FaultPlan`
+is generated from a seed (same seed → same plan → same outcome), a
+:class:`~repro.chaos.injector.FaultInjector` wires it into the host
+kernel's syscall dispatch and the SGX instruction layer, and the
+campaign runner (:mod:`repro.chaos.campaign`) sweeps plans across the
+secure paging policies, asserting the three-way safety invariant:
+
+* the run **completes** correctly, or
+* it **degrades** within the runtime's declared budgets
+  (retry-with-backoff, bounded self-eviction, balloon floor), or
+* it **aborts** fail-stop with a structured reason —
+
+and never silently computes on tampered state, never leaks more than
+the masked fault stream.
+"""
+
+from repro.chaos.campaign import CampaignResult, RunResult, run_campaign
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "CampaignResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RunResult",
+    "run_campaign",
+]

@@ -1,0 +1,496 @@
+"""The chaos campaign: fault plans × paging policies × seeds.
+
+Each run boots a fresh system, installs a
+:class:`~repro.chaos.injector.FaultInjector` scripted by the seed's
+:class:`~repro.chaos.plan.FaultPlan`, and drives a deterministic
+workload while the plan's hostile acts land.  Every run must end in one
+of three safe states:
+
+* **completed** — the workload finished and nothing the host did left
+  a trace in the enclave's results;
+* **degraded** — the workload finished, but only because a hardening
+  mechanism absorbed faults within its declared budget (bounded
+  retry-with-backoff, bounded self-eviction under quota pressure,
+  cooperative ballooning);
+* **aborted** — the runtime failed stop with a structured
+  :class:`~repro.errors.AbortReason`.
+
+Anything else — computing on a tampered page, leaking an unmasked
+fault address, degrading past a budget, dying while claiming success —
+is recorded as a safety-invariant violation and fails the campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FaultKind, FaultPlan
+from repro.core.config import SystemConfig
+from repro.core.metrics import AbortStats
+from repro.core.system import AutarkySystem
+from repro.errors import (
+    AbortReason,
+    EnclaveTerminated,
+    IntegrityError,
+    PolicyError,
+    SgxError,
+)
+from repro.runtime.rate_limit import ProgressKind
+from repro.sgx.params import PAGE_SIZE, SgxVersion
+
+#: Operations per run — long enough for every scheduled event to land
+#: and its consequences to surface, short enough for CI smoke sweeps.
+N_OPS = 240
+
+#: Configurations the campaign sweeps by default: the three secure
+#: paging policies over SGX1, plus rate limiting over the SGX2 paging
+#: ops so the SGX2-only fault kinds (DENY_SGX2, EAUG_REFUSE against
+#: in-enclave paging) get a target.  ORAM is out of scope: its
+#: accesses never reach the paging path the chaos plans attack.
+DEFAULT_POLICIES = ("pin_all", "clusters", "rate_limit",
+                    "rate_limit_sgx2")
+
+#: Ops after which a quota squeeze is released.
+QUOTA_RESTORE_AFTER = 30
+
+#: The squeezed quota never drops below this (the enclave could not
+#: even hold its pinned runtime otherwise — a config error, not a
+#: survivable fault).
+QUOTA_FLOOR = 24
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (seed, policy) chaos run."""
+
+    seed: int
+    policy: str
+    outcome: str
+    reason: str          # AbortReason value, or "" unless aborted
+    ops_done: int
+    cycles: int
+    fired_kinds: tuple   # FaultKind values that actually fired
+    degradations: int
+    retried_calls: int
+    balloon_freed: int
+    violations: tuple    # safety-invariant breaches (must be empty)
+    digest: str          # determinism fingerprint of the whole run
+
+    @property
+    def safe(self):
+        return not self.violations
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of a full sweep."""
+
+    runs: list = field(default_factory=list)
+    abort_stats: dict = field(default_factory=dict)   # policy → AbortStats
+    determinism_failures: list = field(default_factory=list)
+
+    @property
+    def violations(self):
+        return [
+            (r.seed, r.policy, v) for r in self.runs for v in r.violations
+        ]
+
+    @property
+    def fired_kinds(self):
+        kinds = set()
+        for run in self.runs:
+            kinds.update(run.fired_kinds)
+        return kinds
+
+    @property
+    def ok(self):
+        return not self.violations and not self.determinism_failures
+
+    def outcome_counts(self):
+        counts = {}
+        for run in self.runs:
+            counts[run.outcome] = counts.get(run.outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _system_config(policy_name):
+    """Small, paging-heavy systems so every fault plan has teeth."""
+    common = dict(
+        epc_pages=1024,
+        quota_pages=128,
+        runtime_pages=8,
+        code_pages=16,
+        data_pages=16,
+        heap_pages=256,
+    )
+    if policy_name == "pin_all":
+        return SystemConfig.for_policy(
+            "pin_all", enclave_managed_budget=120, **common
+        )
+    if policy_name == "clusters":
+        return SystemConfig.for_policy(
+            "clusters", cluster_pages=8, enclave_managed_budget=64,
+            **common
+        )
+    if policy_name == "rate_limit":
+        return SystemConfig.for_policy(
+            "rate_limit", max_faults_per_progress=64, grace_faults=512,
+            enclave_managed_budget=64, **common
+        )
+    if policy_name == "rate_limit_sgx2":
+        return SystemConfig.for_policy(
+            "rate_limit", max_faults_per_progress=64, grace_faults=512,
+            enclave_managed_budget=64, sgx_version=SgxVersion.SGX2,
+            **common
+        )
+    raise PolicyError(f"chaos campaign does not cover {policy_name!r}")
+
+
+#: Heap pages the pin-all workload warms (and seals) / the others churn.
+_PIN_ALL_POOL = 48
+_CHURN_POOL = 160
+
+
+def _prepare_workload(system, policy_name):
+    """Warm the system and return (engine, page pool to churn over)."""
+    engine = system.engine()
+    heap = system.runtime.regions["heap"]
+    if policy_name == "pin_all":
+        pool = [heap.start + i * PAGE_SIZE for i in range(_PIN_ALL_POOL)]
+        for vaddr in pool:
+            engine.data_access(vaddr)
+        system.policy.seal()
+    elif policy_name == "clusters":
+        pool = system.runtime.allocator.alloc_pages(_CHURN_POOL)
+    else:
+        pool = [heap.start + i * PAGE_SIZE for i in range(_CHURN_POOL)]
+    return engine, pool
+
+
+class _ChaosRun:
+    """One seeded run of one policy under one fault plan."""
+
+    def __init__(self, seed, policy_name):
+        self.seed = seed
+        self.policy_name = policy_name
+        self.plan = FaultPlan.generate(seed, N_OPS)
+        self.system = AutarkySystem(_system_config(policy_name))
+        self.kernel = self.system.kernel
+        self.enclave = self.system.enclave
+        self.runtime = self.system.runtime
+        self.injector = FaultInjector(
+            self.plan, self.kernel, self.enclave
+        ).install()
+        # Workload randomness is decoupled from plan randomness so the
+        # same plan hits an identical access stream on every policy.
+        self.rng = random.Random((seed << 16) ^ 0xC7A05)
+        self.violations = []
+        self.ops_done = 0
+        self._quota_restores = {}
+
+    # -- driving -----------------------------------------------------------
+
+    def execute(self):
+        engine, pool = _prepare_workload(self.system, self.policy_name)
+        op_events = {}
+        for event in self.plan.op_events():
+            op_events.setdefault(event.at_op, []).append(event)
+        outcome, reason = OUTCOME_COMPLETED, ""
+        try:
+            for i in range(N_OPS):
+                self.injector.advance_to_op(i)
+                self._release_quota(i)
+                for event in op_events.get(i, ()):
+                    self._apply(event, engine)
+                vaddr = self.rng.choice(pool)
+                engine.data_access(vaddr, write=self.rng.random() < 0.25)
+                engine.compute(1_000)
+                if i % 8 == 7:
+                    engine.progress(ProgressKind.SYSCALL)
+                self.ops_done += 1
+        except EnclaveTerminated as exc:
+            outcome = OUTCOME_ABORTED
+            reason = exc.reason.value if exc.reason else "unclassified"
+        except IntegrityError:
+            # Host-side rejection (e.g. ELDU during a tampered resume):
+            # the enclave never ran on the bad state.
+            outcome = OUTCOME_ABORTED
+            reason = AbortReason.INTEGRITY.value
+        except (SgxError, PolicyError) as exc:
+            # Fail-stop but without a structured reason — safe, yet
+            # worth seeing in reports as its own bucket.
+            outcome = OUTCOME_ABORTED
+            reason = f"unclassified({type(exc).__name__})"
+        finally:
+            self.injector.uninstall()
+        if outcome == OUTCOME_COMPLETED and self._absorbed_faults():
+            outcome = OUTCOME_DEGRADED
+        self._check_invariants(outcome)
+        return self._result(outcome, reason)
+
+    def _absorbed_faults(self):
+        pager = self.runtime.pager
+        balloon = self.runtime.balloon
+        return (
+            pager.degradations > 0
+            or self.runtime.paging_ops.retried_calls > 0
+            or (balloon is not None and balloon.pages_surrendered > 0)
+        )
+
+    # -- op-level fault application ---------------------------------------
+
+    def _apply(self, event, engine):
+        kind = event.kind
+        if kind is FaultKind.QUOTA_SQUEEZE:
+            self._squeeze_quota(event)
+        elif kind is FaultKind.BALLOON_REQUEST:
+            freed = self.kernel.request_memory_reduction(
+                self.enclave, event.param
+            )
+            self.injector.record_op_event(
+                event, f"requested {event.param}, freed {freed}"
+            )
+        elif kind is FaultKind.TAMPER_BACKING:
+            self._tamper_and_probe(event, engine, replay=False)
+        elif kind is FaultKind.REPLAY_STALE:
+            self._tamper_and_probe(event, engine, replay=True)
+        elif kind is FaultKind.AEX_STORM:
+            self._aex_storm(event)
+        elif kind is FaultKind.SPURIOUS_EENTER:
+            self.injector.record_op_event(event, "EENTER out of protocol")
+            self.kernel.cpu.eenter(self.enclave, self.runtime.tcs)
+            self.violations.append(
+                "spurious EENTER was dispatched instead of rejected"
+            )
+        elif kind is FaultKind.SUSPEND_RESUME:
+            self.kernel.driver.suspend_enclave(self.enclave)
+            restored = self.kernel.driver.resume_enclave(self.enclave)
+            self.injector.record_op_event(
+                event, f"suspended and restored {len(restored)} pages"
+            )
+        elif kind is FaultKind.SUSPEND_TAMPER:
+            self._suspend_tamper(event)
+        elif kind is FaultKind.UNMAP_RESIDENT:
+            self._clobber_and_probe(event, engine, clear_ad=False)
+        elif kind is FaultKind.AD_CLEAR:
+            self._clobber_and_probe(event, engine, clear_ad=True)
+        else:
+            raise PolicyError(f"unhandled op-level fault {kind}")
+
+    def _squeeze_quota(self, event):
+        state = self.kernel.driver.state(self.enclave)
+        cut = min(event.param, max(0, state.quota_pages - QUOTA_FLOOR))
+        if cut <= 0:
+            self.injector.record_skipped(event, "quota already minimal")
+            return
+        state.quota_pages -= cut
+        restore_at = min(N_OPS - 1, event.at_op + QUOTA_RESTORE_AFTER)
+        self._quota_restores[restore_at] = (
+            self._quota_restores.get(restore_at, 0) + cut
+        )
+        self.injector.record_op_event(
+            event, f"quota cut by {cut} to {state.quota_pages}"
+        )
+
+    def _release_quota(self, op_index):
+        back = self._quota_restores.pop(op_index, 0)
+        if back:
+            self.kernel.driver.state(self.enclave).quota_pages += back
+
+    def _tamper_and_probe(self, event, engine, replay):
+        backing = self.kernel.backing
+        eid = self.enclave.enclave_id
+        heap = self.runtime.regions["heap"]
+        swapped = [
+            v for v in backing.swapped_pages(eid)
+            if heap.contains(v)
+            and not self.kernel.driver.resident(self.enclave, v)
+        ]
+        if replay:
+            stale = set(backing.stale_pages(eid))
+            swapped = [v for v in swapped if v in stale]
+        if not swapped:
+            self.injector.record_skipped(
+                event, "no swapped-out heap page to attack"
+            )
+            return
+        target = self.rng.choice(swapped)
+        if replay:
+            backing.replay(eid, target)
+            detail = f"replayed stale blob at {target:#x}"
+        else:
+            blob = backing.get(eid, target)
+            backing.substitute(
+                eid, target,
+                dataclasses.replace(blob, mac="forged-by-chaos"),
+            )
+            detail = f"forged blob at {target:#x}"
+        self.injector.record_op_event(event, detail)
+        # The probe: touch the page so the hostile blob gets loaded.
+        # Anything but an integrity abort is an invariant violation.
+        engine.data_access(target)
+        self.violations.append(
+            f"enclave resumed on {'replayed' if replay else 'tampered'} "
+            f"page {target:#x} without aborting"
+        )
+
+    def _aex_storm(self, event):
+        cpu, tcs = self.kernel.cpu, self.runtime.tcs
+        for _ in range(event.param):
+            cpu.interrupt(self.enclave, tcs)
+            cpu.resume_from_interrupt(self.enclave, tcs)
+        self.injector.record_op_event(
+            event, f"{event.param} interrupt round trips"
+        )
+
+    def _suspend_tamper(self, event):
+        driver = self.kernel.driver
+        backing = self.kernel.backing
+        eid = self.enclave.enclave_id
+        driver.suspend_enclave(self.enclave)
+        heap = self.runtime.regions["heap"]
+        # Only pages evicted by this suspend are guaranteed to be
+        # reloaded by the resume — forging anything else just leaves a
+        # tainted blob for a later fetch to trip over.
+        suspend_set = driver.state(self.enclave).suspend_set
+        targets = [v for v in sorted(suspend_set) if heap.contains(v)]
+        if not targets:
+            driver.resume_enclave(self.enclave)
+            self.injector.record_skipped(event, "nothing swapped to forge")
+            return
+        target = self.rng.choice(targets)
+        blob = backing.get(eid, target)
+        backing.substitute(
+            eid, target, dataclasses.replace(blob, mac="forged-by-chaos")
+        )
+        self.injector.record_op_event(
+            event, f"suspended, forged {target:#x}, resuming"
+        )
+        # ELDU must reject the forged page during restore; a resume
+        # that succeeds put tampered bytes into EPC.
+        driver.resume_enclave(self.enclave)
+        self.violations.append(
+            f"resume restored forged page {target:#x} without rejection"
+        )
+
+    def _clobber_and_probe(self, event, engine, clear_ad):
+        heap = self.runtime.regions["heap"]
+        resident = [
+            v for v in self.runtime.pager.resident_pages()
+            if heap.contains(v)
+        ]
+        if not resident:
+            self.injector.record_skipped(event, "no resident heap page")
+            return
+        target = self.rng.choice(resident)
+        if clear_ad:
+            self.kernel.page_table.set_accessed_dirty(
+                target, accessed=False, dirty=False
+            )
+            detail = f"cleared A/D of resident {target:#x}"
+        else:
+            self.kernel.page_table.drop(target)
+            detail = f"unmapped resident {target:#x}"
+        self.injector.record_op_event(event, detail)
+        # The enclave believes the page is resident: the fault this
+        # touch produces must be diagnosed as an attack.
+        engine.data_access(target)
+        self.violations.append(
+            f"OS-induced fault on resident page {target:#x} was "
+            f"serviced instead of detected"
+        )
+
+    # -- invariants and reporting ------------------------------------------
+
+    def _check_invariants(self, outcome):
+        base = self.enclave.base
+        for fault in self.kernel.fault_log:
+            if (fault.vaddr != base or fault.write or fault.exec_
+                    or fault.present):
+                self.violations.append(
+                    f"unmasked fault leaked to the OS: {fault.vaddr:#x} "
+                    f"(write={fault.write}, present={fault.present})"
+                )
+                break
+        if self.injector.silent_consumption:
+            pages = [hex(v) for v in self.injector.silent_consumption]
+            self.violations.append(
+                f"tainted blobs consumed without abort: {pages}"
+            )
+        pager = self.runtime.pager
+        if pager.degradations > pager.max_degradations:
+            self.violations.append(
+                f"degradations ({pager.degradations}) exceeded the "
+                f"declared budget ({pager.max_degradations})"
+            )
+        if outcome != OUTCOME_ABORTED and self.enclave.dead:
+            self.violations.append(
+                "enclave is dead but the run did not abort"
+            )
+
+    def _result(self, outcome, reason):
+        pager = self.runtime.pager
+        balloon = self.runtime.balloon
+        fired = tuple(sorted(k.value for k in self.injector.fired_kinds))
+        fingerprint = repr((
+            self.seed, self.policy_name, outcome, reason, self.ops_done,
+            self.kernel.clock.cycles, fired, pager.degradations,
+            self.runtime.paging_ops.retried_calls,
+            len(self.kernel.fault_log), len(self.injector.events),
+            tuple(self.violations),
+        )).encode()
+        return RunResult(
+            seed=self.seed,
+            policy=self.policy_name,
+            outcome=outcome,
+            reason=reason,
+            ops_done=self.ops_done,
+            cycles=self.kernel.clock.cycles,
+            fired_kinds=fired,
+            degradations=pager.degradations,
+            retried_calls=self.runtime.paging_ops.retried_calls,
+            balloon_freed=(
+                balloon.pages_surrendered if balloon is not None else 0
+            ),
+            violations=tuple(self.violations),
+            digest=hashlib.sha256(fingerprint).hexdigest()[:16],
+        )
+
+
+def run_one(seed, policy_name):
+    """Run one seed against one policy; returns a :class:`RunResult`."""
+    return _ChaosRun(seed, policy_name).execute()
+
+
+def run_campaign(seeds, policies=DEFAULT_POLICIES,
+                 check_determinism=True):
+    """Sweep ``seeds`` × ``policies``; returns a :class:`CampaignResult`.
+
+    With ``check_determinism`` every run executes twice from scratch
+    and the two digests must agree — the property that makes a chaos
+    failure replayable from nothing but its seed.
+    """
+    result = CampaignResult()
+    for policy_name in policies:
+        result.abort_stats[policy_name] = AbortStats()
+    for seed in seeds:
+        for policy_name in policies:
+            run = run_one(seed, policy_name)
+            if check_determinism:
+                rerun = run_one(seed, policy_name)
+                if rerun.digest != run.digest:
+                    result.determinism_failures.append(
+                        (seed, policy_name, run.digest, rerun.digest)
+                    )
+            result.runs.append(run)
+            if run.outcome == OUTCOME_ABORTED:
+                result.abort_stats[policy_name].record(run.reason)
+    return result

@@ -1,0 +1,151 @@
+"""``python -m repro chaos`` — run a Byzantine-host chaos campaign.
+
+Exit status is the campaign verdict: 0 only when every run landed in a
+safe state (completed / degraded-within-budget / structured abort),
+every seed reproduced its own digest, and the sweep exercised enough
+distinct fault kinds to mean something.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.chaos.campaign import DEFAULT_POLICIES, run_campaign
+from repro.chaos.plan import FaultKind
+
+#: A sweep must fire at least this many distinct fault kinds, or the
+#: campaign is not exercising the surface it claims to.
+MIN_DISTINCT_KINDS = 8
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="deterministic Byzantine-host fault-injection sweep",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, metavar="N",
+        help="number of seeds to sweep, 0..N-1 (default: 20)",
+    )
+    parser.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES),
+        help="comma-separated paging policies "
+             f"(default: {','.join(DEFAULT_POLICIES)})",
+    )
+    parser.add_argument(
+        "--no-determinism-check", action="store_true",
+        help="run each seed once instead of twice (faster, weaker)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print one line per run",
+    )
+    return parser
+
+
+def run(argv=None):
+    args = build_parser().parse_args(argv)
+    policies = tuple(
+        p.strip() for p in args.policies.split(",") if p.strip()
+    )
+    result = run_campaign(
+        range(args.seeds),
+        policies=policies,
+        check_determinism=not args.no_determinism_check,
+    )
+    kinds_fired = len(result.fired_kinds)
+    enough_kinds = kinds_fired >= min(
+        MIN_DISTINCT_KINDS, len(FaultKind)
+    )
+    ok = result.ok and enough_kinds
+
+    if args.format == "json":
+        print(json.dumps(_as_json(result, args, ok), indent=2,
+                         sort_keys=True))
+    else:
+        _print_text(result, args, ok, kinds_fired)
+    return 0 if ok else 1
+
+
+def _print_text(result, args, ok, kinds_fired):
+    if args.verbose:
+        for run_ in result.runs:
+            extra = f" reason={run_.reason}" if run_.reason else ""
+            print(
+                f"seed={run_.seed:3d} {run_.policy:10s} "
+                f"{run_.outcome:9s}{extra} "
+                f"kinds={','.join(run_.fired_kinds) or '-'} "
+                f"digest={run_.digest}"
+            )
+        print()
+    counts = result.outcome_counts()
+    total = len(result.runs)
+    print(f"chaos campaign: {total} runs "
+          f"({args.seeds} seeds x {len(result.abort_stats)} policies)")
+    for outcome, count in counts.items():
+        print(f"  {outcome:9s} {count}")
+    for policy, stats in result.abort_stats.items():
+        if stats.total:
+            detail = ", ".join(
+                f"{reason}={count}"
+                for reason, count in stats.as_dict().items()
+            )
+            print(f"  aborts[{policy}]: {detail}")
+    print(f"  distinct fault kinds fired: {kinds_fired}")
+    if result.violations:
+        print("SAFETY-INVARIANT VIOLATIONS:")
+        for seed, policy, message in result.violations:
+            print(f"  seed={seed} policy={policy}: {message}")
+    if result.determinism_failures:
+        print("DETERMINISM FAILURES:")
+        for seed, policy, first, second in result.determinism_failures:
+            print(f"  seed={seed} policy={policy}: "
+                  f"{first} != {second}")
+    if kinds_fired < MIN_DISTINCT_KINDS:
+        print(f"INSUFFICIENT COVERAGE: only {kinds_fired} distinct "
+              f"fault kinds fired (need {MIN_DISTINCT_KINDS})")
+    print("verdict:", "OK" if ok else "FAIL")
+
+
+def _as_json(result, args, ok):
+    return {
+        "ok": ok,
+        "seeds": args.seeds,
+        "policies": sorted(result.abort_stats),
+        "outcomes": result.outcome_counts(),
+        "abort_reasons": {
+            policy: stats.as_dict()
+            for policy, stats in result.abort_stats.items()
+        },
+        "fired_kinds": sorted(result.fired_kinds),
+        "violations": [
+            {"seed": seed, "policy": policy, "message": message}
+            for seed, policy, message in result.violations
+        ],
+        "determinism_failures": [
+            {"seed": seed, "policy": policy,
+             "digests": [first, second]}
+            for seed, policy, first, second
+            in result.determinism_failures
+        ],
+        "runs": [
+            {
+                "seed": run_.seed,
+                "policy": run_.policy,
+                "outcome": run_.outcome,
+                "reason": run_.reason,
+                "ops_done": run_.ops_done,
+                "fired_kinds": list(run_.fired_kinds),
+                "degradations": run_.degradations,
+                "retried_calls": run_.retried_calls,
+                "balloon_freed": run_.balloon_freed,
+                "digest": run_.digest,
+            }
+            for run_ in result.runs
+        ],
+    }

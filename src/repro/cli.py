@@ -64,7 +64,8 @@ def cmd_list():
               f"[repro.experiments.{module}]")
     print("\n  all" + " " * (width - 3) + "  run everything, in order")
     print("\nother subcommands: verify, report [path], "
-          "analyze [--strict] [--format text|json]")
+          "analyze [--strict] [--format text|json], "
+          "chaos [--seeds N] [--policies ...]")
 
 
 def cmd_run(names, quiet=False):
@@ -86,6 +87,10 @@ def main(argv=None):
         # rest of the command line straight to its parser.
         from repro.analysis.cli import run as analyze_run
         return analyze_run(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Same pattern for the fault-injection campaign runner.
+        from repro.chaos.cli import run as chaos_run
+        return chaos_run(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

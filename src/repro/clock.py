@@ -27,6 +27,7 @@ class Category:
     SGX_PAGING = "sgx_paging"           # EWB/ELDU/EAUG/... incl. crypto
     OS = "os"                           # host kernel / driver work
     EXITLESS = "exitless"               # exitless host-call channel
+    BACKOFF = "backoff"                 # retry waits on failed host calls
     ORAM = "oram"                       # PathORAM protocol work
     OBLIVIOUS_SCAN = "oblivious_scan"   # CMOV linear scans (uncached ORAM)
 

@@ -85,6 +85,52 @@ class Measurement:
         )
 
 
+class AbortStats:
+    """Per-reason counts of enclave aborts.
+
+    Feeds on :class:`~repro.errors.EnclaveTerminated` exceptions (or
+    bare :class:`~repro.errors.AbortReason` values) and aggregates them
+    by the structured reason, so robustness campaigns and experiments
+    report *why* enclaves died rather than opaque totals.
+    """
+
+    UNCLASSIFIED = "unclassified"
+
+    def __init__(self):
+        self.by_reason = {}
+
+    def record(self, abort):
+        """Count one abort; returns the reason key it was filed under.
+
+        Accepts an exception carrying a ``.reason``, a bare
+        :class:`~repro.errors.AbortReason`, or an already-stringified
+        reason key."""
+        reason = getattr(abort, "reason", abort)
+        if isinstance(reason, str):
+            key = reason or self.UNCLASSIFIED
+        else:
+            key = getattr(reason, "value", None) or self.UNCLASSIFIED
+        self.by_reason[key] = self.by_reason.get(key, 0) + 1
+        return key
+
+    @property
+    def total(self):
+        return sum(self.by_reason.values())
+
+    def count(self, reason):
+        key = getattr(reason, "value", reason)
+        return self.by_reason.get(key, 0)
+
+    def as_dict(self):
+        """Reason → count, sorted by reason for stable reports."""
+        return dict(sorted(self.by_reason.items()))
+
+    def merge(self, other):
+        for key, count in other.by_reason.items():
+            self.by_reason[key] = self.by_reason.get(key, 0) + count
+        return self
+
+
 def slowdown(baseline, subject):
     """Throughput ratio baseline/subject (1.0 = no overhead)."""
     if subject.throughput == 0:

@@ -78,6 +78,18 @@ class TraceRecorder:
         )
 
 
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One host-side fault injection, on the same simulated timeline as
+    :class:`TraceEvent` so chaos runs can be lined up against the
+    enclave's own access stream."""
+
+    cycles: int
+    kind: str        # FaultKind value, e.g. "deny-fetch"
+    point: str       # hook that fired: syscall name, instruction, or "op"
+    detail: str = ""
+
+
 @dataclass
 class AdversaryView:
     """What the OS-level adversary learned vs. the ground truth."""

@@ -13,10 +13,29 @@ The simulator distinguishes three families of failures:
 
 * :class:`EnclaveTerminated` — raised when trusted in-enclave software
   decides to kill the enclave (e.g. the Autarky fault handler detected a
-  controlled-channel attack, or a rate limit was exceeded).
+  controlled-channel attack, or a rate limit was exceeded).  Every
+  termination carries a structured :class:`AbortReason` so experiments
+  and the chaos harness can aggregate aborts without string matching.
+
+* :class:`HostCallDenied` — the untrusted host refused or failed a
+  paging service call.  Unlike :class:`SgxError` this is *legal*
+  behaviour for a Byzantine host: the trusted runtime must absorb it
+  (bounded retry) or fail stop, never hang or trust a partial result.
 """
 
 from __future__ import annotations
+
+import enum
+
+
+class AbortReason(enum.Enum):
+    """Why trusted software terminated the enclave (fail-stop taxonomy)."""
+
+    ATTACK_DETECTED = "attack-detected"   # OS-induced fault (§5.2.1)
+    RATE_LIMIT = "rate-limit"             # §5.2.4 bounded-leakage trip
+    LIVELOCK_GUARD = "livelock-guard"     # paging loop made no progress
+    INTEGRITY = "integrity"               # tampered/replayed page detected
+    CHAOS_ABORT = "chaos-abort"           # host failure budget exhausted
 
 
 class ReproError(Exception):
@@ -62,20 +81,72 @@ class PageFault(ReproError):
 
 
 class EnclaveTerminated(ReproError):
-    """Trusted enclave software aborted execution."""
+    """Trusted enclave software aborted execution.
 
-    def __init__(self, cause):
+    ``reason`` is the structured :class:`AbortReason`; subclasses pin
+    their own default so every raise site stays classifiable.
+    """
+
+    default_reason = None
+
+    def __init__(self, cause, reason=None):
         self.cause = cause
+        self.reason = reason if reason is not None else self.default_reason
         super().__init__(f"enclave terminated: {cause}")
 
 
 class AttackDetected(EnclaveTerminated):
     """The self-paging runtime identified an OS-induced fault."""
 
+    default_reason = AbortReason.ATTACK_DETECTED
+
 
 class RateLimitExceeded(EnclaveTerminated):
     """The bounded-leakage policy observed too many faults per progress."""
 
+    default_reason = AbortReason.RATE_LIMIT
+
+
+class LivelockGuard(EnclaveTerminated):
+    """A bounded paging loop stopped making progress (diagnosable
+    fail-stop instead of spinning forever against a Byzantine host)."""
+
+    default_reason = AbortReason.LIVELOCK_GUARD
+
+
+class ChaosAbort(EnclaveTerminated):
+    """The runtime exhausted its retry/degradation budget against a
+    failing or hostile host and chose fail-stop over livelock."""
+
+    default_reason = AbortReason.CHAOS_ABORT
+
+
+class HostCallDenied(ReproError):
+    """The untrusted host refused or failed a paging service call.
+
+    Raised by the (possibly fault-injected) host, observed by the
+    trusted runtime — which may retry with backoff, degrade, or abort
+    with :class:`ChaosAbort`, but must never block forever.
+    """
+
 
 class PolicyError(ReproError):
     """A secure-paging policy was misused (bad cluster, bad region, ...)."""
+
+
+class PinnedExhaustion(LivelockGuard, PolicyError):
+    """Every eviction candidate is pinned while more room is required.
+
+    Doubles as a :class:`PolicyError` (a misconfigured budget reaches
+    the same state as a hostile quota squeeze) and as an
+    :class:`EnclaveTerminated` with the ``livelock-guard`` reason, so
+    both the configuration tests and the chaos harness classify it.
+    """
+
+
+class IntegrityAbort(EnclaveTerminated, IntegrityError):
+    """Fail-stop on detected tampering: the runtime converts a paging
+    :class:`IntegrityError` into enclave termination so execution can
+    never continue past a tampered or replayed page."""
+
+    default_reason = AbortReason.INTEGRITY

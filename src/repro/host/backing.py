@@ -18,6 +18,14 @@ class BackingStore:
         self._pages = {}
         #: Old blobs an attacker squirrelled away for replay attempts.
         self._stale = {}
+        #: Audit trail of attacker writes: (kind, enclave_id, vaddr).
+        #: Ground truth for chaos campaigns — if a run consumed a page
+        #: recorded here without aborting, the safety invariant fell.
+        self.tamper_log = []
+        #: Keys whose *current* blob is attacker-written.  A fresh
+        #: legitimate put() clears the taint; take() of a tainted key
+        #: hands hostile bytes to the loader.
+        self.tainted = set()
 
     def put(self, enclave_id, vaddr, sealed):
         key = (enclave_id, vaddr)
@@ -25,6 +33,7 @@ class BackingStore:
         if old is not None:
             self._stale[key] = old
         self._pages[key] = sealed
+        self.tainted.discard(key)
 
     def get(self, enclave_id, vaddr):
         return self._pages.get((enclave_id, vaddr))
@@ -45,6 +54,14 @@ class BackingStore:
     def has(self, enclave_id, vaddr):
         return (enclave_id, vaddr) in self._pages
 
+    def swapped_pages(self, enclave_id):
+        """Sorted page addresses currently swapped out for an enclave."""
+        return sorted(v for e, v in self._pages if e == enclave_id)
+
+    def stale_pages(self, enclave_id):
+        """Sorted page addresses with a superseded blob on the shelf."""
+        return sorted(v for e, v in self._stale if e == enclave_id)
+
     def __len__(self):
         return len(self._pages)
 
@@ -56,4 +73,26 @@ class BackingStore:
 
     def substitute(self, enclave_id, vaddr, sealed):
         """Overwrite the stored blob with attacker-chosen bytes."""
-        self._pages[(enclave_id, vaddr)] = sealed
+        key = (enclave_id, vaddr)
+        self.tamper_log.append(("substitute", enclave_id, vaddr))
+        self._pages[key] = sealed
+        self.tainted.add(key)
+
+    def replay(self, enclave_id, vaddr):
+        """Put the stale-shelf copy back in place (a replay attack).
+        Returns True when a stale blob existed to replay."""
+        stale = self._stale.get((enclave_id, vaddr))
+        if stale is None:
+            return False
+        key = (enclave_id, vaddr)
+        self.tamper_log.append(("replay", enclave_id, vaddr))
+        self._pages[key] = stale
+        self.tainted.add(key)
+        return True
+
+    def tampered_pages(self, enclave_id):
+        """Page addresses this store saw attacker writes for."""
+        return {
+            vaddr for _kind, eid, vaddr in self.tamper_log
+            if eid == enclave_id
+        }

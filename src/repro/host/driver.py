@@ -199,11 +199,28 @@ class SgxDriver:
         nothing to evict — the self-paging runtime must free memory
         itself in that case (the §5.2.1 contract)."""
         state = self.state(enclave)
+        # Every iteration must evict exactly one resident page; the
+        # guard turns a bookkeeping bug (or a hostile quota that moves
+        # under us) into a diagnosable error instead of a kernel hang.
+        guard = self.resident_count(enclave) + 1
         while self.resident_count(enclave) + need > state.quota_pages:
+            guard -= 1
+            if guard <= 0:
+                raise EpcExhausted(
+                    f"EPC quota exceeded and eviction is making no "
+                    f"progress (need={need}, "
+                    f"resident={self.resident_count(enclave)}, "
+                    f"quota={state.quota_pages})"
+                )
             victim = self._select_victim(state)
             if victim is None:
                 raise EpcExhausted(
-                    "EPC quota exceeded and no OS-managed page is evictable"
+                    f"EPC quota exceeded and no OS-managed page is "
+                    f"evictable (need={need}, "
+                    f"resident={self.resident_count(enclave)}, "
+                    f"quota={state.quota_pages}, "
+                    f"enclave_managed={len(state.enclave_managed)}, "
+                    f"os_evictable={len(state.fifo_set)})"
                 )
             self.evict_page(enclave, victim << 12)
 
@@ -353,9 +370,14 @@ class SgxDriver:
         self.pages_in += 1
 
     def sgx2_augment_batch(self, enclave, vaddrs):
-        """EAUG a batch of pending enclave-managed pages."""
+        """EAUG a batch of pending enclave-managed pages.
+
+        Pages already backed are skipped so a batch that failed
+        part-way (EPC pressure, injected refusal) can be retried
+        without double-EAUGing the pages that did succeed."""
         for vaddr in vaddrs:
-            self.sgx2_augment(enclave, vaddr)
+            if vpn_of(vaddr) not in enclave.backed:
+                self.sgx2_augment(enclave, vaddr)
 
     def sgx2_modpr_batch(self, enclave, vaddrs, perms):
         """EMODPR: propose permission reductions (enclave must EACCEPT).

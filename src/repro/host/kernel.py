@@ -70,6 +70,11 @@ class HostKernel:
         self.autarky_aware = autarky_aware
         #: Optional controlled-channel attacker (see repro.attacks).
         self.attacker = None
+        #: Optional deterministic fault injector (see repro.chaos):
+        #: when installed, every syscall is routed through it so a
+        #: scripted Byzantine host can deny, drop, delay, or observe
+        #: the paging services the enclave depends on.
+        self.fault_injector = None
         #: Everything the OS observed about enclave faults.
         self.fault_log = []
 
@@ -144,6 +149,8 @@ class HostKernel:
         handler = getattr(self.driver, name, None)
         if handler is None:
             raise SgxError(f"unknown syscall {name!r}")
+        if self.fault_injector is not None:
+            return self.fault_injector.around_syscall(name, args, handler)
         return handler(*args)
 
     # -- memory ballooning (§5.2.1 extension) --------------------------------
@@ -164,6 +171,8 @@ class HostKernel:
         # repro: allow[trust-boundary] upcall ABI stand-in (EENTER arg)
         runtime = enclave.runtime
         if runtime is None or getattr(runtime, "balloon", None) is None:
+            return 0
+        if pages <= 0 or enclave.dead:
             return 0
         tcs = enclave.tcs_list[0]
         # repro: allow[trust-boundary] request register of the upcall

@@ -1,0 +1,65 @@
+"""Bounded retry-with-backoff for untrusted host services.
+
+The paging runtime depends on host calls (`ay_fetch_pages`,
+`ay_evict_pages`, the SGX2 IOCTLs) that a Byzantine host may refuse or
+fail transiently.  The Autarky contract gives the enclave exactly two
+safe responses: absorb the failure within a *bounded* budget, or fail
+stop.  Unbounded retry loops reopen a livelock channel (the host can
+stall the enclave forever while watching its retry pattern), so every
+budget here is finite and every wait is charged to the simulated clock
+— backoff costs cycles, exactly like the real runtime spinning on a
+monotonic counter would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Category
+from repro.errors import ChaosAbort, HostCallDenied
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a denied host call, and at what cost.
+
+    ``max_attempts`` counts the *total* tries (first call included);
+    the wait before retry ``i`` is ``base_cycles * multiplier**(i-1)``,
+    charged to :data:`~repro.clock.Category.BACKOFF`.
+    """
+
+    max_attempts: int = 4
+    base_cycles: int = 2_000
+    multiplier: int = 4
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("retry budget must allow at least one attempt")
+        if self.base_cycles < 0 or self.multiplier < 1:
+            raise ValueError("backoff must advance simulated time forward")
+
+    def wait_cycles(self, attempt):
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.base_cycles * self.multiplier ** (attempt - 1)
+
+
+def call_with_retry(clock, fn, policy=None, describe="host call"):
+    """Run ``fn()`` retrying transient :class:`HostCallDenied` failures.
+
+    Waits (in simulated cycles) between attempts; once the budget is
+    exhausted, converts the persistent failure into a fail-stop
+    :class:`~repro.errors.ChaosAbort` so callers never spin forever.
+    """
+    policy = policy or RetryPolicy()
+    last = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except HostCallDenied as exc:
+            last = exc
+            if attempt < policy.max_attempts:
+                clock.charge(policy.wait_cycles(attempt), Category.BACKOFF)
+    raise ChaosAbort(
+        f"{describe} still failing after {policy.max_attempts} attempts "
+        f"with backoff: {last}"
+    ) from last

@@ -48,15 +48,24 @@ class BalloonHandler:
         self.policy = policy or BalloonPolicy()
         self.requests = 0
         self.pages_surrendered = 0
+        #: Upcalls answered with 0 pages — the §5.2.1 non-cooperation
+        #: the OS must be prepared for (and chaos campaigns count).
+        self.refusals = 0
 
     def handle_request(self, pages_requested):
         """Give back up to ``pages_requested`` pages; returns the count
-        actually freed (0 = refusal)."""
+        actually freed (0 = refusal).
+
+        The request comes from the untrusted OS, so it is clamped, not
+        trusted: absurd sizes (negative, larger than the enclave) are
+        treated as a request for everything the policy allows."""
         self.requests += 1
         if not self.policy.cooperative or pages_requested <= 0:
+            self.refusals += 1
             return 0
 
         resident = self.pager.resident_count()
+        pages_requested = min(pages_requested, resident)
         ceiling = int(resident * self.policy.max_fraction_per_request)
         allowance = min(
             pages_requested,
@@ -64,13 +73,18 @@ class BalloonHandler:
             max(0, resident - self.policy.floor_pages),
         )
         if allowance <= 0:
+            self.refusals += 1
             return 0
 
         freed = 0
+        # Bounded by construction: each pop consumes one queued unit,
+        # and the allowance can never exceed the resident set.
         while freed < allowance:
             unit = self.pager._pop_victim()
             if unit is None:
                 break
             freed += self.pager.evict_unit(unit)
         self.pages_surrendered += freed
+        if freed == 0:
+            self.refusals += 1
         return freed

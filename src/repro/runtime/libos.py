@@ -20,7 +20,12 @@ import enum
 from dataclasses import dataclass
 
 from repro.clock import Category
-from repro.errors import AttackDetected, PolicyError
+from repro.errors import (
+    AttackDetected,
+    IntegrityAbort,
+    IntegrityError,
+    PolicyError,
+)
 from repro.sgx.params import PAGE_SIZE, AccessType, SgxVersion
 from repro.runtime.allocator import ClusteringAllocator
 from repro.runtime.clusters import ClusterManager
@@ -345,24 +350,35 @@ class GrapheneRuntime:
         info = frame.exitinfo
         self.handled_faults += 1
 
-        if self.pager.is_managed(info.vaddr):
-            # Sensitive page under enclave management: the policy
-            # decides (and detects attacks).  Page-level claims override
-            # region defaults, so check the pager first.
-            if self.policy is None:
+        try:
+            if self.pager.is_managed(info.vaddr):
+                # Sensitive page under enclave management: the policy
+                # decides (and detects attacks).  Page-level claims
+                # override region defaults, so check the pager first.
+                if self.policy is None:
+                    raise AttackDetected(
+                        "fault on managed page with no policy configured"
+                    )
+                self.policy.on_fault(info.vaddr, info.access)
+            elif self.region_of(info.vaddr) is not None:
+                # Insensitive OS-managed page: hand the fault to the OS,
+                # which could not see the address on its own (the
+                # libjpeg pipeline pattern of §7.3).
+                self.channel.call("os_resolve", self.enclave, info.vaddr)
+            else:
                 raise AttackDetected(
-                    "fault on managed page with no policy configured"
+                    f"fault outside any region at {info.vaddr:#x}"
                 )
-            self.policy.on_fault(info.vaddr, info.access)
-        elif self.region_of(info.vaddr) is not None:
-            # Insensitive OS-managed page: hand the fault to the OS,
-            # which could not see the address on its own (the libjpeg
-            # pipeline pattern of §7.3).
-            self.channel.call("os_resolve", self.enclave, info.vaddr)
-        else:
-            raise AttackDetected(
-                f"fault outside any region at {info.vaddr:#x}"
-            )
+        except IntegrityAbort:
+            raise
+        except IntegrityError as exc:
+            # A tampered or replayed blob surfaced while servicing the
+            # fault.  Converting it into a structured termination here
+            # guarantees fail-stop: the handler never resumes the
+            # application on state the crypto layer rejected.
+            raise IntegrityAbort(
+                f"integrity failure while paging {info.vaddr:#x}: {exc}"
+            ) from exc
 
         if self.kernel.cpu.arch_opts.in_enclave_resume and tcs.ssa.depth:
             # In-enclave ERESUME variant: pop the frame and continue

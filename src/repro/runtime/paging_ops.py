@@ -18,14 +18,44 @@
 from __future__ import annotations
 
 from repro.clock import Category
-from repro.errors import SgxError
+from repro.errors import AttackDetected, IntegrityError, SgxError
+from repro.runtime.backoff import RetryPolicy, call_with_retry
 from repro.sgx.crypto import PagingCrypto
 from repro.sgx.epcm import Permissions
 from repro.sgx.params import SgxVersion, page_base
 
 
 class PagingOps:
-    """Interface: batched fetch/evict of enclave-managed pages."""
+    """Interface: batched fetch/evict of enclave-managed pages.
+
+    Every host call goes through :meth:`_host_call`, which absorbs
+    transient :class:`~repro.errors.HostCallDenied` failures with
+    bounded, cycle-charged backoff and converts persistent refusal into
+    fail-stop (:class:`~repro.errors.ChaosAbort`) — the hardened
+    contract the chaos harness exercises.
+    """
+
+    def __init__(self, enclave, channel, retry=None):
+        self.enclave = enclave
+        self.channel = channel
+        self.retry = retry or RetryPolicy()
+        #: Transient host failures absorbed by backoff (observability).
+        self.retried_calls = 0
+
+    def _host_call(self, name, *args):
+        attempts = 0
+
+        def attempt():
+            nonlocal attempts
+            attempts += 1
+            return self.channel.call(name, self.enclave, *args)
+
+        result = call_with_retry(
+            self.channel.kernel.clock, attempt, self.retry,
+            describe=f"paging service {name!r}",
+        )
+        self.retried_calls += attempts - 1
+        return result
 
     def fetch_batch(self, vaddrs):
         raise NotImplementedError
@@ -41,21 +71,17 @@ class PagingOps:
 class Sgx1PagingOps(PagingOps):
     """Driver-executed EWB/ELDU paging."""
 
-    def __init__(self, enclave, channel):
-        self.enclave = enclave
-        self.channel = channel
-
     def fetch_batch(self, vaddrs):
         if not vaddrs:
             return []
-        return self.channel.call("ay_fetch_pages", self.enclave,
-                                 [page_base(v) for v in vaddrs])
+        return self._host_call("ay_fetch_pages",
+                               [page_base(v) for v in vaddrs])
 
     def evict_batch(self, vaddrs):
         if not vaddrs:
             return
-        self.channel.call("ay_evict_pages", self.enclave,
-                          [page_base(v) for v in vaddrs])
+        self._host_call("ay_evict_pages",
+                        [page_base(v) for v in vaddrs])
 
 
 class Sgx2PagingOps(PagingOps):
@@ -66,9 +92,9 @@ class Sgx2PagingOps(PagingOps):
     own sealing crypto, so a hostile OS gains nothing by touching them.
     """
 
-    def __init__(self, enclave, channel, instructions, clock, cost):
-        self.enclave = enclave
-        self.channel = channel
+    def __init__(self, enclave, channel, instructions, clock, cost,
+                 retry=None):
+        super().__init__(enclave, channel, retry=retry)
         self.instr = instructions
         self.clock = clock
         self.cost = cost
@@ -90,20 +116,38 @@ class Sgx2PagingOps(PagingOps):
         # Privileged half, batched: EAUG + PTE map.  The prototype
         # overlaps EAUG with decryption via a temporary buffer (§6), so
         # we do not serialize an extra round trip per page.
-        self.channel.call("sgx2_augment_batch", self.enclave, bases)
+        self._host_call("sgx2_augment_batch", bases)
         for base in bases:
             sealed = self._sealed.pop(base, None)
-            if sealed is None:
-                # First touch: plain EACCEPT of the zeroed page.
-                self.instr.eaccept(self.enclave, base)
-                contents = None
-            else:
-                self.clock.charge(self.cost.decrypt_page,
-                                  Category.SGX_PAGING)
-                contents = self.crypto.unseal(
-                    self.enclave.enclave_id, base, sealed
-                )
-                self.instr.eacceptcopy(self.enclave, base, contents)
+            try:
+                if sealed is None:
+                    # First touch: plain EACCEPT of the zeroed page.
+                    self.instr.eaccept(self.enclave, base)
+                    contents = None
+                else:
+                    self.clock.charge(self.cost.decrypt_page,
+                                      Category.SGX_PAGING)
+                    contents = self.crypto.unseal(
+                        self.enclave.enclave_id, base, sealed
+                    )
+                    self.instr.eacceptcopy(self.enclave, base, contents)
+            except IntegrityError:
+                # Tampered or replayed sealed blob.  IntegrityError is
+                # a subclass of SgxError, so without this re-raise the
+                # clause below would misclassify crypto rejection as a
+                # skipped EAUG; the libos converts it into fail-stop
+                # with the ``integrity`` abort reason.
+                raise
+            except SgxError as exc:
+                # EACCEPT[COPY] found no pending page: the host claimed
+                # the augment succeeded but never performed it.  The
+                # enclave-side instruction is the detector (§6) — a
+                # lying paging service is an active attack.
+                if sealed is not None:
+                    self._sealed[base] = sealed
+                raise AttackDetected(
+                    f"host skipped EAUG for {base:#x}: {exc}"
+                ) from exc
             self._resident_contents[base] = contents
         return bases
 
@@ -119,8 +163,10 @@ class Sgx2PagingOps(PagingOps):
                 )
         # Phase 1: freeze the pages read-only so concurrent writers
         # fault (thread safety, §6), then seal contents in-enclave.
-        self.channel.call("sgx2_modpr_batch", self.enclave, bases,
-                          Permissions.R)
+        # Each privileged half is retried independently: the phases are
+        # not idempotent as a whole, so a transient denial mid-sequence
+        # must resume exactly where it stopped, never re-run phase 1.
+        self._host_call("sgx2_modpr_batch", bases, Permissions.R)
         for base in bases:
             self.instr.eaccept(self.enclave, base)
             contents = self._resident_contents.pop(base)
@@ -129,10 +175,10 @@ class Sgx2PagingOps(PagingOps):
                 self.enclave.enclave_id, base, contents
             )
         # Phase 2: trim, accept, and release the frames.
-        self.channel.call("sgx2_trim_batch", self.enclave, bases)
+        self._host_call("sgx2_trim_batch", bases)
         for base in bases:
             self.instr.eaccept(self.enclave, base)
-        self.channel.call("sgx2_remove_batch", self.enclave, bases)
+        self._host_call("sgx2_remove_batch", bases)
 
 
 def make_paging_ops(version, enclave, channel, instructions, clock, cost):

@@ -29,6 +29,8 @@ class SecurePagingPolicy:
         #: Experiment counters.
         self.legit_faults = 0
         self.pages_fetched = 0
+        #: OS-induced faults this policy refused to service.
+        self.attacks_detected = 0
 
     def attach(self, pager):
         self.pager = pager
@@ -44,6 +46,7 @@ class SecurePagingPolicy:
         """The universal attack check: a fault on a page we believe is
         mapped means the OS tampered with the mapping (§5.2.1)."""
         if self.pager.is_resident(vaddr):
+            self.attacks_detected += 1
             raise AttackDetected(
                 f"fault on purportedly-resident page {vaddr:#x}"
             )
@@ -67,6 +70,7 @@ class PinAllPolicy(SecurePagingPolicy):
     def on_fault(self, vaddr, access):
         self._check_not_resident(vaddr)
         if self.sealed:
+            self.attacks_detected += 1
             raise AttackDetected(
                 f"fault after seal on pinned memory at {vaddr:#x}"
             )

@@ -25,7 +25,13 @@ import itertools
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
-from repro.errors import PolicyError
+from repro.errors import (
+    ChaosAbort,
+    EpcExhausted,
+    LivelockGuard,
+    PinnedExhaustion,
+    PolicyError,
+)
 from repro.sgx.params import EVICTION_BATCH, page_base, vpn_of
 
 
@@ -48,13 +54,17 @@ class SelfPager:
     """Manages the enclave-managed portion of EPC from inside the enclave."""
 
     def __init__(self, enclave, channel, ops, budget_pages,
-                 order=EvictionOrder.FIFO, min_evict_batch=EVICTION_BATCH):
+                 order=EvictionOrder.FIFO, min_evict_batch=EVICTION_BATCH,
+                 max_degradations=8):
         self.enclave = enclave
         self.channel = channel
         self.ops = ops
         self.budget_pages = budget_pages
         self.order = order
         self.min_evict_batch = min_evict_batch
+        #: How many times one fetch may shrink the resident set when the
+        #: host squeezes the EPC quota, before the enclave fails stop.
+        self.max_degradations = max_degradations
 
         self._resident = set()           # vpns
         self._pinned = set()             # vpns never evicted
@@ -70,6 +80,9 @@ class SelfPager:
         #: Experiment counters.
         self.fetches = 0
         self.evictions = 0
+        #: Times a fetch survived host EPC pressure by surrendering
+        #: resident pages (graceful degradation, bounded above).
+        self.degradations = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -78,6 +91,10 @@ class SelfPager:
 
     def resident_count(self):
         return len(self._resident)
+
+    def resident_pages(self):
+        """Page base addresses of every resident enclave-managed page."""
+        return sorted(vpn << 12 for vpn in self._resident)
 
     def is_managed(self, vaddr):
         """Whether the page is currently under enclave management."""
@@ -134,7 +151,7 @@ class SelfPager:
         if not missing:
             return []
         self.make_room(len(missing))
-        self.ops.fetch_batch(missing)
+        self._fetch_degrading(missing)
         vpns = tuple(vpn_of(b) for b in missing)
         self._resident.update(vpns)
         self._claimed.update(vpns)
@@ -144,6 +161,36 @@ class SelfPager:
             self._push_unit(vpns)
         self.fetches += len(missing)
         return missing
+
+    def _fetch_degrading(self, missing):
+        """Issue the batched fetch, absorbing host-side EPC exhaustion.
+
+        A Byzantine (or merely overloaded) host may shrink the quota
+        under us even though ``make_room`` already made the resident set
+        fit the *declared* budget.  The safe response is graceful
+        degradation: surrender our own coldest units and retry, at most
+        ``max_degradations`` times, then fail stop — never spin."""
+        last = None
+        for _ in range(self.max_degradations + 1):
+            try:
+                self.ops.fetch_batch(missing)
+                return
+            except EpcExhausted as exc:
+                last = exc
+                unit = self._pop_victim()
+                if unit is None:
+                    raise ChaosAbort(
+                        f"EPC exhausted fetching {len(missing)} pages "
+                        f"with nothing left to surrender "
+                        f"(resident={len(self._resident)}, "
+                        f"pinned={len(self._pinned)}): {exc}"
+                    ) from exc
+                self.evict_unit(unit)
+                self.degradations += 1
+        raise ChaosAbort(
+            f"EPC exhaustion persisted past the degradation budget "
+            f"({self.max_degradations} evictions): {last}"
+        ) from last
 
     def _detach_unit(self, unit):
         """Retire a unit; returns the page addresses it still held."""
@@ -184,13 +231,30 @@ class SelfPager:
         target = max(overshoot, min(self.min_evict_batch,
                                     len(self._resident)))
         victims = []
+        # Each queue entry is consumed exactly once, so the selection
+        # loop is structurally finite — the guard turns any future
+        # bookkeeping bug into a diagnosable abort instead of a hang.
+        rounds = 0
+        max_rounds = len(self._fifo) + len(self._freq_heap) + 1
         while len(victims) < target:
+            rounds += 1
+            if rounds > max_rounds:
+                raise LivelockGuard(
+                    f"victim selection looped {rounds} times over "
+                    f"{max_rounds - 1} queued units without freeing "
+                    f"{target} pages (resident={len(self._resident)}, "
+                    f"pinned={len(self._pinned)})"
+                )
             unit = self._pop_victim()
             if unit is None:
                 if len(victims) >= overshoot:
                     break
-                raise PolicyError(
-                    "budget exceeded but every resident page is pinned"
+                raise PinnedExhaustion(
+                    f"budget exceeded but every resident page is pinned "
+                    f"(need={need}, budget={self.budget_pages}, "
+                    f"resident={len(self._resident)}, "
+                    f"pinned={len(self._pinned)}, "
+                    f"freed={len(victims)})"
                 )
             victims.extend(self._detach_unit(unit))
         self._evict_pages(victims)

@@ -141,6 +141,12 @@ class Cpu:
         self.mode = ExecutionMode.ENCLAVE
         try:
             enclave.runtime.on_enter(tcs)
+        except EnclaveTerminated:
+            # Fail-stop: trusted software aborted during this entry
+            # (attack detected, integrity failure, livelock guard) —
+            # the enclave must never run again on tainted state.
+            enclave.dead = True
+            raise
         finally:
             tcs.busy = False
 

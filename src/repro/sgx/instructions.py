@@ -36,6 +36,10 @@ class SgxInstructions:
         #: Registered by the kernel at boot so EWB can verify the
         #: ETRACK shootdown completed (no stale translations).
         self.tlb = None
+        #: Optional chaos hook consulted before EAUG allocates: a
+        #: scripted host may refuse the augmentation (EPC pressure) by
+        #: raising from the hook.  See repro.chaos.
+        self.fault_hook = None
 
     # -- launch ----------------------------------------------------------
 
@@ -134,6 +138,8 @@ class SgxInstructions:
         self._check_range(enclave, vaddr)
         if not enclave.attributes.sgx2:
             raise SgxError("EAUG requires SGX2")
+        if self.fault_hook is not None:
+            self.fault_hook("eaug", enclave, vaddr)
         self.clock.charge(self.cost.eaug, Category.SGX_PAGING)
         pfn = self._install(enclave, vaddr, None, Permissions.RW,
                             PageType.REG)

@@ -1039,6 +1039,107 @@ class TestLifecycle:
         assert report.suppressed == 1
 
 
+# -- robustness (fail-safe exception discipline) ------------------------------
+
+class TestRobustness:
+    def test_bare_except_flagged(self):
+        report = check("""
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """, module="repro.runtime.handler")
+        assert rules_of(report) == ["robustness/broad-except"]
+        assert "bare except" in report.findings[0].message
+
+    def test_except_exception_flagged(self):
+        report = check("""
+            try:
+                g()
+            except Exception as exc:
+                log(exc)
+            """, module="repro.chaos.campaign")
+        assert rules_of(report) == ["robustness/broad-except"]
+
+    def test_base_exception_and_qualified_flagged(self):
+        report = check("""
+            import builtins
+            try:
+                g()
+            except BaseException:
+                pass
+            try:
+                g()
+            except builtins.Exception:
+                pass
+            """, module="repro.host.kernel")
+        assert rules_of(report) == ["robustness/broad-except"] * 2
+
+    def test_broad_member_of_tuple_flagged(self):
+        report = check("""
+            try:
+                g()
+            except (ValueError, Exception):
+                pass
+            """, module="repro.core.system")
+        assert rules_of(report) == ["robustness/broad-except"]
+
+    def test_narrow_handlers_clean(self):
+        report = check("""
+            from repro.errors import IntegrityError, PolicyError
+            try:
+                g()
+            except (IntegrityError, PolicyError):
+                recover()
+            except KeyError:
+                pass
+            """, module="repro.runtime.libos")
+        assert report.ok(), report.render_text()
+
+    def test_log_and_reraise_exempt(self):
+        report = check("""
+            try:
+                g()
+            except Exception as exc:
+                log(exc)
+                raise
+            """, module="repro.runtime.libos")
+        assert report.ok(), report.render_text()
+
+    def test_conditional_reraise_still_flagged(self):
+        # ``raise`` behind an ``if`` can swallow on the other branch.
+        report = check("""
+            try:
+                g()
+            except Exception as exc:
+                if transient(exc):
+                    raise
+            """, module="repro.runtime.libos")
+        assert rules_of(report) == ["robustness/broad-except"]
+
+    def test_tests_and_benchmarks_exempt(self):
+        source = """
+            try:
+                g()
+            except Exception:
+                pass
+            """
+        for module in ("tests.test_probe", "benchmarks.bench_x",
+                       "examples.demo"):
+            assert check(source, module=module).ok()
+
+    def test_allow_annotation_suppresses(self):
+        report = check("""
+            try:
+                main()
+            except Exception as exc:  # repro: allow[robustness] CLI edge
+                report_and_exit(exc)
+            """, module="repro.cli")
+        assert report.ok()
+        assert report.suppressed == 1
+
+
 # -- golden fixtures ----------------------------------------------------------
 
 class TestGoldenFixtures:

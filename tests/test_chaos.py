@@ -1,0 +1,466 @@
+"""Byzantine-host chaos harness tests (``repro.chaos``).
+
+Covers the three layers separately — plans (seeded schedules), the
+injector (syscall/instruction interception), the hardened runtime
+(bounded retry, degradation, fail-stop) — then the campaign end to end,
+plus the tamper/replay matrix: every paging policy must answer a
+hostile backing store with :class:`IntegrityError`-based fail-stop.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.campaign import (
+    DEFAULT_POLICIES,
+    N_OPS,
+    OUTCOME_ABORTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_DEGRADED,
+    _prepare_workload,
+    _system_config,
+    run_campaign,
+    run_one,
+)
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import (
+    FORCED_KINDS,
+    OP_KINDS,
+    SYSCALL_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+from repro.clock import Category, Clock
+from repro.core.metrics import AbortStats
+from repro.core.system import AutarkySystem
+from repro.errors import (
+    AbortReason,
+    AttackDetected,
+    ChaosAbort,
+    EnclaveTerminated,
+    HostCallDenied,
+    IntegrityAbort,
+    IntegrityError,
+    LivelockGuard,
+    PinnedExhaustion,
+    PolicyError,
+)
+from repro.runtime.backoff import RetryPolicy, call_with_retry
+from repro.runtime.rate_limit import ProgressKind
+
+
+# -- fault plans --------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        assert (FaultPlan.generate(7, N_OPS)
+                == FaultPlan.generate(7, N_OPS))
+
+    def test_seeds_differ(self):
+        plans = {FaultPlan.generate(s, N_OPS).events for s in range(8)}
+        assert len(plans) > 1
+
+    def test_forced_rotation_covers_every_kind(self):
+        first_kinds = {
+            FaultPlan.generate(s, N_OPS).events[0].kind
+            if FaultPlan.generate(s, N_OPS).events else None
+            for s in range(len(FORCED_KINDS))
+        }
+        # The forced kind is the first *drawn*, which after sorting by
+        # at_op need not be events[0] — check plan membership instead.
+        covered = set()
+        for s in range(len(FORCED_KINDS)):
+            covered.update(FaultPlan.generate(s, N_OPS).kinds())
+        assert covered == set(FaultKind)
+        assert first_kinds  # plans are never empty
+
+    def test_events_sorted_and_in_range(self):
+        for seed in range(20):
+            plan = FaultPlan.generate(seed, N_OPS)
+            ops = [e.at_op for e in plan.events]
+            assert ops == sorted(ops)
+            assert all(1 <= op <= N_OPS - 10 for op in ops)
+
+    def test_needs_at_least_one_op(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, 0)
+
+    def test_partition_is_total(self):
+        armed = set(SYSCALL_KINDS) | {FaultKind.EAUG_REFUSE}
+        assert armed | set(OP_KINDS) == set(FaultKind)
+        assert armed & set(OP_KINDS) == set()
+
+    def test_describe_names_kinds(self):
+        plan = FaultPlan.generate(3, N_OPS)
+        text = plan.describe()
+        for event in plan.events:
+            assert event.kind.value in text
+
+
+# -- bounded retry-with-backoff ----------------------------------------------
+
+class TestBackoff:
+    def test_waits_grow_geometrically(self):
+        policy = RetryPolicy(max_attempts=4, base_cycles=100, multiplier=3)
+        assert [policy.wait_cycles(i) for i in (1, 2, 3)] == [100, 300, 900]
+
+    def test_transient_failure_absorbed_and_charged(self):
+        clock = Clock()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise HostCallDenied("try later")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_cycles=500, multiplier=2)
+        snap = clock.snapshot()
+        assert call_with_retry(clock, flaky, policy) == "ok"
+        assert len(calls) == 3
+        # Two waits were charged: 500 + 1000 cycles of BACKOFF.
+        delta = clock.delta_since(snap)
+        assert delta[Category.BACKOFF] == 1_500
+
+    def test_exhaustion_fail_stops(self):
+        clock = Clock()
+
+        def hostile():
+            raise HostCallDenied("no")
+
+        policy = RetryPolicy(max_attempts=3, base_cycles=10)
+        with pytest.raises(ChaosAbort) as info:
+            call_with_retry(clock, hostile, policy, describe="ay_fetch")
+        assert info.value.reason is AbortReason.CHAOS_ABORT
+        assert "ay_fetch" in str(info.value)
+        assert isinstance(info.value.__cause__, HostCallDenied)
+
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0)
+
+
+# -- the structured abort taxonomy -------------------------------------------
+
+class TestAbortTaxonomy:
+    def test_pinned_exhaustion_is_both(self):
+        exc = PinnedExhaustion("all pinned")
+        assert isinstance(exc, LivelockGuard)
+        assert isinstance(exc, PolicyError)
+        assert exc.reason is AbortReason.LIVELOCK_GUARD
+
+    def test_integrity_abort_is_both(self):
+        exc = IntegrityAbort("bad mac")
+        assert isinstance(exc, EnclaveTerminated)
+        assert isinstance(exc, IntegrityError)
+        assert exc.reason is AbortReason.INTEGRITY
+
+    def test_abort_stats_classifies_exceptions(self):
+        stats = AbortStats()
+        assert stats.record(ChaosAbort("x")) == "chaos-abort"
+        assert stats.record(AttackDetected("y")) == "attack-detected"
+        assert stats.record(AbortReason.RATE_LIMIT) == "rate-limit"
+        assert stats.total == 3
+
+    def test_abort_stats_accepts_strings(self):
+        stats = AbortStats()
+        assert stats.record("integrity") == "integrity"
+        assert stats.record("") == AbortStats.UNCLASSIFIED
+        assert stats.as_dict() == {"integrity": 1, "unclassified": 1}
+
+
+# -- the injector against a live system ---------------------------------------
+
+def _armed_system(policy="rate_limit", *events):
+    """A chaos-sized system with a hand-written plan installed."""
+    system = AutarkySystem(_system_config(policy))
+    plan = FaultPlan(seed=0, events=tuple(events))
+    injector = FaultInjector(plan, system.kernel, system.enclave).install()
+    return system, injector
+
+
+class TestInjector:
+    def test_transient_denial_absorbed(self):
+        system, injector = _armed_system(
+            "rate_limit", FaultEvent(FaultKind.DENY_FETCH, 0, param=1)
+        )
+        engine = system.engine()
+        heap = system.runtime.regions["heap"]
+        engine.data_access(heap.page(0))
+        assert FaultKind.DENY_FETCH in injector.fired_kinds
+        assert system.runtime.paging_ops.retried_calls >= 1
+        assert system.runtime.pager.is_resident(heap.page(0))
+
+    def test_persistent_denial_fail_stops(self):
+        system, injector = _armed_system(
+            "rate_limit", FaultEvent(FaultKind.DENY_FETCH, 0, param=32)
+        )
+        engine = system.engine()
+        heap = system.runtime.regions["heap"]
+        with pytest.raises(ChaosAbort) as info:
+            engine.data_access(heap.page(0))
+        assert info.value.reason is AbortReason.CHAOS_ABORT
+        assert system.enclave.dead
+
+    def test_dropped_fetch_is_detected_not_trusted(self):
+        system, injector = _armed_system(
+            "rate_limit", FaultEvent(FaultKind.DROP_FETCH, 0, param=1)
+        )
+        engine = system.engine()
+        heap = system.runtime.regions["heap"]
+        with pytest.raises(EnclaveTerminated) as info:
+            engine.data_access(heap.page(0))
+        assert info.value.reason is AbortReason.ATTACK_DETECTED
+        assert FaultKind.DROP_FETCH in injector.fired_kinds
+
+    def test_delay_charges_simulated_time(self):
+        stall = 250_000
+        system, injector = _armed_system(
+            "rate_limit",
+            FaultEvent(FaultKind.DELAY_RESPONSE, 0, param=stall),
+        )
+        engine = system.engine()
+        heap = system.runtime.regions["heap"]
+        before = system.kernel.clock.cycles
+        engine.data_access(heap.page(0))
+        assert system.kernel.clock.cycles - before >= stall
+        assert FaultKind.DELAY_RESPONSE in injector.fired_kinds
+
+    def test_events_wait_for_their_op(self):
+        system, injector = _armed_system(
+            "rate_limit", FaultEvent(FaultKind.DENY_FETCH, 5, param=1)
+        )
+        engine = system.engine()
+        heap = system.runtime.regions["heap"]
+        engine.data_access(heap.page(0))          # current_op == 0: clean
+        assert not injector.fired_kinds
+        injector.advance_to_op(5)
+        engine.data_access(heap.page(1))
+        assert FaultKind.DENY_FETCH in injector.fired_kinds
+
+    def test_uninstall_detaches_hooks(self):
+        system, injector = _armed_system("rate_limit")
+        assert system.kernel.fault_injector is injector
+        injector.uninstall()
+        assert system.kernel.fault_injector is None
+        assert system.kernel.instr.fault_hook is None
+
+
+# -- tamper/replay matrix: hostile storage must mean fail-stop ----------------
+
+def _churn(engine, pool, rounds=1):
+    """Touch every pool page ``rounds`` times with periodic progress."""
+    count = 0
+    for _ in range(rounds):
+        for vaddr in pool:
+            engine.data_access(vaddr)
+            count += 1
+            if count % 8 == 0:
+                engine.progress(ProgressKind.SYSCALL)
+
+
+def _swapped_heap_pages(system):
+    backing = system.kernel.backing
+    heap = system.runtime.regions["heap"]
+    eid = system.enclave.enclave_id
+    return [
+        v for v in backing.swapped_pages(eid)
+        if heap.contains(v)
+        and not system.kernel.driver.resident(system.enclave, v)
+    ]
+
+
+@pytest.mark.parametrize("policy", ["clusters", "rate_limit"])
+class TestSgx1TamperMatrix:
+    """Forged and replayed EWB blobs against the driver's ELDU path."""
+
+    def _ready_system(self, policy):
+        system = AutarkySystem(_system_config(policy))
+        engine, pool = _prepare_workload(system, policy)
+        # Two passes over a pool larger than the budget: every page is
+        # evicted at least once, and re-evictions stock the stale shelf.
+        _churn(engine, pool, rounds=2)
+        return system, engine
+
+    def test_forged_blob_fail_stops(self, policy):
+        system, engine = self._ready_system(policy)
+        backing = system.kernel.backing
+        eid = system.enclave.enclave_id
+        target = _swapped_heap_pages(system)[0]
+        blob = backing.get(eid, target)
+        backing.substitute(
+            eid, target, dataclasses.replace(blob, mac="forged")
+        )
+        with pytest.raises(IntegrityAbort) as info:
+            engine.data_access(target)
+        assert info.value.reason is AbortReason.INTEGRITY
+        assert isinstance(info.value, IntegrityError)
+        assert system.enclave.dead
+
+    def test_replayed_stale_blob_fail_stops(self, policy):
+        system, engine = self._ready_system(policy)
+        backing = system.kernel.backing
+        eid = system.enclave.enclave_id
+        stale = set(backing.stale_pages(eid))
+        target = next(
+            v for v in _swapped_heap_pages(system) if v in stale
+        )
+        assert backing.stale_copy(eid, target) is not None
+        assert backing.replay(eid, target)
+        with pytest.raises(IntegrityAbort):
+            engine.data_access(target)
+        assert system.enclave.dead
+
+    def test_taint_bookkeeping(self, policy):
+        system, _engine = self._ready_system(policy)
+        backing = system.kernel.backing
+        eid = system.enclave.enclave_id
+        target = _swapped_heap_pages(system)[0]
+        blob = backing.get(eid, target)
+        backing.substitute(
+            eid, target, dataclasses.replace(blob, mac="forged")
+        )
+        assert (eid, target) in backing.tainted
+        assert target in backing.tampered_pages(eid)
+        # A legitimate rewrite clears the taint.
+        backing.put(eid, target, blob)
+        assert (eid, target) not in backing.tainted
+
+
+class TestPinAllSuspendTamper:
+    """Pin-all never pages, so the hostile window is suspend/resume."""
+
+    def test_resume_rejects_forged_page(self):
+        system = AutarkySystem(_system_config("pin_all"))
+        engine, pool = _prepare_workload(system, "pin_all")
+        engine.data_access(pool[0])
+        driver = system.kernel.driver
+        backing = system.kernel.backing
+        eid = system.enclave.enclave_id
+        driver.suspend_enclave(system.enclave)
+        heap = system.runtime.regions["heap"]
+        target = next(
+            v for v in sorted(driver.state(system.enclave).suspend_set)
+            if heap.contains(v)
+        )
+        blob = backing.get(eid, target)
+        backing.substitute(
+            eid, target, dataclasses.replace(blob, mac="forged")
+        )
+        with pytest.raises(IntegrityError):
+            driver.resume_enclave(system.enclave)
+
+
+class TestSgx2TamperMatrix:
+    """Forged/replayed runtime-sealed blobs against in-enclave crypto."""
+
+    def _ready_system(self):
+        system = AutarkySystem(_system_config("rate_limit_sgx2"))
+        engine, pool = _prepare_workload(system, "rate_limit_sgx2")
+        _churn(engine, pool)
+        ops = system.runtime.paging_ops
+        assert ops._sealed, "churn should have evicted sealed pages"
+        return system, engine, pool
+
+    def test_forged_sealed_blob_fail_stops(self):
+        system, engine, _pool = self._ready_system()
+        ops = system.runtime.paging_ops
+        target = sorted(ops._sealed)[0]
+        blob = ops._sealed[target]
+        ops._sealed[target] = dataclasses.replace(blob, mac=blob.mac + 1)
+        with pytest.raises(IntegrityAbort) as info:
+            engine.data_access(target)
+        assert info.value.reason is AbortReason.INTEGRITY
+        assert system.enclave.dead
+
+    def test_replayed_sealed_blob_fail_stops(self):
+        system, engine, pool = self._ready_system()
+        ops = system.runtime.paging_ops
+        target = sorted(ops._sealed)[0]
+        stale = ops._sealed[target]
+        # Bring the page back in (consumes the sealed copy) ...
+        engine.data_access(target)
+        assert target not in ops._sealed
+        # ... churn until it is sealed out again, at a newer version ...
+        for _round in range(8):
+            if target in ops._sealed:
+                break
+            _churn(engine, pool)
+        fresh = ops._sealed[target]
+        assert fresh.version > stale.version
+        # ... then replay the stale blob.
+        ops._sealed[target] = stale
+        with pytest.raises(IntegrityAbort):
+            engine.data_access(target)
+        assert system.enclave.dead
+
+
+# -- campaign end to end -------------------------------------------------------
+
+class TestCampaign:
+    def test_run_one_is_deterministic(self):
+        first = run_one(3, "clusters")
+        second = run_one(3, "clusters")
+        assert first.digest == second.digest
+        assert first == second
+
+    def test_outcomes_are_the_three_safe_states(self):
+        result = run_campaign(range(4), check_determinism=False)
+        allowed = {OUTCOME_COMPLETED, OUTCOME_DEGRADED, OUTCOME_ABORTED}
+        assert {r.outcome for r in result.runs} <= allowed
+        assert len(result.runs) == 4 * len(DEFAULT_POLICIES)
+
+    def test_smoke_sweep_is_safe_and_reproducible(self):
+        result = run_campaign(range(4))
+        assert result.ok
+        assert not result.violations
+        assert not result.determinism_failures
+
+    def test_aborts_carry_structured_reasons(self):
+        result = run_campaign(range(6), check_determinism=False)
+        aborted = [r for r in result.runs if r.outcome == OUTCOME_ABORTED]
+        assert aborted, "a 6-seed sweep should abort at least once"
+        known = {reason.value for reason in AbortReason}
+        for run in aborted:
+            assert run.reason
+            base = run.reason.split("(", 1)[0]
+            assert run.reason in known or base == "unclassified"
+        stats = result.abort_stats
+        assert sum(s.total for s in stats.values()) == len(aborted)
+
+    def test_forced_rotation_reaches_coverage(self):
+        result = run_campaign(
+            range(len(FORCED_KINDS)), check_determinism=False
+        )
+        assert len(result.fired_kinds) >= 8
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            run_one(0, "oram")
+
+
+class TestChaosCli:
+    def test_smoke_exit_zero(self, capsys):
+        from repro.chaos.cli import run
+        assert run(["--seeds", "16", "--no-determinism-check"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_insufficient_coverage_fails(self, capsys):
+        from repro.chaos.cli import run
+        assert run(["--seeds", "1", "--no-determinism-check"]) == 1
+        assert "INSUFFICIENT COVERAGE" in capsys.readouterr().out
+
+    def test_json_report_parses(self, capsys):
+        import json
+        from repro.chaos.cli import run
+        code = run(["--seeds", "2", "--no-determinism-check",
+                    "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == (code == 0)
+        assert payload["seeds"] == 2
+        assert len(payload["runs"]) == 2 * len(DEFAULT_POLICIES)
+        assert not payload["violations"]
