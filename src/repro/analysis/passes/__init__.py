@@ -57,6 +57,9 @@ RULE_CATALOG = {
         "simulated results must not use unseeded/global randomness",
     "determinism/hash":
         "builtin hash() is per-process salted; results must not use it",
+    "determinism/parallel-merge":
+        "fan-out results must merge in canonical task order, never "
+        "completion/hash/worker order",
     "cycle-accounting/uncharged":
         "modeled paging paths must charge the simulated clock",
     "leakage/page-address":

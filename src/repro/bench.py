@@ -1,0 +1,323 @@
+"""``python -m repro bench``: wall-clock A/B of the access engine.
+
+Simulated results in this project are deterministic, so performance
+work has exactly one observable: host wall-clock.  This harness times
+three representative slices — the Figure 6 uthash serving loop, the
+Figure 8 Memcached serving loop, and a chaos-campaign smoke sweep —
+under two configurations:
+
+* **baseline** — the pre-PR serial path: translation fast path
+  disabled (``fastpath=False``), one engine call per page, one compute
+  charge per chain node, ``jobs=1``.  The legacy drivers below replay
+  the exact pre-PR application call structure (see the git history of
+  ``apps/uthash.py`` / ``apps/memcached.py``), so the baseline is the
+  code this PR replaced, not a strawman.
+* **optimized** — the shipped path: epoch-guarded translation memo,
+  batched ``data_access_run`` accesses, bulk compute charges, and
+  ``--jobs N`` sharding for the chaos sweep.
+
+Both configurations must produce **bit-identical simulated results** —
+cycle totals, fault counts, TLB hits, walk counts, chaos digests.  The
+harness asserts this per slice and refuses to report a speedup over a
+baseline that computed something else.  Output goes to
+``BENCH_simwall.json`` (see docs/performance.md for the schema).
+
+Wall-clock reads here are the *measurement*, not chatter — this module
+is exempted from the determinism pass by configuration
+(``repro.analysis.config.determinism_exempt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro.apps.memcached import Memcached
+from repro.apps.uthash import UthashTable
+from repro.core.config import SystemConfig, set_fastpath_default
+from repro.core.system import AutarkySystem
+from repro.sgx.params import PAGE_SIZE
+
+#: Requests per timed slice — large enough that per-request costs
+#: dominate boot/warmup noise, small enough for a CI smoke job.
+FIG6_REQUESTS = 200_000
+FIG8_REQUESTS = 25_000
+CHAOS_SEEDS = 3
+
+
+# -- the pre-PR serial baseline ------------------------------------------
+
+
+class LegacyEngine:
+    """The pre-PR engine call structure, replayed on today's stack.
+
+    One ``runtime.access`` per page and one ``runtime.compute`` per
+    charge — no batching, no bulk accounting.  Simulated behaviour is
+    identical to the batched path (same accesses in the same order,
+    same totals); only the Python call count differs, which is the
+    thing being measured.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.runtime = engine.runtime
+
+    def data_access(self, vaddr, write=False):
+        self._engine.data_access(vaddr, write=write)
+
+    def data_access_run(self, vaddrs, write=False):
+        for vaddr in vaddrs:
+            self._engine.data_access(vaddr, write=write)
+
+    def compute(self, cycles):
+        self.runtime.compute(cycles)
+
+    def progress(self, kind):
+        self._engine.progress(kind)
+
+    def region(self, name):
+        return self._engine.region(name)
+
+
+def _legacy_uthash_lookup(table, engine, item):
+    """apps/uthash.py:lookup as it stood before the batched rewrite."""
+    table.lookups += 1
+    engine.data_access(table.bucket_page(table.bucket_of(item)))
+    pos = table.chain_position(item)
+    for node in table.chain_items(table.bucket_of(item), pos):
+        engine.data_access(table.item_page(node))
+        engine.compute(table.NODE_COMPUTE)
+    return item
+
+
+def _legacy_memcached_get(server, engine, key):
+    """apps/memcached.py:get as it stood before the batched rewrite."""
+    server.gets += 1
+    engine.compute(server.REQUEST_COMPUTE)
+    engine.data_access(server.index_page(key))
+    engine.data_access(server.item_page(key))
+    engine.compute(server.ITEM_COMPUTE)
+
+
+# -- slices ----------------------------------------------------------------
+
+
+def _fingerprint(system, **extra):
+    """The simulated observables a slice must reproduce exactly."""
+    kernel = system.kernel
+    fp = {
+        "cycles": kernel.clock.cycles,
+        "faults": kernel.cpu.fault_count,
+        "tlb_hits": kernel.tlb.hits,
+        "walks": kernel.mmu.walks,
+    }
+    fp.update(extra)
+    return fp
+
+
+def _fig6_slice(fast):
+    """Steady-state uthash GETs under 8-page clusters.
+
+    The budget covers the whole table, so after the warmup sweep the
+    serving loop is translation-bound — the regime the fast path
+    targets (the full Figure 6 sweep is paging-bound and is covered by
+    the experiments themselves).
+    """
+    data_bytes = 8 * 1024 * 1024
+    system = AutarkySystem(SystemConfig.for_policy(
+        "clusters", cluster_pages=8,
+        epc_pages=8_192, quota_pages=6_500, enclave_managed_budget=6_000,
+        heap_pages=2_800, code_pages=32, data_pages=32, runtime_pages=8,
+    ))
+    engine = system.engine()
+    if not fast:
+        engine = LegacyEngine(engine)
+    table = UthashTable(engine, system.heap_start(), data_bytes)
+    system.runtime.allocator.alloc_pages(table.total_pages_after_rehash())
+    heap = system.heap_start()
+    engine.data_access_run(
+        [heap + i * PAGE_SIZE for i in range(table.total_pages)]
+    )
+
+    rng = random.Random(7)
+    keys = [rng.randrange(table.n_items) for _ in range(FIG6_REQUESTS)]
+    # One untimed warmup pass (demand faults settle, caches fill), then
+    # time a steady-state pass over the same stream.  Both passes run
+    # in both modes, so the fingerprints cover identical work.
+    if fast:
+        for key in keys:
+            table.lookup(key)
+        started = time.perf_counter()
+        for key in keys:
+            table.lookup(key)
+    else:
+        for key in keys:
+            _legacy_uthash_lookup(table, engine, key)
+        started = time.perf_counter()
+        for key in keys:
+            _legacy_uthash_lookup(table, engine, key)
+    elapsed = time.perf_counter() - started
+    return elapsed, _fingerprint(system, lookups=table.lookups)
+
+
+def _fig8_slice(fast):
+    """Steady-state Memcached GETs (hotspot99) under 10-page clusters."""
+    data_bytes = 16 * 1024 * 1024
+    system = AutarkySystem(SystemConfig.for_policy(
+        "clusters", cluster_pages=10,
+        epc_pages=8_192, quota_pages=6_500, enclave_managed_budget=6_000,
+        heap_pages=4_800, code_pages=32, data_pages=32, runtime_pages=8,
+    ))
+    engine = system.engine()
+    if not fast:
+        engine = LegacyEngine(engine)
+    server = Memcached(engine, system.heap_start(), data_bytes)
+    system.runtime.allocator.alloc_pages(server.total_pages)
+    heap = system.heap_start()
+    engine.data_access_run(
+        [heap + i * PAGE_SIZE for i in range(server.total_pages)],
+        write=True,
+    )
+
+    from repro.workloads.ycsb import make_generator
+    keys = make_generator(
+        "hotspot99", server.n_keys, seed=11
+    ).keys(FIG8_REQUESTS)
+    from repro.runtime.rate_limit import ProgressKind
+    # Untimed warmup pass, then a timed steady-state pass (see
+    # _fig6_slice).
+    if fast:
+        server.serve(keys)
+        started = time.perf_counter()
+        server.serve(keys)
+    else:
+        for key in keys:
+            engine.progress(ProgressKind.IO)
+            _legacy_memcached_get(server, engine, key)
+        started = time.perf_counter()
+        for key in keys:
+            engine.progress(ProgressKind.IO)
+            _legacy_memcached_get(server, engine, key)
+    elapsed = time.perf_counter() - started
+    return elapsed, _fingerprint(system, gets=server.gets)
+
+
+def _chaos_slice(fast, jobs):
+    """Chaos smoke sweep; optimized mode also exercises ``--jobs``."""
+    from repro.chaos.campaign import run_campaign
+    started = time.perf_counter()
+    result = run_campaign(
+        range(CHAOS_SEEDS), check_determinism=False,
+        jobs=jobs if fast else 1,
+    )
+    elapsed = time.perf_counter() - started
+    digests = {
+        f"{r.seed}/{r.policy}": r.digest for r in result.runs
+    }
+    return elapsed, {
+        "digests": digests,
+        "violations": len(result.violations),
+    }
+
+
+SLICES = (
+    ("fig6_uthash", lambda fast, jobs: _fig6_slice(fast)),
+    ("fig8_memcached", lambda fast, jobs: _fig8_slice(fast)),
+    ("chaos_smoke", _chaos_slice),
+)
+
+
+# -- harness ---------------------------------------------------------------
+
+
+def run_bench(jobs=1):
+    """Run every slice in both modes; returns the report dict.
+
+    The fast-path default is toggled around each run so freshly booted
+    systems inherit the mode; it is restored before returning.
+    """
+    slices = []
+    total_base = total_opt = 0.0
+    identical = True
+    prev = set_fastpath_default(True)
+    try:
+        for name, fn in SLICES:
+            set_fastpath_default(False)
+            base_s, base_fp = fn(False, jobs)
+            set_fastpath_default(True)
+            opt_s, opt_fp = fn(True, jobs)
+            same = base_fp == opt_fp
+            identical = identical and same
+            total_base += base_s
+            total_opt += opt_s
+            slices.append({
+                "name": name,
+                "baseline_s": round(base_s, 4),
+                "optimized_s": round(opt_s, 4),
+                "speedup": round(base_s / opt_s, 2) if opt_s else None,
+                "identical_results": same,
+                "fingerprint": base_fp if same else {
+                    "baseline": base_fp, "optimized": opt_fp,
+                },
+            })
+    finally:
+        set_fastpath_default(prev)
+    return {
+        "jobs": jobs,
+        "slices": slices,
+        "total": {
+            "baseline_s": round(total_base, 4),
+            "optimized_s": round(total_opt, 4),
+            "speedup": round(total_base / total_opt, 2)
+            if total_opt else None,
+        },
+        "identical_results": identical,
+    }
+
+
+def run(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="wall-clock A/B: fast-path engine + parallel "
+                    "runner vs the pre-PR serial path",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the chaos slice's optimized run "
+             "(default: 1)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_simwall.json", metavar="PATH",
+        help="where to write the JSON report "
+             "(default: BENCH_simwall.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(jobs=args.jobs)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    width = max(len(s["name"]) for s in report["slices"])
+    print(f"{'slice'.ljust(width)}  baseline   optimized  speedup  "
+          f"identical")
+    for s in report["slices"]:
+        print(f"{s['name'].ljust(width)}  "
+              f"{s['baseline_s']:7.3f}s   {s['optimized_s']:7.3f}s  "
+              f"{s['speedup']:6.2f}x  {s['identical_results']}")
+    total = report["total"]
+    print(f"{'TOTAL'.ljust(width)}  "
+          f"{total['baseline_s']:7.3f}s   {total['optimized_s']:7.3f}s  "
+          f"{total['speedup']:6.2f}x")
+    print(f"report written to {args.output}")
+    if not report["identical_results"]:
+        print("FAIL: simulated results differ between modes")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(run())

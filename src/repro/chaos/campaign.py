@@ -470,27 +470,50 @@ def run_one(seed, policy_name):
     return _ChaosRun(seed, policy_name).execute()
 
 
+def _campaign_point(task):
+    """Worker for one ``(seed, policy, check)`` sweep point.
+
+    Top-level (picklable) so :func:`repro.parallel.run_indexed` can
+    ship it to a pool worker; each point boots its own system, so
+    points are fully independent.  Returns ``(run, rerun_digest)``
+    where ``rerun_digest`` is ``None`` when determinism checking is
+    off.
+    """
+    seed, policy_name, check = task
+    run = run_one(seed, policy_name)
+    rerun_digest = run_one(seed, policy_name).digest if check else None
+    return run, rerun_digest
+
+
 def run_campaign(seeds, policies=DEFAULT_POLICIES,
-                 check_determinism=True):
+                 check_determinism=True, jobs=1):
     """Sweep ``seeds`` × ``policies``; returns a :class:`CampaignResult`.
 
     With ``check_determinism`` every run executes twice from scratch
     and the two digests must agree — the property that makes a chaos
     failure replayable from nothing but its seed.
+
+    ``jobs > 1`` fans the independent ``(seed, policy)`` points over a
+    process pool; results are merged in the canonical seed-outer,
+    policy-inner order, so the campaign result — every run, digest,
+    and aggregate — is identical to the serial sweep.
     """
+    from repro.parallel import run_indexed
+
     result = CampaignResult()
     for policy_name in policies:
         result.abort_stats[policy_name] = AbortStats()
-    for seed in seeds:
-        for policy_name in policies:
-            run = run_one(seed, policy_name)
-            if check_determinism:
-                rerun = run_one(seed, policy_name)
-                if rerun.digest != run.digest:
-                    result.determinism_failures.append(
-                        (seed, policy_name, run.digest, rerun.digest)
-                    )
-            result.runs.append(run)
-            if run.outcome == OUTCOME_ABORTED:
-                result.abort_stats[policy_name].record(run.reason)
+    tasks = [
+        (seed, policy_name, check_determinism)
+        for seed in seeds for policy_name in policies
+    ]
+    outcomes = run_indexed(_campaign_point, tasks, jobs=jobs)
+    for (seed, policy_name, _), (run, rerun_digest) in zip(tasks, outcomes):
+        if rerun_digest is not None and rerun_digest != run.digest:
+            result.determinism_failures.append(
+                (seed, policy_name, run.digest, rerun_digest)
+            )
+        result.runs.append(run)
+        if run.outcome == OUTCOME_ABORTED:
+            result.abort_stats[policy_name].record(run.reason)
     return result

@@ -38,6 +38,11 @@ def build_parser():
         help="run each seed once instead of twice (faster, weaker)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep; results are identical "
+             "to --jobs 1 (default: 1)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)",
     )
@@ -57,6 +62,7 @@ def run(argv=None):
         range(args.seeds),
         policies=policies,
         check_determinism=not args.no_determinism_check,
+        jobs=args.jobs,
     )
     kinds_fired = len(result.fired_kinds)
     enough_kinds = kinds_fired >= min(

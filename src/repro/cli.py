@@ -65,17 +65,23 @@ def cmd_list():
     print("\n  all" + " " * (width - 3) + "  run everything, in order")
     print("\nother subcommands: verify, report [path], "
           "analyze [--strict] [--format text|json], "
-          "chaos [--seeds N] [--policies ...]")
+          "chaos [--seeds N] [--policies ...] [--jobs N], "
+          "bench [--jobs N] [--output path]")
 
 
-def cmd_run(names, quiet=False):
+def cmd_run(names, quiet=False, jobs=1):
+    import inspect
     for name in names:
         module = _resolve(name)
         started = time.time()
         if not quiet:
             print(f"=== {name}: repro.experiments."
                   f"{module.__name__.split('.')[-1]} ===")
-        module.main()
+        # Sweep-style experiments accept jobs=; single-point ones don't.
+        if "jobs" in inspect.signature(module.main).parameters:
+            module.main(jobs=jobs)
+        else:
+            module.main()
         if not quiet:
             print(f"--- done in {time.time() - started:.1f}s ---\n")
 
@@ -91,6 +97,10 @@ def main(argv=None):
         # Same pattern for the fault-injection campaign runner.
         from repro.chaos.cli import run as chaos_run
         return chaos_run(argv[1:])
+    if argv and argv[0] == "bench":
+        # Wall-clock benchmark of the access engine + parallel runner.
+        from repro.bench import run as bench_run
+        return bench_run(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -104,6 +114,11 @@ def main(argv=None):
     )
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress progress chatter")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep-style experiments; output is "
+             "identical to --jobs 1 (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment or args.experiment == ["list"]:
@@ -123,7 +138,7 @@ def main(argv=None):
     names = args.experiment
     if names == ["all"]:
         names = list(EXPERIMENTS)
-    cmd_run(names, quiet=args.quiet)
+    cmd_run(names, quiet=args.quiet, jobs=args.jobs)
     return 0
 
 

@@ -33,7 +33,13 @@ class Category:
 
 
 class Clock:
-    """A monotonically increasing cycle counter with per-category totals."""
+    """A monotonically increasing cycle counter with per-category totals.
+
+    ``charge`` is the hottest call in the simulator (every walk, every
+    instruction, every compute block), hence ``__slots__``.
+    """
+
+    __slots__ = ("frequency_hz", "cycles", "by_category")
 
     def __init__(self, frequency_hz=3.5e9):
         self.frequency_hz = frequency_hz

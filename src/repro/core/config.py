@@ -13,6 +13,24 @@ from repro.sgx.params import (
 )
 from repro.runtime.self_paging import EvictionOrder
 
+#: Process-wide default for the MMU's memoized translation fast path.
+#: Benchmarks flip it to measure the engine's own contribution; normal
+#: runs leave it on (the fast path is observationally equivalent — see
+#: docs/performance.md and tests/test_fastpath.py).
+_FASTPATH_DEFAULT = True
+
+
+def set_fastpath_default(enabled):
+    """Set the process-wide fast-path default; returns the old value."""
+    global _FASTPATH_DEFAULT
+    old = _FASTPATH_DEFAULT
+    _FASTPATH_DEFAULT = bool(enabled)
+    return old
+
+
+def fastpath_default():
+    return _FASTPATH_DEFAULT
+
 
 @dataclass
 class PolicyConfig:
@@ -56,6 +74,9 @@ class SystemConfig:
     exitless: bool = True
     #: None = unbounded TLB; set (e.g. 1536) for capacity-miss studies.
     tlb_capacity: Optional[int] = None
+    #: Memoized translation fast path; ``None`` defers to the
+    #: process-wide default (see :func:`set_fastpath_default`).
+    fastpath: Optional[bool] = None
     #: Enclave layout sizes (pages).
     runtime_pages: int = 64
     code_pages: int = 256

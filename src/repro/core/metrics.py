@@ -50,6 +50,9 @@ class Measurement:
     >>> m.metrics(ops=n)
     """
 
+    __slots__ = ("kernel", "runtime", "_snap", "_cycles0", "_faults0",
+                 "_in0", "_out0")
+
     def __init__(self, kernel, runtime=None):
         self.kernel = kernel
         self.runtime = runtime
@@ -95,6 +98,8 @@ class AbortStats:
     """
 
     UNCLASSIFIED = "unclassified"
+
+    __slots__ = ("by_reason",)
 
     def __init__(self):
         self.by_reason = {}

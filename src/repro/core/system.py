@@ -12,7 +12,8 @@ application models program against:
 
 from __future__ import annotations
 
-from repro.core.config import SystemConfig
+from repro.clock import Category
+from repro.core.config import SystemConfig, fastpath_default
 from repro.core.metrics import Measurement
 from repro.errors import PolicyError
 from repro.host.kernel import HostKernel
@@ -28,21 +29,47 @@ from repro.sgx.params import PAGE_SIZE, AccessType
 
 
 class DirectEngine:
-    """MMU-mediated access engine (the normal path)."""
+    """MMU-mediated access engine (the normal path).
+
+    The batched/compute hot paths bind the CPU run engine and the clock
+    at construction — the per-call behaviour is identical to routing
+    through the runtime wrappers, minus the wrapper frames.
+    """
 
     def __init__(self, runtime):
         self.runtime = runtime
+        kernel = runtime.kernel
+        self._access_run = kernel.cpu.access_run
+        self._probe_run = kernel.mmu.probe_run
+        self._require_alive = runtime.enclave.require_alive
+        self._charge = kernel.clock.charge
+        self._enclave = runtime.enclave
+        self._tcs = runtime.tcs
 
     def data_access(self, vaddr, write=False):
         self.runtime.access(
             vaddr, AccessType.WRITE if write else AccessType.READ
         )
 
+    def data_access_run(self, vaddrs, write=False):
+        """Batched :meth:`data_access`: same faults, counters, and
+        cycles as the per-address loop, charged in one call.
+
+        The all-hit case (liveness check, then one memo probe over the
+        run) is resolved right here; anything else — memo miss, fast
+        path disabled — takes the CPU's full batched path, which
+        replays the run with identical per-address semantics.
+        """
+        access = AccessType.WRITE if write else AccessType.READ
+        self._require_alive()
+        if self._probe_run(vaddrs, access) is None:
+            self._access_run(self._enclave, self._tcs, vaddrs, access)
+
     def code_access(self, vaddr):
         self.runtime.access(vaddr, AccessType.EXEC)
 
     def compute(self, cycles):
-        self.runtime.compute(cycles)
+        self._charge(cycles, Category.COMPUTE)
 
     def progress(self, kind):
         self.runtime.progress(kind)
@@ -61,6 +88,12 @@ class OramEngine(DirectEngine):
     def data_access(self, vaddr, write=False):
         self.oram_policy.access(vaddr, write=write)
 
+    def data_access_run(self, vaddrs, write=False):
+        # ORAM accesses are inherently per-address (each one walks a
+        # tree path); batching changes nothing observable.
+        for vaddr in vaddrs:
+            self.oram_policy.access(vaddr, write=write)
+
 
 class AutarkySystem:
     """The assembled machine + enclave + runtime + policy."""
@@ -75,6 +108,8 @@ class AutarkySystem:
             cost=cfg.cost,
             arch_opts=cfg.arch_opts,
             tlb_capacity=cfg.tlb_capacity,
+            fastpath=(fastpath_default() if cfg.fastpath is None
+                      else cfg.fastpath),
         )
         self.layout = EnclaveLayout(
             runtime_pages=cfg.runtime_pages,

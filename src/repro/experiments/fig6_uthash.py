@@ -78,70 +78,95 @@ def _cluster_system(scale, cluster_pages):
     ))
 
 
-def run_clusters(scale=None, requests=1_500, seed=31):
+def _cluster_point(task):
+    """Both measurements (pre/post rehash) for one cluster size.
+
+    Top-level and tuple-argumented so the parallel runner can pickle
+    it; each point boots its own system, making sizes independent.
+    """
+    scale, cluster_pages, requests, seed = task
+    system = _cluster_system(scale, cluster_pages)
+    engine = system.engine()
+    table = UthashTable(
+        engine, system.heap_start(), scale.data_bytes,
+        item_size=scale.item_size,
+    )
+    # The allocator assigns every table page to automatic clusters
+    # in allocation order, exactly like the extended libOS
+    # allocator of §5.2.3.  Sized for the post-rehash bucket array
+    # so the second measurement stays fully covered.
+    system.runtime.allocator.alloc_pages(
+        table.total_pages_after_rehash()
+    )
+    before = Fig6Point(
+        "clusters", cluster_pages,
+        _measure_lookups(table, system, requests, seed),
+    )
+    table.rehash()
+    after = Fig6Point(
+        "clusters_rehashed", cluster_pages,
+        _measure_lookups(table, system, requests, seed + 1),
+    )
+    return before, after
+
+
+def run_clusters(scale=None, requests=1_500, seed=31, jobs=1):
     """The two cluster series (before/after rehash)."""
+    from repro.parallel import run_indexed
     scale = scale or Fig6Scale()
+    tasks = [
+        (scale, cluster_pages, requests, seed)
+        for cluster_pages in CLUSTER_SIZES
+    ]
     points = []
-    for cluster_pages in CLUSTER_SIZES:
-        system = _cluster_system(scale, cluster_pages)
-        engine = system.engine()
-        table = UthashTable(
-            engine, system.heap_start(), scale.data_bytes,
-            item_size=scale.item_size,
-        )
-        # The allocator assigns every table page to automatic clusters
-        # in allocation order, exactly like the extended libOS
-        # allocator of §5.2.3.  Sized for the post-rehash bucket array
-        # so the second measurement stays fully covered.
-        system.runtime.allocator.alloc_pages(
-            table.total_pages_after_rehash()
-        )
-
-        points.append(Fig6Point(
-            "clusters", cluster_pages,
-            _measure_lookups(table, system, requests, seed),
-        ))
-        table.rehash()
-        points.append(Fig6Point(
-            "clusters_rehashed", cluster_pages,
-            _measure_lookups(table, system, requests, seed + 1),
-        ))
+    for before, after in run_indexed(_cluster_point, tasks, jobs=jobs):
+        points.append(before)
+        points.append(after)
     return points
 
 
-def run_oram(scale=None, requests=600, seed=37, uncached_requests=40):
+def _oram_point(task):
+    """One ORAM configuration (cached or uncached); picklable worker."""
+    scale, uncached, requests, seed, uncached_requests = task
+    system = AutarkySystem(SystemConfig.for_policy(
+        "oram",
+        oram_tree_pages=scale.oram_tree_pages,
+        oram_cache_pages=0 if uncached else scale.oram_cache_pages,
+        oram_oblivious_metadata=uncached,
+        epc_pages=scale.budget_pages + 4_096,
+        heap_pages=scale.oram_tree_pages + 512,
+        code_pages=32,
+        data_pages=32,
+        runtime_pages=8,
+    ))
+    engine = system.engine()
+    table = UthashTable(
+        engine, system.heap_start(), scale.data_bytes,
+        item_size=scale.item_size,
+    )
+    n = uncached_requests if uncached else requests
+    throughput = _measure_lookups(table, system, n, seed)
+    return Fig6Point(
+        "oram_uncached" if uncached else "oram", 0, throughput,
+    )
+
+
+def run_oram(scale=None, requests=600, seed=37, uncached_requests=40,
+             jobs=1):
     """The cached-ORAM line and the uncached-ORAM point."""
+    from repro.parallel import run_indexed
     scale = scale or Fig6Scale()
-    points = []
-    for uncached in (False, True):
-        system = AutarkySystem(SystemConfig.for_policy(
-            "oram",
-            oram_tree_pages=scale.oram_tree_pages,
-            oram_cache_pages=0 if uncached else scale.oram_cache_pages,
-            oram_oblivious_metadata=uncached,
-            epc_pages=scale.budget_pages + 4_096,
-            heap_pages=scale.oram_tree_pages + 512,
-            code_pages=32,
-            data_pages=32,
-            runtime_pages=8,
-        ))
-        engine = system.engine()
-        table = UthashTable(
-            engine, system.heap_start(), scale.data_bytes,
-            item_size=scale.item_size,
-        )
-        n = uncached_requests if uncached else requests
-        throughput = _measure_lookups(table, system, n, seed)
-        points.append(Fig6Point(
-            "oram_uncached" if uncached else "oram", 0, throughput,
-        ))
-    return points
+    tasks = [
+        (scale, uncached, requests, seed, uncached_requests)
+        for uncached in (False, True)
+    ]
+    return run_indexed(_oram_point, tasks, jobs=jobs)
 
 
-def run(scale=None, requests=1_500):
+def run(scale=None, requests=1_500, jobs=1):
     scale = scale or Fig6Scale()
-    points = run_clusters(scale, requests=requests)
-    points += run_oram(scale, requests=max(200, requests // 3))
+    points = run_clusters(scale, requests=requests, jobs=jobs)
+    points += run_oram(scale, requests=max(200, requests // 3), jobs=jobs)
     return points
 
 
@@ -196,8 +221,8 @@ def format_figure(points):
     )
 
 
-def main():
-    points = run()
+def main(jobs=1):
+    points = run(jobs=jobs)
     print(format_table(points))
     print()
     print(format_figure(points))

@@ -135,10 +135,18 @@ def run_policy(policy, scale=None, requests=2_000, seed=41):
     return points
 
 
-def run(scale=None, requests=2_000):
+def _policy_points(task):
+    """Picklable worker: all four distributions for one policy."""
+    policy, scale, requests = task
+    return run_policy(policy, scale=scale, requests=requests)
+
+
+def run(scale=None, requests=2_000, jobs=1):
+    from repro.parallel import run_indexed
+    tasks = [(policy, scale, requests) for policy in POLICIES]
     points = []
-    for policy in POLICIES:
-        points.extend(run_policy(policy, scale=scale, requests=requests))
+    for policy_points in run_indexed(_policy_points, tasks, jobs=jobs):
+        points.extend(policy_points)
     return points
 
 
@@ -180,8 +188,8 @@ def format_figure(points):
     return bar_chart(rows, title="Figure 8: requests/s")
 
 
-def main():
-    points = run()
+def main(jobs=1):
+    points = run(jobs=jobs)
     print(format_table(points))
     print()
     print(format_figure(points))

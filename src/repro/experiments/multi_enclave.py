@@ -169,6 +169,12 @@ class DirectLike:
             vaddr, AccessType.WRITE if write else AccessType.READ
         )
 
+    def data_access_run(self, vaddrs, write=False):
+        from repro.sgx.params import AccessType
+        self.runtime.access_pages(
+            vaddrs, AccessType.WRITE if write else AccessType.READ
+        )
+
     def compute(self, cycles):
         self.runtime.compute(cycles)
 

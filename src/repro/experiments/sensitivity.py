@@ -119,18 +119,25 @@ def evaluate(cost, faults=200):
     )
 
 
-def run(fields=PERTURBED_FIELDS, factors=FACTORS, faults=150):
-    rows = []
-    for field in fields:
-        for factor in factors:
-            base = CostModel()
-            cost = dataclasses.replace(
-                base, **{field: int(getattr(base, field) * factor)}
-            )
-            rows.append(SensitivityRow(
-                field=field, factor=factor, **evaluate(cost, faults),
-            ))
-    return rows
+def _grid_point(task):
+    """Picklable worker: one (field, factor) perturbation."""
+    field, factor, faults = task
+    base = CostModel()
+    cost = dataclasses.replace(
+        base, **{field: int(getattr(base, field) * factor)}
+    )
+    return SensitivityRow(
+        field=field, factor=factor, **evaluate(cost, faults),
+    )
+
+
+def run(fields=PERTURBED_FIELDS, factors=FACTORS, faults=150, jobs=1):
+    from repro.parallel import run_indexed
+    tasks = [
+        (field, factor, faults)
+        for field in fields for factor in factors
+    ]
+    return run_indexed(_grid_point, tasks, jobs=jobs)
 
 
 def robustness_summary(rows):
@@ -168,8 +175,8 @@ def format_table(rows):
     return table + footer
 
 
-def main():
-    rows = run()
+def main(jobs=1):
+    rows = run(jobs=jobs)
     print(format_table(rows))
     return rows
 

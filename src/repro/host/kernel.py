@@ -26,12 +26,15 @@ from repro.sgx.params import (
     ArchOptimizations,
     CostModel,
 )
+from repro.sgx.epoch import TranslationEpoch
 from repro.sgx.tlb import Tlb
 
 
 @dataclass
 class ObservedFault:
     """One entry of the OS's fault log — all the OS ever learns."""
+
+    __slots__ = ("cycles", "vaddr", "write", "exec_", "present")
 
     cycles: int
     vaddr: int
@@ -44,22 +47,30 @@ class HostKernel:
     """Assembles the machine and implements the OS half of every flow."""
 
     def __init__(self, epc_pages=DEFAULT_EPC_PAGES, cost=None,
-                 arch_opts=None, autarky_aware=True, tlb_capacity=None):
+                 arch_opts=None, autarky_aware=True, tlb_capacity=None,
+                 fastpath=True):
         self.cost = cost or CostModel()
         self.clock = Clock()
-        self.page_table = PageTable()
-        self.tlb = Tlb(capacity=tlb_capacity)
+        #: One translation generation stamp shared by every component
+        #: that can change what a virtual address resolves to; the
+        #: MMU's memoized fast path keys off it.  ``fastpath=False``
+        #: keeps the stamp wired (cheap) but denies it to the MMU, so
+        #: every access takes the classic lookup/walk path — the A/B
+        #: baseline for ``python -m repro bench``.
+        self.epoch = TranslationEpoch()
+        self.page_table = PageTable(epoch=self.epoch)
+        self.tlb = Tlb(capacity=tlb_capacity, epoch=self.epoch)
         self.page_table.register_tlb(self.tlb)
         self.epc = EpcAllocator(epc_pages)
         self.epcm = Epcm(epc_pages)
         self.instr = SgxInstructions(self.epc, self.epcm, self.clock,
-                                     self.cost)
+                                     self.cost, epoch=self.epoch)
         self.instr.tlb = self.tlb
         self.backing = BackingStore()
         self.driver = SgxDriver(self.instr, self.page_table, self.backing,
                                 self.clock, self.cost)
         self.mmu = Mmu(self.page_table, self.tlb, self.epcm, self.clock,
-                       self.cost)
+                       self.cost, epoch=self.epoch if fastpath else None)
         self.cpu = Cpu(self.mmu, self.clock, self.cost,
                        arch_opts or ArchOptimizations())
         self.cpu.kernel = self

@@ -1,0 +1,75 @@
+"""Deterministic fan-out over independent sweep points.
+
+Every sweep in this repo — experiment grid points, chaos
+``(seed, policy)`` pairs, sensitivity perturbations — shares one shape:
+a list of *independent* points, each booting its own simulated machine
+and returning a picklable result.  This module runs such a list across
+a process pool while guaranteeing the output is byte-identical to the
+serial run:
+
+* Each point is tagged with its index before submission.
+* Workers may finish in any order (``imap_unordered``), but results are
+  re-sorted by that index before being returned — the *canonical merge
+  order* the ``determinism/parallel-merge`` analyzer rule enforces.
+* Workers are plain top-level functions over picklable arguments, so
+  the ``fork`` and ``spawn`` start methods behave identically.
+* Each point's simulation owns a private :class:`~repro.clock.Clock`
+  and RNGs seeded from the point itself, so nothing about scheduling,
+  process identity, or wall time can reach a result.
+
+With ``jobs <= 1`` the pool is bypassed entirely — a plain in-process
+loop — which is both the fallback and the reference the determinism
+tests compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def default_jobs():
+    """A sensible ``--jobs`` default: the machine's core count."""
+    try:
+        return max(1, multiprocessing.cpu_count())
+    except NotImplementedError:
+        return 1
+
+
+def _invoke(task):
+    """Pool worker: run one indexed point.  Top-level so it pickles."""
+    index, fn, item = task
+    return index, fn(item)
+
+
+def _task_index(pair):
+    return pair[0]
+
+
+def run_indexed(fn, items, jobs=1):
+    """``[fn(x) for x in items]``, fanned out over ``jobs`` processes.
+
+    Results are merged in item order regardless of completion order,
+    so the returned list is identical to the serial evaluation.  ``fn``
+    must be picklable (a module-level function or ``functools.partial``
+    of one) and must not rely on mutable global state — each worker
+    process gets its own interpreter.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = 1
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    # ``fork`` is cheapest and inherits the loaded modules; fall back
+    # to the platform default (spawn) where fork is unavailable.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+
+    tasks = [(i, fn, item) for i, item in enumerate(items)]
+    nproc = min(jobs, len(tasks))
+    with ctx.Pool(processes=nproc) as pool:
+        indexed = sorted(pool.imap_unordered(_invoke, tasks),
+                         key=_task_index)
+    return [result for _, result in indexed]

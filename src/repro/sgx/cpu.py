@@ -22,7 +22,7 @@ import enum
 
 from repro.clock import Category
 from repro.errors import EnclaveTerminated, PageFault, SgxError
-from repro.sgx.params import ArchOptimizations, page_base
+from repro.sgx.params import PAGE_SHIFT, ArchOptimizations, page_base
 from repro.sgx.ssa import ExitInfo, SsaFrame
 
 
@@ -66,16 +66,69 @@ class Cpu:
         kills the enclave while handling a fault.
         """
         enclave.require_alive()
+        pfn = self.mmu.fast_hit(vaddr, access)
+        if pfn is not None:
+            return pfn
+        translate = self.mmu.translate_nofault
         for _ in range(MAX_FAULT_RETRIES):
-            try:
-                return self.mmu.translate(vaddr, access, enclave)
-            except PageFault as fault:
-                self.fault_count += 1
-                self.deliver_fault(enclave, tcs, fault)
+            pfn, fault = translate(vaddr, access, enclave)
+            if fault is None:
+                return pfn
+            self.fault_count += 1
+            self.deliver_fault(enclave, tcs, fault)
         raise SgxError(
             f"access to {vaddr:#x} still faulting after "
             f"{MAX_FAULT_RETRIES} OS interventions"
         )
+
+    def access_run(self, enclave, tcs, vaddrs, access):
+        """Batched :meth:`access` over an iterable of addresses.
+
+        Semantically identical to calling :meth:`access` per address in
+        order — same fault sequence, same counters, same cycle charges —
+        but fast-path hits are probed against the memo dict directly and
+        their ``tlb.hits`` accounting is flushed in bulk, so a
+        steady-state run of N pages costs N dict probes rather than N
+        full call chains.  Returns the list of PFNs.
+        """
+        enclave.require_alive()
+        mmu = self.mmu
+        # Optimistic probe: memo probes have no side effects, so the
+        # whole run can be resolved in one C-speed pass when every page
+        # is memoized — the steady-state common case.
+        pfns = mmu.probe_run(vaddrs, access)
+        if pfns is not None:
+            return pfns
+        view = mmu.fast_view(access)
+        if view is None:
+            # No shared epoch: plain per-address path.
+            return [self.access(enclave, tcs, v, access) for v in vaddrs]
+
+        # At least one miss: replay sequentially, because a miss's
+        # fault handling flushes the TLB and drops the memo — pages
+        # after it must re-walk exactly as the unbatched loop would.
+        tlb = mmu.tlb
+        pfns = []
+        append = pfns.append
+        hits = 0
+        for vaddr in vaddrs:
+            pfn = view.get(vaddr >> PAGE_SHIFT)
+            if pfn is None:
+                # Settle accumulated hits *before* the slow path so the
+                # counter sequence matches the unbatched equivalent.
+                if hits:
+                    tlb.hits += hits
+                    hits = 0
+                pfn = self.access(enclave, tcs, vaddr, access)
+                # The slow path may have bumped the epoch (fault
+                # handling flushes the TLB): re-fetch the view.
+                view = mmu.fast_view(access)
+            else:
+                hits += 1
+            append(pfn)
+        if hits:
+            tlb.hits += hits
+        return pfns
 
     # -- transitions ---------------------------------------------------------
 

@@ -11,7 +11,7 @@ design the paper builds on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EpcmViolation
 from repro.sgx.params import AccessType
@@ -59,7 +59,6 @@ Permissions.RWX = Permissions(True, True, True)
 Permissions.R = Permissions(True, False, False)
 
 
-@dataclass
 class EpcmEntry:
     """Security attributes of one EPC frame.
 
@@ -69,16 +68,25 @@ class EpcmEntry:
     ``blocked`` marks a page mid-eviction (EBLOCK semantics are folded
     into EWB here for simplicity; the paper does not rely on EBLOCK
     separately).
+
+    A ``__slots__`` class: one entry exists per EPC frame (hundreds of
+    thousands at experiment scale) and the MMU reads one on every walk.
     """
 
-    valid: bool = False
-    page_type: PageType = PageType.REG
-    enclave_id: int = -1
-    vaddr: int = -1
-    perms: Permissions = field(default_factory=lambda: Permissions.RW)
-    pending: bool = False
-    modified: bool = False
-    blocked: bool = False
+    __slots__ = ("valid", "page_type", "enclave_id", "vaddr", "perms",
+                 "pending", "modified", "blocked")
+
+    def __init__(self, valid=False, page_type=PageType.REG, enclave_id=-1,
+                 vaddr=-1, perms=None, pending=False, modified=False,
+                 blocked=False):
+        self.valid = valid
+        self.page_type = page_type
+        self.enclave_id = enclave_id
+        self.vaddr = vaddr
+        self.perms = perms if perms is not None else Permissions.RW
+        self.pending = pending
+        self.modified = modified
+        self.blocked = blocked
 
 
 class Epcm:

@@ -1,0 +1,34 @@
+"""Generation stamp for translation-affecting state.
+
+One :class:`TranslationEpoch` is shared by everything that can change
+the outcome of an address translation — the page table, the TLB, the
+EPCM (via the SGX instructions), and the CPU's mode transitions.  Every
+mutation bumps the counter; consumers that memoize translation results
+(:class:`repro.sgx.mmu.Mmu`'s fast path) compare their recorded stamp
+against the current value and drop the memo wholesale on mismatch.
+
+This is deliberately coarse: a single global generation, not per-page
+tracking.  Invalidation events (faults, evictions, shootdowns, SGX
+paging instructions) are orders of magnitude rarer than translations
+in steady state, so clearing the whole memo on any of them keeps the
+protocol trivially auditable — the memo can never outlive *any*
+architectural change — while the common case stays one dict probe.
+"""
+
+from __future__ import annotations
+
+
+class TranslationEpoch:
+    """A monotonically increasing generation counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        """Record that translation-affecting state changed."""
+        self.value += 1
+
+    def __repr__(self):
+        return f"TranslationEpoch({self.value})"

@@ -17,6 +17,7 @@ from repro.clock import Category
 from repro.errors import SgxError
 from repro.sgx.enclave import Enclave
 from repro.sgx.epcm import PageType, Permissions
+from repro.sgx.epoch import TranslationEpoch
 from repro.sgx.params import PAGE_SIZE, page_base, vpn_of
 from repro.sgx.tcs import Tcs
 
@@ -24,11 +25,15 @@ from repro.sgx.tcs import Tcs
 class SgxInstructions:
     """Executes SGX instructions against shared EPC/EPCM state."""
 
-    def __init__(self, epc, epcm, clock, cost):
+    def __init__(self, epc, epcm, clock, cost, epoch=None):
         self.epc = epc
         self.epcm = epcm
         self.clock = clock
         self.cost = cost
+        #: Translation generation stamp, bumped by every instruction
+        #: that mutates EPCM state (the kernel shares one stamp across
+        #: the whole machine; standalone rigs get a private one).
+        self.epoch = epoch if epoch is not None else TranslationEpoch()
         #: The CPU's EWB/ELDU sealing engine (one key per package).
         from repro.sgx.crypto import PagingCrypto
         self.hw_crypto = PagingCrypto()
@@ -83,6 +88,7 @@ class SgxInstructions:
         """Mark a page blocked: no *new* TLB translations may be
         created for it (existing ones persist until shot down — the
         window ETRACK exists to close)."""
+        self.epoch.value += 1
         entry = self._entry_for(enclave, vaddr)
         if entry.blocked:
             raise SgxError(f"EBLOCK: {vaddr:#x} already blocked")
@@ -97,6 +103,7 @@ class SgxInstructions:
         We verify the latter directly against the TLB when the kernel
         registered one.
         """
+        self.epoch.value += 1
         self.clock.charge(self.cost.ewb, Category.SGX_PAGING)
         vpn = vpn_of(vaddr)
         pfn = enclave.backed.get(vpn)
@@ -148,6 +155,7 @@ class SgxInstructions:
 
     def eaccept(self, enclave, vaddr):
         """Enclave confirms an OS-proposed change (clears pending/modified)."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.eaccept, Category.SGX_PAGING)
         entry = self._entry_for(enclave, vaddr)
         if not (entry.pending or entry.modified):
@@ -158,6 +166,7 @@ class SgxInstructions:
     def eacceptcopy(self, enclave, vaddr, contents):
         """Enclave accepts a pending page, initializing its contents —
         the SGX2 page-in path (contents were decrypted in-enclave)."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.eacceptcopy, Category.SGX_PAGING)
         entry = self._entry_for(enclave, vaddr)
         if not entry.pending:
@@ -171,6 +180,7 @@ class SgxInstructions:
         """Enclave-side permission *extension* (e.g. RW → RX after the
         enclave verified freshly-loaded code).  Unlike EMODPR this runs
         inside the enclave and takes effect immediately."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.eaccept, Category.SGX_PAGING)
         entry = self._entry_for(enclave, vaddr)
         if (entry.perms.read and not perms.read) or \
@@ -181,6 +191,7 @@ class SgxInstructions:
 
     def emodpr(self, enclave, vaddr, perms):
         """OS proposes a permission *reduction* (needs EACCEPT)."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.emodpr, Category.SGX_PAGING)
         entry = self._entry_for(enclave, vaddr)
         if (perms.read and not entry.perms.read) or \
@@ -192,6 +203,7 @@ class SgxInstructions:
 
     def emodt(self, enclave, vaddr, page_type=PageType.TRIM):
         """OS proposes a type change — trimming for deallocation."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.emodt, Category.SGX_PAGING)
         entry = self._entry_for(enclave, vaddr)
         entry.page_type = page_type
@@ -199,6 +211,7 @@ class SgxInstructions:
 
     def eremove(self, enclave, vaddr):
         """Free a trimmed-and-accepted (or dead-enclave) page."""
+        self.epoch.value += 1
         self.clock.charge(self.cost.eremove, Category.SGX_PAGING)
         vpn = vpn_of(vaddr)
         pfn = enclave.backed.get(vpn)
@@ -220,6 +233,7 @@ class SgxInstructions:
     def _install(self, enclave, vaddr, contents, perms, page_type):
         if vaddr % PAGE_SIZE:
             raise SgxError(f"unaligned enclave page {vaddr:#x}")
+        self.epoch.value += 1
         vpn = vpn_of(vaddr)
         if vpn in enclave.backed:
             raise SgxError(f"{vaddr:#x} already backed by EPC")

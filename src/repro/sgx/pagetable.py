@@ -9,22 +9,30 @@ the walk, not from protecting the page table itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.errors import SgxError
+from repro.sgx.epoch import TranslationEpoch
 from repro.sgx.params import AccessType, vpn_of
 
 
-@dataclass
 class Pte:
-    """An x86-style page table entry (the bits the paper's attack uses)."""
+    """An x86-style page table entry (the bits the paper's attack uses).
 
-    pfn: int
-    present: bool = True
-    writable: bool = True
-    executable: bool = False
-    accessed: bool = False
-    dirty: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one of these
+    exists per mapped page and is probed on every TLB miss, so the
+    per-instance dict is measurable overhead at experiment scale.
+    """
+
+    __slots__ = ("pfn", "present", "writable", "executable",
+                 "accessed", "dirty")
+
+    def __init__(self, pfn, present=True, writable=True, executable=False,
+                 accessed=False, dirty=False):
+        self.pfn = pfn
+        self.present = present
+        self.writable = writable
+        self.executable = executable
+        self.accessed = accessed
+        self.dirty = dirty
 
     def allows(self, access):
         if access is AccessType.READ:
@@ -42,14 +50,17 @@ class PageTable:
     All mutation goes through named methods rather than raw dict access
     so that attacker actions (``unmap``, ``clear_accessed_dirty``,
     ``set_protection``) and legitimate OS actions are explicit in traces
-    and tests.
+    and tests.  Every mutator bumps the translation epoch, so memoized
+    translations (the MMU fast path) can never observe a stale PTE.
     """
 
-    def __init__(self):
+    def __init__(self, epoch=None):
         self._ptes = {}
         #: TLB(s) to notify on unmap/protect — the OS performs the TLB
         #: shootdown that the SGX flows require.
         self._shootdown_targets = []
+        #: Shared generation stamp (private when standing alone).
+        self.epoch = epoch if epoch is not None else TranslationEpoch()
 
     def register_tlb(self, tlb):
         self._shootdown_targets.append(tlb)
@@ -68,6 +79,7 @@ class PageTable:
 
     def map(self, vaddr, pfn, writable=True, executable=False,
             accessed=False, dirty=False):
+        self.epoch.value += 1
         vpn = vpn_of(vaddr)
         self._ptes[vpn] = Pte(
             pfn=pfn,
@@ -81,21 +93,25 @@ class PageTable:
 
     def unmap(self, vaddr):
         """Clear the present bit (keeps the PFN for later remap)."""
+        self.epoch.value += 1
         pte = self._require(vaddr)
         pte.present = False
         self._shootdown(vaddr)
 
     def remap(self, vaddr):
         """Restore the present bit of a previously unmapped page."""
+        self.epoch.value += 1
         pte = self._require(vaddr, present_ok=False)
         pte.present = True
 
     def drop(self, vaddr):
         """Remove the PTE entirely (page fully deallocated)."""
+        self.epoch.value += 1
         self._ptes.pop(vpn_of(vaddr), None)
         self._shootdown(vaddr)
 
     def set_protection(self, vaddr, writable=None, executable=None):
+        self.epoch.value += 1
         pte = self._require(vaddr)
         if writable is not None:
             pte.writable = writable
@@ -107,6 +123,7 @@ class PageTable:
         """Set or clear A/D bits (used both by the MMU walk and by the
         attacker's monitoring loop, and by Autarky's driver which must
         pre-set both bits for self-paging enclaves)."""
+        self.epoch.value += 1
         pte = self._require(vaddr, present_ok=False)
         if accessed is not None:
             pte.accessed = accessed

@@ -10,17 +10,25 @@ Two properties matter for the paper:
 * Autarky's A/D-bit defense is checked at *fill* time; once an entry is
   cached, later hits bypass the page table entirely, which is exactly
   the time-of-check semantics §5.1.4 reasons about.
+
+Every operation that removes an entry — full flush, single-page
+shootdown, capacity eviction — bumps the shared translation epoch, so
+the MMU's memoized fast path can never return a translation the TLB no
+longer holds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sgx.params import AccessType, vpn_of
+from repro.sgx.epoch import TranslationEpoch
+from repro.sgx.params import PAGE_SHIFT, AccessType
 
 
 @dataclass
 class TlbEntry:
+    __slots__ = ("pfn", "writable", "executable")
+
     pfn: int
     writable: bool
     executable: bool
@@ -46,12 +54,14 @@ class Tlb:
     Replacement is FIFO (dict insertion order), a standard approximation.
     """
 
-    def __init__(self, capacity=None):
+    def __init__(self, capacity=None, epoch=None):
         self.capacity = capacity
         self._entries = {}
         self.fills = 0
         self.hits = 0
         self.flushes = 0
+        #: Shared generation stamp (private when standing alone).
+        self.epoch = epoch if epoch is not None else TranslationEpoch()
 
     def lookup(self, vaddr, access):
         """Return the cached PFN or ``None`` (miss or insufficient perms).
@@ -59,7 +69,7 @@ class Tlb:
         A permission mismatch is treated as a miss so the walk (and its
         SGX checks) re-runs, matching hardware behaviour.
         """
-        entry = self._entries.get(vpn_of(vaddr))
+        entry = self._entries.get(vaddr >> PAGE_SHIFT)
         if entry is None or not entry.allows(access):
             return None
         self.hits += 1
@@ -69,16 +79,21 @@ class Tlb:
         self.fills += 1
         if self.capacity is not None and len(self._entries) >= self.capacity:
             self._entries.pop(next(iter(self._entries)))
-        self._entries[vpn_of(vaddr)] = TlbEntry(pfn, writable, executable)
+            self.epoch.value += 1
+        self._entries[vaddr >> PAGE_SHIFT] = TlbEntry(
+            pfn, writable, executable
+        )
 
     def flush(self):
         """Full flush (EENTER/EEXIT/AEX)."""
         self.flushes += 1
         self._entries.clear()
+        self.epoch.value += 1
 
     def flush_page(self, vaddr):
         """Single-page shootdown (OS unmap/protect)."""
-        self._entries.pop(vpn_of(vaddr), None)
+        self._entries.pop(vaddr >> PAGE_SHIFT, None)
+        self.epoch.value += 1
 
     def __contains__(self, vaddr):
-        return vpn_of(vaddr) in self._entries
+        return vaddr >> PAGE_SHIFT in self._entries

@@ -342,6 +342,99 @@ class TestDeterminism:
         assert report.suppressed == 1
 
 
+# -- determinism: parallel merges ---------------------------------------------
+
+class TestParallelMerge:
+    """determinism/parallel-merge fires only in modules that use the
+    fan-out package, and only on scheduling-dependent merge shapes."""
+
+    def test_unsorted_imap_unordered_flagged(self):
+        report = check(
+            """
+            from repro.parallel import run_indexed
+
+            def merge(pool, tasks):
+                return list(pool.imap_unordered(str, tasks))
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert rules_of(report) == ["determinism/parallel-merge"]
+
+    def test_sorted_imap_unordered_fine(self):
+        report = check(
+            """
+            from repro.parallel import run_indexed
+
+            def merge(pool, tasks):
+                return sorted(pool.imap_unordered(str, tasks),
+                              key=lambda pair: pair[0])
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert report.ok()
+
+    def test_parallel_package_always_in_scope(self):
+        report = check(
+            """
+            def merge(pool, tasks):
+                return list(pool.imap_unordered(str, tasks))
+            """,
+            module="repro.parallel.runner",
+        )
+        assert rules_of(report) == ["determinism/parallel-merge"]
+
+    def test_getpid_key_flagged(self):
+        report = check(
+            """
+            import os
+            from repro.parallel import run_indexed
+
+            def tag(result):
+                return (os.getpid(), result)
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert rules_of(report) == ["determinism/parallel-merge"]
+
+    def test_set_iteration_flagged(self):
+        report = check(
+            """
+            from repro.parallel import run_indexed
+
+            def merge(results):
+                return [r for r in set(results)]
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert rules_of(report) == ["determinism/parallel-merge"]
+
+    def test_sorted_set_iteration_fine(self):
+        report = check(
+            """
+            from repro.parallel import run_indexed
+
+            def merge(results):
+                return [r for r in sorted(set(results))]
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert report.ok()
+
+    def test_out_of_scope_module_untouched(self):
+        report = check(
+            """
+            def merge(pool, tasks):
+                return list(pool.imap_unordered(str, tasks))
+            """,
+            module="repro.experiments.sweep",
+        )
+        assert report.ok()
+
+    def test_catalog_covers_rule(self):
+        from repro.analysis.passes import RULE_CATALOG
+        assert "determinism/parallel-merge" in RULE_CATALOG
+
+
 # -- cycle accounting ---------------------------------------------------------
 
 class TestCycleAccounting:

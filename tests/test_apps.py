@@ -24,6 +24,10 @@ class RecordingEngine:
     def data_access(self, vaddr, write=False):
         self.data.append((vaddr, write))
 
+    def data_access_run(self, vaddrs, write=False):
+        for vaddr in vaddrs:
+            self.data.append((vaddr, write))
+
     def code_access(self, vaddr):
         self.code.append(vaddr)
 
