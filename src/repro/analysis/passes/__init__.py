@@ -76,6 +76,9 @@ RULE_CATALOG = {
         "ERESUME resumes an interrupted enclave: AEX comes first",
     "robustness/broad-except":
         "runtime code must not swallow faults with broad except handlers",
+    "robustness/unbounded-restart":
+        "restart/retry loops must be bounded or escape via "
+        "raise/return/break (restart churn is a §5.3 signal)",
     "suppression/unused":
         "allow-annotations must suppress at least one finding (--strict)",
 }

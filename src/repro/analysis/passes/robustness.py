@@ -1,4 +1,5 @@
-"""Robustness pass: the runtime must not swallow faults wholesale.
+"""Robustness pass: the runtime must not swallow faults wholesale,
+nor respond to them forever.
 
 The hardened paging runtime's fail-safe story (docs/fault-injection.md)
 depends on exceptions keeping their identity: an
@@ -18,6 +19,15 @@ package.  Two shapes are deliberately *not* findings:
 * handlers outside the package (tests, benchmarks, examples routinely
   assert "anything raised here" and are not runtime code).
 
+The second rule polices the *response* to failure: a restart/retry
+loop with no bound is the other half of fail-safety.  §5.3 prices the
+termination channel at one bit per restart — an ``while True`` loop
+that keeps relaunching, re-spawning, or re-trying hands a Byzantine
+host an unmetered channel (and an availability hole).  Every
+restart-shaped loop must therefore be bounded (``for`` over a budget)
+or visibly escape (``raise``/``return``/``break`` in its body); the
+recovery supervisor itself is held to this rule.
+
 Intentional catch-alls — a top-level CLI report boundary, say — carry
 ``# repro: allow[robustness]`` with a justification, keeping the
 inventory of broad handlers machine-checked like every other exemption.
@@ -26,18 +36,27 @@ inventory of broad handlers machine-checked like every other exemption.
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.analysis.findings import Finding
 
 RULE_BROAD_EXCEPT = "robustness/broad-except"
+RULE_UNBOUNDED_RESTART = "robustness/unbounded-restart"
 
 #: Exception names too wide for runtime code to catch.
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
 
+#: Call names that look like "bring the thing back" — the verbs an
+#: unbounded supervision loop would spin on.
+RESTART_NAME_RE = re.compile(
+    r"(^|_)(restart|relaunch|respawn|spawn|launch|retry|recover|"
+    r"restore|reconnect|factory)"
+)
+
 
 class RobustnessPass:
     family = "robustness"
-    rules = (RULE_BROAD_EXCEPT,)
+    rules = (RULE_BROAD_EXCEPT, RULE_UNBOUNDED_RESTART)
 
     def __init__(self, config):
         self.config = config
@@ -49,6 +68,10 @@ class RobustnessPass:
         )
 
     def run(self, mod):
+        yield from self._broad_handlers(mod)
+        yield from self._unbounded_restarts(mod)
+
+    def _broad_handlers(self, mod):
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -74,6 +97,108 @@ class RobustnessPass:
                 ),
                 module=mod.module,
             )
+
+    def _unbounded_restarts(self, mod):
+        """Flag ``while True`` loops that spin on a restart-shaped call
+        with no visible escape (no ``raise``/``return``/``break`` in
+        the loop body)."""
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._is_forever(node.test):
+                continue
+            verb = self._restart_call(node.body)
+            if verb is None:
+                continue
+            if self._escapes(node.body):
+                continue
+            yield Finding(
+                path=mod.path,
+                line=node.lineno,
+                rule=RULE_UNBOUNDED_RESTART,
+                message=(
+                    f"unbounded restart loop: 'while True' around "
+                    f"{verb}() with no raise/return/break — restart "
+                    "churn is a one-bit-per-restart termination channel "
+                    "(§5.3) and must be budgeted"
+                ),
+                hint=(
+                    "bound the loop (for attempt in range(budget)), "
+                    "charge backoff between attempts "
+                    "(runtime/backoff.py), and escape with a structured "
+                    "abort (Quarantined / LockdownError) once the "
+                    "budget is spent"
+                ),
+                module=mod.module,
+            )
+
+    @staticmethod
+    def _is_forever(test):
+        return isinstance(test, ast.Constant) and test.value in (True, 1)
+
+    @classmethod
+    def _restart_call(cls, body):
+        """The first restart-shaped call name in the loop body, if any
+        (nested ``def``/``class`` bodies are other scopes)."""
+        for node in cls._walk_scope(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if RESTART_NAME_RE.search(name):
+                return name
+        return None
+
+    @classmethod
+    def _escapes(cls, body):
+        """Whether the loop body can leave the loop: ``raise`` or
+        ``return`` anywhere in this scope, or a ``break`` belonging to
+        this loop (not to a nested one)."""
+        for node in cls._walk_scope(body):
+            if isinstance(node, (ast.Raise, ast.Return)):
+                return True
+        return cls._has_own_break(body)
+
+    @classmethod
+    def _has_own_break(cls, body):
+        """A ``break`` that belongs to *this* loop: found under
+        if/try/with nesting, but not inside a nested loop (that break
+        exits the inner loop) or a nested def (another scope)."""
+        for stmt in body:
+            if isinstance(stmt, ast.Break):
+                return True
+            if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor,
+                                 ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.If, ast.With, ast.AsyncWith,
+                                 ast.Try)):
+                blocks = list(getattr(stmt, "body", []))
+                blocks += getattr(stmt, "orelse", [])
+                blocks += getattr(stmt, "finalbody", [])
+                for handler in getattr(stmt, "handlers", []):
+                    blocks += handler.body
+                if cls._has_own_break(blocks):
+                    return True
+        return False
+
+    @staticmethod
+    def _walk_scope(body):
+        """Walk statements without descending into nested function or
+        class definitions (separate scopes)."""
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
 
     @staticmethod
     def _broad_name(type_node):

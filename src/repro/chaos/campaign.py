@@ -4,7 +4,7 @@ Each run boots a fresh system, installs a
 :class:`~repro.chaos.injector.FaultInjector` scripted by the seed's
 :class:`~repro.chaos.plan.FaultPlan`, and drives a deterministic
 workload while the plan's hostile acts land.  Every run must end in one
-of three safe states:
+of four safe states:
 
 * **completed** — the workload finished and nothing the host did left
   a trace in the enclave's results;
@@ -13,7 +13,11 @@ of three safe states:
   retry-with-backoff, bounded self-eviction under quota pressure,
   cooperative ballooning);
 * **aborted** — the runtime failed stop with a structured
-  :class:`~repro.errors.AbortReason`.
+  :class:`~repro.errors.AbortReason`;
+* **recovered** — the host killed the enclave outright (possibly
+  tearing the journal tail) and the supervisor restored it from the
+  sealed checkpoint + journal to state *verified bit-identical* to an
+  uncrashed witness, after which the workload finished.
 
 Anything else — computing on a tampered page, leaking an unmasked
 fault address, degrading past a budget, dying while claiming success —
@@ -28,17 +32,21 @@ import random
 from dataclasses import dataclass, field
 
 from repro.chaos.injector import FaultInjector
-from repro.chaos.plan import FaultKind, FaultPlan
+from repro.chaos.plan import CRASH_KINDS, FaultKind, FaultPlan
 from repro.core.config import SystemConfig
 from repro.core.metrics import AbortStats
 from repro.core.system import AutarkySystem
 from repro.errors import (
     AbortReason,
+    EnclaveCrashed,
     EnclaveTerminated,
     IntegrityError,
     PolicyError,
     SgxError,
 )
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.program import EnclaveProgram
+from repro.recovery.state import fingerprint as state_fingerprint
 from repro.runtime.rate_limit import ProgressKind
 from repro.sgx.params import PAGE_SIZE, SgxVersion
 
@@ -65,6 +73,10 @@ QUOTA_FLOOR = 24
 OUTCOME_COMPLETED = "completed"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_ABORTED = "aborted"
+OUTCOME_RECOVERED = "recovered"
+
+#: Journal records between automatic checkpoint seals during a run.
+CHECKPOINT_EVERY = 64
 
 
 @dataclass(frozen=True)
@@ -81,6 +93,7 @@ class RunResult:
     degradations: int
     retried_calls: int
     balloon_freed: int
+    recoveries: int      # verified crash recoveries during the run
     violations: tuple    # safety-invariant breaches (must be empty)
     digest: str          # determinism fingerprint of the whole run
 
@@ -109,6 +122,10 @@ class CampaignResult:
         for run in self.runs:
             kinds.update(run.fired_kinds)
         return kinds
+
+    @property
+    def recoveries(self):
+        return sum(run.recoveries for run in self.runs)
 
     @property
     def ok(self):
@@ -178,14 +195,21 @@ def _prepare_workload(system, policy_name):
 class _ChaosRun:
     """One seeded run of one policy under one fault plan."""
 
-    def __init__(self, seed, policy_name):
+    def __init__(self, seed, policy_name, exclude=()):
         self.seed = seed
         self.policy_name = policy_name
-        self.plan = FaultPlan.generate(seed, N_OPS)
-        self.system = AutarkySystem(_system_config(policy_name))
+        self.plan = FaultPlan.generate(seed, N_OPS, exclude=exclude)
+        config = _system_config(policy_name)
+        self.system = AutarkySystem(config)
         self.kernel = self.system.kernel
         self.enclave = self.system.enclave
         self.runtime = self.system.runtime
+        #: The relaunch recipe recovery uses after a scripted crash: the
+        #: same config on the same kernel, with the campaign's warm-up.
+        self.program = EnclaveProgram(
+            config=config, warmup=self._recovery_warmup,
+            name=f"chaos-{policy_name}-{seed}",
+        )
         self.injector = FaultInjector(
             self.plan, self.kernel, self.enclave
         ).install()
@@ -194,12 +218,36 @@ class _ChaosRun:
         self.rng = random.Random((seed << 16) ^ 0xC7A05)
         self.violations = []
         self.ops_done = 0
+        self.recoveries = 0
+        self.engine = None
+        self.manager = None
         self._quota_restores = {}
+
+    def _recovery_warmup(self, runtime):
+        """Reproduce :func:`_prepare_workload`'s bootstrap on a
+        relaunched runtime (the base-checkpoint fingerprint depends on
+        it being bit-identical)."""
+        heap = runtime.regions["heap"]
+        if self.policy_name == "pin_all":
+            for i in range(_PIN_ALL_POOL):
+                runtime.access(heap.start + i * PAGE_SIZE)
+            runtime.policy.seal()
+        elif self.policy_name == "clusters":
+            runtime.allocator.alloc_pages(_CHURN_POOL)
 
     # -- driving -----------------------------------------------------------
 
     def execute(self):
-        engine, pool = _prepare_workload(self.system, self.policy_name)
+        self.engine, pool = _prepare_workload(self.system,
+                                              self.policy_name)
+        self.manager = RecoveryManager(
+            self.runtime,
+            auto_checkpoint_every=CHECKPOINT_EVERY,
+            # The witness trace costs a fingerprint per record; keep it
+            # only when this plan can actually crash the enclave.
+            keep_trace=bool(set(CRASH_KINDS) & self.plan.kinds()),
+        )
+        self.manager.begin()
         op_events = {}
         for event in self.plan.op_events():
             op_events.setdefault(event.at_op, []).append(event)
@@ -209,12 +257,13 @@ class _ChaosRun:
                 self.injector.advance_to_op(i)
                 self._release_quota(i)
                 for event in op_events.get(i, ()):
-                    self._apply(event, engine)
+                    self._apply(event, self.engine)
                 vaddr = self.rng.choice(pool)
-                engine.data_access(vaddr, write=self.rng.random() < 0.25)
-                engine.compute(1_000)
+                self.engine.data_access(vaddr,
+                                        write=self.rng.random() < 0.25)
+                self.engine.compute(1_000)
                 if i % 8 == 7:
-                    engine.progress(ProgressKind.SYSCALL)
+                    self.engine.progress(ProgressKind.SYSCALL)
                 self.ops_done += 1
         except EnclaveTerminated as exc:
             outcome = OUTCOME_ABORTED
@@ -233,6 +282,10 @@ class _ChaosRun:
             self.injector.uninstall()
         if outcome == OUTCOME_COMPLETED and self._absorbed_faults():
             outcome = OUTCOME_DEGRADED
+        if outcome != OUTCOME_ABORTED and self.recoveries:
+            # The run survived at least one scripted kill via verified
+            # restore — the fourth legal terminal state.
+            outcome = OUTCOME_RECOVERED
         self._check_invariants(outcome)
         return self._result(outcome, reason)
 
@@ -282,8 +335,57 @@ class _ChaosRun:
             self._clobber_and_probe(event, engine, clear_ad=False)
         elif kind is FaultKind.AD_CLEAR:
             self._clobber_and_probe(event, engine, clear_ad=True)
+        elif kind in CRASH_KINDS:
+            self._crash_and_recover(event)
         else:
             raise PolicyError(f"unhandled op-level fault {kind}")
+
+    def _crash_and_recover(self, event):
+        """The host kills the enclave (optionally tearing the tail
+        journal record); the supervisor path restores it on the same
+        kernel and the restored state is verified against the witness
+        trace before the workload resumes."""
+        kind = event.kind
+        if kind is not FaultKind.CRASH_ENCLAVE and not self.manager.journal:
+            self.injector.record_skipped(event, "no journal tail to tear")
+            return
+        try:
+            self.manager.crash()
+        except EnclaveCrashed:
+            pass  # we *are* the host script that killed it
+        detail = "host killed the enclave"
+        if kind is FaultKind.JOURNAL_TORN_TAIL:
+            self.manager.journal.truncate_tail()
+            detail += ", tail journal record lost"
+        elif kind is FaultKind.JOURNAL_CORRUPT_TAIL:
+            self.manager.journal.corrupt_tail()
+            detail += ", tail journal record torn"
+        self.injector.record_op_event(event, detail)
+        # Supervisor-style restore: reclaim the corpse, relaunch the
+        # program, replay the sealed journal onto the fresh incarnation.
+        self.kernel.driver.reclaim_enclave(self.enclave)
+        runtime = self.program.launch(self.kernel)
+        applied = self.manager.restore(runtime)
+        if self.manager.keep_trace and (
+                state_fingerprint(runtime) != self.manager.trace[applied]):
+            self.violations.append(
+                f"recovered state diverged from the uncrashed witness "
+                f"at journal position {applied}"
+            )
+        self._adopt(runtime)
+        self.recoveries += 1
+
+    def _adopt(self, runtime):
+        """Point every per-run handle at the restored incarnation."""
+        self.runtime = runtime
+        self.enclave = runtime.enclave
+        self.system.runtime = runtime
+        self.system.policy = runtime.policy
+        self.injector.enclave = runtime.enclave
+        self.engine = self.program.engine(runtime)
+        # Pending quota restores belonged to the dead incarnation; the
+        # relaunch starts from the full configured quota.
+        self._quota_restores.clear()
 
     def _squeeze_quota(self, event):
         state = self.kernel.driver.state(self.enclave)
@@ -445,7 +547,8 @@ class _ChaosRun:
             self.kernel.clock.cycles, fired, pager.degradations,
             self.runtime.paging_ops.retried_calls,
             len(self.kernel.fault_log), len(self.injector.events),
-            tuple(self.violations),
+            self.recoveries, self.manager.records_written,
+            self.manager.records_replayed, tuple(self.violations),
         )).encode()
         return RunResult(
             seed=self.seed,
@@ -460,18 +563,19 @@ class _ChaosRun:
             balloon_freed=(
                 balloon.pages_surrendered if balloon is not None else 0
             ),
+            recoveries=self.recoveries,
             violations=tuple(self.violations),
             digest=hashlib.sha256(fingerprint).hexdigest()[:16],
         )
 
 
-def run_one(seed, policy_name):
+def run_one(seed, policy_name, exclude=()):
     """Run one seed against one policy; returns a :class:`RunResult`."""
-    return _ChaosRun(seed, policy_name).execute()
+    return _ChaosRun(seed, policy_name, exclude=exclude).execute()
 
 
 def _campaign_point(task):
-    """Worker for one ``(seed, policy, check)`` sweep point.
+    """Worker for one ``(seed, policy, check, exclude)`` sweep point.
 
     Top-level (picklable) so :func:`repro.parallel.run_indexed` can
     ship it to a pool worker; each point boots its own system, so
@@ -479,14 +583,16 @@ def _campaign_point(task):
     where ``rerun_digest`` is ``None`` when determinism checking is
     off.
     """
-    seed, policy_name, check = task
-    run = run_one(seed, policy_name)
-    rerun_digest = run_one(seed, policy_name).digest if check else None
+    seed, policy_name, check, exclude = task
+    run = run_one(seed, policy_name, exclude)
+    rerun_digest = (
+        run_one(seed, policy_name, exclude).digest if check else None
+    )
     return run, rerun_digest
 
 
 def run_campaign(seeds, policies=DEFAULT_POLICIES,
-                 check_determinism=True, jobs=1):
+                 check_determinism=True, jobs=1, exclude=()):
     """Sweep ``seeds`` × ``policies``; returns a :class:`CampaignResult`.
 
     With ``check_determinism`` every run executes twice from scratch
@@ -497,6 +603,9 @@ def run_campaign(seeds, policies=DEFAULT_POLICIES,
     process pool; results are merged in the canonical seed-outer,
     policy-inner order, so the campaign result — every run, digest,
     and aggregate — is identical to the serial sweep.
+
+    ``exclude`` removes fault kinds from every generated plan (the
+    ``--no-crash`` switch passes :data:`~repro.chaos.plan.CRASH_KINDS`).
     """
     from repro.parallel import run_indexed
 
@@ -504,11 +613,12 @@ def run_campaign(seeds, policies=DEFAULT_POLICIES,
     for policy_name in policies:
         result.abort_stats[policy_name] = AbortStats()
     tasks = [
-        (seed, policy_name, check_determinism)
+        (seed, policy_name, check_determinism, tuple(exclude))
         for seed in seeds for policy_name in policies
     ]
     outcomes = run_indexed(_campaign_point, tasks, jobs=jobs)
-    for (seed, policy_name, _), (run, rerun_digest) in zip(tasks, outcomes):
+    for (seed, policy_name, _, _), (run, rerun_digest) in zip(tasks,
+                                                              outcomes):
         if rerun_digest is not None and rerun_digest != run.digest:
             result.determinism_failures.append(
                 (seed, policy_name, run.digest, rerun_digest)

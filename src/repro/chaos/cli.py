@@ -12,7 +12,7 @@ import argparse
 import json
 
 from repro.chaos.campaign import DEFAULT_POLICIES, run_campaign
-from repro.chaos.plan import FaultKind
+from repro.chaos.plan import CRASH_KINDS, FaultKind
 
 #: A sweep must fire at least this many distinct fault kinds, or the
 #: campaign is not exercising the surface it claims to.
@@ -36,6 +36,12 @@ def build_parser():
     parser.add_argument(
         "--no-determinism-check", action="store_true",
         help="run each seed once instead of twice (faster, weaker)",
+    )
+    parser.add_argument(
+        "--crash", action=argparse.BooleanOptionalAction, default=True,
+        help="include the crash-and-recover fault kinds "
+             "(crash-enclave, journal-torn-tail, journal-corrupt-tail); "
+             "--no-crash removes them from every plan (default: on)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -63,6 +69,7 @@ def run(argv=None):
         policies=policies,
         check_determinism=not args.no_determinism_check,
         jobs=args.jobs,
+        exclude=() if args.crash else CRASH_KINDS,
     )
     kinds_fired = len(result.fired_kinds)
     enough_kinds = kinds_fired >= min(
@@ -103,6 +110,8 @@ def _print_text(result, args, ok, kinds_fired):
             )
             print(f"  aborts[{policy}]: {detail}")
     print(f"  distinct fault kinds fired: {kinds_fired}")
+    if result.recoveries:
+        print(f"  verified crash recoveries: {result.recoveries}")
     if result.violations:
         print("SAFETY-INVARIANT VIOLATIONS:")
         for seed, policy, message in result.violations:
@@ -129,6 +138,7 @@ def _as_json(result, args, ok):
             for policy, stats in result.abort_stats.items()
         },
         "fired_kinds": sorted(result.fired_kinds),
+        "recoveries": result.recoveries,
         "violations": [
             {"seed": seed, "policy": policy, "message": message}
             for seed, policy, message in result.violations
@@ -150,6 +160,7 @@ def _as_json(result, args, ok):
                 "degradations": run_.degradations,
                 "retried_calls": run_.retried_calls,
                 "balloon_freed": run_.balloon_freed,
+                "recoveries": run_.recoveries,
                 "digest": run_.digest,
             }
             for run_ in result.runs

@@ -61,6 +61,15 @@ class FaultKind(enum.Enum):
     UNMAP_RESIDENT = "unmap-resident"
     #: Clear the accessed/dirty bits Autarky requires pinned set.
     AD_CLEAR = "ad-clear"
+    #: Kill the enclave outright at an operation boundary; the
+    #: supervisor must restore it to bit-identical state.
+    CRASH_ENCLAVE = "crash-enclave"
+    #: Kill the enclave AND truncate the tail journal record (the crash
+    #: interrupted the final append).
+    JOURNAL_TORN_TAIL = "journal-torn-tail"
+    #: Kill the enclave AND corrupt the tail journal record's payload
+    #: under its old MAC (a torn write that left garbage behind).
+    JOURNAL_CORRUPT_TAIL = "journal-corrupt-tail"
 
 
 #: Kinds the injector intercepts at the syscall boundary, mapped to the
@@ -137,7 +146,18 @@ _PARAM_RANGES = {
     FaultKind.SUSPEND_TAMPER: (1, 1),
     FaultKind.UNMAP_RESIDENT: (1, 1),
     FaultKind.AD_CLEAR: (1, 1),
+    FaultKind.CRASH_ENCLAVE: (1, 1),
+    FaultKind.JOURNAL_TORN_TAIL: (1, 1),
+    FaultKind.JOURNAL_CORRUPT_TAIL: (1, 1),
 }
+
+#: The crash-and-recover kinds, excludable as a group via
+#: ``FaultPlan.generate(..., exclude=CRASH_KINDS)`` (``--no-crash``).
+CRASH_KINDS = (
+    FaultKind.CRASH_ENCLAVE,
+    FaultKind.JOURNAL_TORN_TAIL,
+    FaultKind.JOURNAL_CORRUPT_TAIL,
+)
 
 
 @dataclass(frozen=True)
@@ -148,7 +168,8 @@ class FaultPlan:
     events: tuple
 
     @classmethod
-    def generate(cls, seed, n_ops, min_events=2, max_events=5):
+    def generate(cls, seed, n_ops, min_events=2, max_events=5,
+                 exclude=()):
         """Build the plan for ``seed`` over a run of ``n_ops`` operations.
 
         Fully deterministic: driven only by ``random.Random(seed)``.
@@ -156,14 +177,21 @@ class FaultPlan:
         rotation so campaigns cover every kind; the rest are drawn
         uniformly.  Events are sorted by ``at_op`` (ties keep draw
         order) so the campaign can consume them as a schedule.
+
+        ``exclude`` removes kinds from both the rotation and the random
+        draws (e.g. :data:`CRASH_KINDS` under ``--no-crash``); the
+        coverage guarantee then applies to the remaining kinds.
         """
         if n_ops < 1:
             raise ValueError("a plan needs at least one operation")
+        allowed = tuple(k for k in FaultKind if k not in set(exclude))
+        if not allowed:
+            raise ValueError("every fault kind is excluded")
         rng = random.Random(seed)
         count = rng.randint(min_events, max_events)
-        kinds = [FORCED_KINDS[seed % len(FORCED_KINDS)]]
+        kinds = [allowed[seed % len(allowed)]]
         kinds.extend(
-            rng.choice(list(FaultKind)) for _ in range(count - 1)
+            rng.choice(allowed) for _ in range(count - 1)
         )
         events = []
         for kind in kinds:

@@ -66,6 +66,7 @@ def cmd_list():
     print("\nother subcommands: verify, report [path], "
           "analyze [--strict] [--format text|json], "
           "chaos [--seeds N] [--policies ...] [--jobs N], "
+          "recover [--ops N] [--policies ...], "
           "bench [--jobs N] [--output path]")
 
 
@@ -97,6 +98,10 @@ def main(argv=None):
         # Same pattern for the fault-injection campaign runner.
         from repro.chaos.cli import run as chaos_run
         return chaos_run(argv[1:])
+    if argv and argv[0] == "recover":
+        # Crash-consistent checkpoint/restore demonstration.
+        from repro.recovery.cli import run as recover_run
+        return recover_run(argv[1:])
     if argv and argv[0] == "bench":
         # Wall-clock benchmark of the access engine + parallel runner.
         from repro.bench import run as bench_run

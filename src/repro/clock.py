@@ -28,6 +28,7 @@ class Category:
     OS = "os"                           # host kernel / driver work
     EXITLESS = "exitless"               # exitless host-call channel
     BACKOFF = "backoff"                 # retry waits on failed host calls
+    RECOVERY = "recovery"               # checkpoint/journal/replay work
     ORAM = "oram"                       # PathORAM protocol work
     OBLIVIOUS_SCAN = "oblivious_scan"   # CMOV linear scans (uncached ORAM)
 

@@ -28,6 +28,46 @@ from repro.runtime.rate_limit import RateLimiter
 from repro.sgx.params import PAGE_SIZE, AccessType
 
 
+def build_policy(cfg, layout, clock):
+    """Construct the configured paging policy from a :class:`SystemConfig`.
+
+    Module-level so recovery can rebuild an identical policy when it
+    relaunches a crashed enclave (:mod:`repro.recovery.program`), not
+    just :class:`AutarkySystem` at first boot.  Policies that consult
+    clusters come back with ``manager=None`` — the caller wires in the
+    runtime's :class:`ClusterManager` after launch.
+    """
+    spec = cfg.policy
+    if spec.name == "baseline":
+        return None
+    if spec.name == "pin_all":
+        return PinAllPolicy()
+    if spec.name == "clusters":
+        return ClusterPolicy(manager=None,
+                             unclustered=spec.cluster_unclustered)
+    if spec.name == "rate_limit":
+        limiter = RateLimiter(
+            spec.max_faults_per_progress,
+            grace_faults=spec.grace_faults,
+        )
+        return RateLimitPolicy(limiter, manager=None)
+    if spec.name == "oram":
+        heap_start = (
+            layout.base
+            + PAGE_SIZE * (1 + cfg.runtime_pages + cfg.code_pages
+                           + cfg.data_pages)
+        )
+        return OramPolicy(
+            tree_pages=spec.oram_tree_pages,
+            cache_pages=spec.oram_cache_pages,
+            clock=clock,
+            region_start=heap_start,
+            oblivious_metadata=spec.oram_oblivious_metadata,
+            seed=spec.oram_seed,
+        )
+    raise PolicyError(f"unknown policy {spec.name!r}")
+
+
 class DirectEngine:
     """MMU-mediated access engine (the normal path).
 
@@ -165,34 +205,4 @@ class AutarkySystem:
     # -- internals -----------------------------------------------------------
 
     def _build_policy(self, cfg):
-        spec = cfg.policy
-        if spec.name == "baseline":
-            return None
-        if spec.name == "pin_all":
-            return PinAllPolicy()
-        if spec.name == "clusters":
-            # manager=None is filled in with the runtime's ClusterManager
-            # right after launch.
-            return ClusterPolicy(manager=None,
-                                 unclustered=spec.cluster_unclustered)
-        if spec.name == "rate_limit":
-            limiter = RateLimiter(
-                spec.max_faults_per_progress,
-                grace_faults=spec.grace_faults,
-            )
-            return RateLimitPolicy(limiter, manager=None)
-        if spec.name == "oram":
-            heap_start = (
-                self.layout.base
-                + PAGE_SIZE * (1 + cfg.runtime_pages + cfg.code_pages
-                               + cfg.data_pages)
-            )
-            return OramPolicy(
-                tree_pages=spec.oram_tree_pages,
-                cache_pages=spec.oram_cache_pages,
-                clock=self.kernel.clock,
-                region_start=heap_start,
-                oblivious_metadata=spec.oram_oblivious_metadata,
-                seed=spec.oram_seed,
-            )
-        raise PolicyError(f"unknown policy {spec.name!r}")
+        return build_policy(cfg, self.layout, self.kernel.clock)

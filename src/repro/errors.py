@@ -36,6 +36,7 @@ class AbortReason(enum.Enum):
     LIVELOCK_GUARD = "livelock-guard"     # paging loop made no progress
     INTEGRITY = "integrity"               # tampered/replayed page detected
     CHAOS_ABORT = "chaos-abort"           # host failure budget exhausted
+    QUARANTINED = "quarantined"           # restart budget exhausted (flap)
 
 
 class ReproError(Exception):
@@ -119,6 +120,25 @@ class ChaosAbort(EnclaveTerminated):
     failing or hostile host and chose fail-stop over livelock."""
 
     default_reason = AbortReason.CHAOS_ABORT
+
+
+class EnclaveCrashed(ReproError):
+    """The host killed the enclave outright (power loss, OOM-kill of
+    the hosting process, scripted chaos crash).
+
+    Unlike :class:`EnclaveTerminated` this is not a decision of trusted
+    software — the enclave simply ceases to exist mid-flight.  Recovery
+    (:mod:`repro.recovery`) restores a crashed enclave from its sealed
+    checkpoint and journal; everything else treats the crash like any
+    other loss of the enclave."""
+
+
+class Quarantined(EnclaveTerminated):
+    """The recovery supervisor refused further restarts of a
+    flap-looping enclave: the restart budget is exhausted, and restart
+    churn is itself a signal (one bit per restart, §5.3)."""
+
+    default_reason = AbortReason.QUARANTINED
 
 
 class HostCallDenied(ReproError):

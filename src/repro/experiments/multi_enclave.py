@@ -145,6 +145,16 @@ def run_strategy(strategy, requests=1_500, seed=53):
         idle.get(key)
     idle_cycles = kernel.clock.cycles - clock0
 
+    # Retire both enclaves before returning: without the explicit
+    # reclaim their EPC frames and driver paging state would outlive
+    # the row (the dead-enclave bookkeeping leak).
+    for runtime in (loaded_rt, idle_rt):
+        kernel.driver.reclaim_enclave(runtime.enclave)
+    assert kernel.epc.free_pages == epc_pages, (
+        f"EPC leak after teardown: {kernel.epc.free_pages} free of "
+        f"{epc_pages}"
+    )
+
     hz = kernel.clock.frequency_hz
     return MultiEnclaveRow(
         strategy=strategy,

@@ -28,9 +28,33 @@ class BackingStore:
         self.tainted = set()
 
     def put(self, enclave_id, vaddr, sealed):
+        """Store a freshly sealed blob, superseding any current one.
+
+        Re-evicting the same page must carry a *strictly newer* version:
+        the crypto layer bumps the version counter on every seal, and a
+        legitimate reload always ``take()``s the entry first.  A put()
+        that would regress the version is therefore a driver/runtime bug
+        (it would let journal replay silently accept an older page), so
+        it fails loudly here.  Attacker writes go through
+        :meth:`substitute`/:meth:`replay`, which bypass this check —
+        the *crypto* layer is what defeats those.
+        """
         key = (enclave_id, vaddr)
         old = self._pages.get(key)
         if old is not None:
+            old_v = getattr(old, "version", None)
+            new_v = getattr(sealed, "version", None)
+            if (key not in self.tainted
+                    and old_v is not None and new_v is not None
+                    and new_v <= old_v):
+                # A tainted entry is exempt: its version field is
+                # attacker-chosen garbage, and rewriting the true blob
+                # over it is a restore, not a regression.
+                raise SgxError(
+                    f"backing-store version regression for {vaddr:#x} "
+                    f"(enclave {enclave_id}): put version {new_v} over "
+                    f"stored version {old_v}"
+                )
             self._stale[key] = old
         self._pages[key] = sealed
         self.tainted.discard(key)

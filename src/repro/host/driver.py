@@ -409,6 +409,27 @@ class SgxDriver:
             self.instr.eremove(enclave, base)
             self.pages_out += 1
 
+    def reclaim_enclave(self, enclave):
+        """Tear down a dead (crashed or aborted) enclave's footprint.
+
+        Frees every EPC frame the corpse still holds (EREMOVE is legal
+        once the enclave is dead), drops its mappings, and forgets the
+        driver-side state — the host-resource half of recovery, and the
+        fix for the multi-enclave supervisor's EPC leak.  The enclave's
+        sealed blobs stay in the backing store: untrusted memory has no
+        delete, and recovery replays against them."""
+        enclave.dead = True
+        for vpn in list(enclave.backed):
+            base = vpn << 12
+            self.page_table.drop(base)
+            self.instr.eremove(enclave, base)
+        state = self._states.pop(enclave.enclave_id, None)
+        if state is not None:
+            state.fifo.clear()
+            state.fifo_set.clear()
+            state.enclave_managed.clear()
+        self.clock.charge(self.cost.syscall, Category.OS)
+
     # -- whole-enclave swap (the OS's only big hammer, §5.2.1) -------------
 
     def suspend_enclave(self, enclave):

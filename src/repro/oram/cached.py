@@ -92,6 +92,18 @@ class CachedOram:
     def cached_pages(self):
         return len(self._cache)
 
+    def snapshot_state(self):
+        """Canonical cache state for recovery fingerprints: membership
+        and dirtiness in LRU order (order decides future victims), plus
+        the lifetime counters."""
+        return (
+            tuple((base, dirty)
+                  for base, (_data, dirty) in self._cache.items()),
+            self.hits,
+            self.misses,
+            self.writebacks,
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _make_room(self):

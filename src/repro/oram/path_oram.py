@@ -102,6 +102,24 @@ class PathOram:
     def stash_size(self):
         return len(self._stash)
 
+    def snapshot_state(self):
+        """Canonical client+server state for recovery fingerprints:
+        tree occupancy, position map, stash membership, counters, and
+        the exact position of the private random stream (two ORAM
+        instances are equivalent only if their next remaps agree)."""
+        tree = tuple(sorted(
+            (level, index, tuple(sorted(bid for bid, _data in bucket)))
+            for (level, index), bucket in self._tree.items()
+        ))
+        return (
+            tree,
+            tuple(sorted(self._position.items())),
+            tuple(sorted(self._stash)),
+            self.accesses,
+            self.stash_peak,
+            self._rng.getstate(),
+        )
+
     # -- protocol internals ----------------------------------------------------
 
     def _bucket_index(self, leaf, level):

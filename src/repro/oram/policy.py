@@ -39,6 +39,10 @@ class OramPolicy(SecurePagingPolicy):
         )
         self.region_start = region_start
         self.instrumented_accesses = 0
+        #: Optional repro.recovery.RecoveryManager: ORAM accesses are the
+        #: instrumented equivalent of page faults, so they are journaled
+        #: the same way for crash recovery.
+        self.observer = None
 
     @property
     def cached(self):
@@ -56,11 +60,14 @@ class OramPolicy(SecurePagingPolicy):
         """One instrumented access to the ORAM-protected region."""
         self.instrumented_accesses += 1
         if self.cache is not None:
-            return self.cache.access(vaddr, data=data, write=write)
-        block = (vaddr - self.region_start) // PAGE_SIZE
-        result = self.oram.access(block, data=data, write=write)
-        for _ in range(self.UNCACHED_LOADS_PER_TOUCH - 1):
-            self.oram.access(block, data=data, write=write)
+            result = self.cache.access(vaddr, data=data, write=write)
+        else:
+            block = (vaddr - self.region_start) // PAGE_SIZE
+            result = self.oram.access(block, data=data, write=write)
+            for _ in range(self.UNCACHED_LOADS_PER_TOUCH - 1):
+                self.oram.access(block, data=data, write=write)
+        if self.observer is not None:
+            self.observer.note_oram(vaddr, write)
         return result
 
     # -- SecurePagingPolicy interface ---------------------------------------

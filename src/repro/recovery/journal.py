@@ -1,0 +1,99 @@
+"""The write-ahead journal of paging-state inputs.
+
+The paging machine is deterministic: given the bootstrap state and the
+sequence of *inputs* it handled (faults, progress events, balloon
+upcalls, claim/release/regroup calls, ORAM accesses), every byte of its
+state follows.  So the journal records inputs, not state — each record
+is appended right after its operation completes (redo convention) and
+carries a small *effect summary* (pages fetched, pages freed) that
+replay verifies, so a replay whose environment diverged from the
+original run (e.g. a host quota squeeze that is gone after restart)
+is detected instead of silently producing different state.
+
+Records are sealed by :class:`~repro.sgx.crypto.StateSealer` with
+hash-chained MACs: record *n* covers record *n−1*'s MAC, so the host
+can tear off or corrupt only the very tail — which recovery tolerates
+as a torn write (the op's effects are lost with the crash anyway).
+Anything deeper is tampering and fail-stops the restore.
+
+The journal object itself is *untrusted storage*: dumb appends plus
+the attacker primitives chaos uses (:meth:`Journal.truncate_tail`,
+:meth:`Journal.corrupt_tail`).  All trusted logic — sealing, chain
+validation — lives in the manager and in :func:`validated_records`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import IntegrityError
+from repro.sgx.crypto import StateSealer
+
+#: The record kinds replay understands (see RecoveryManager._apply).
+RECORD_KINDS = (
+    "fault", "progress", "balloon", "claim", "release", "regroup", "oram",
+)
+
+
+class Journal:
+    """Untrusted append-only storage of sealed journal records."""
+
+    def __init__(self):
+        self.records = []
+
+    def append(self, blob):
+        self.records.append(blob)
+
+    def tail_mac(self):
+        """The chain head for the next append."""
+        return self.records[-1].mac if self.records else StateSealer.GENESIS
+
+    def __len__(self):
+        return len(self.records)
+
+    # -- attacker primitives (crash/torn-write injection) ------------------
+
+    def truncate_tail(self, n=1):
+        """Drop the last ``n`` records (a torn write at crash time)."""
+        if n > 0:
+            del self.records[len(self.records) - n:]
+
+    def corrupt_tail(self):
+        """Scribble over the last record's payload, keeping its MAC
+        (a partially persisted write).  Returns True if there was one."""
+        if not self.records:
+            return False
+        tail = self.records[-1]
+        self.records[-1] = dataclasses.replace(
+            tail, payload=("torn-write-garbage",)
+        )
+        return True
+
+
+def validated_records(journal, sealer):
+    """Walk the MAC chain; returns the validated prefix of records.
+
+    Exactly one invalid *tail* record is forgiven (a torn write: the
+    crash interrupted the append, and the operation's effects died with
+    the enclave).  An invalid record anywhere earlier breaks the chain
+    the tail MACs depend on — that is tampering, and raises
+    :class:`~repro.errors.IntegrityError`.
+    """
+    valid = []
+    prev = StateSealer.GENESIS
+    records = journal.records
+    for i, blob in enumerate(records):
+        try:
+            sealer.verify(blob, expected_prev=prev)
+            if blob.seq != i:
+                raise IntegrityError(
+                    f"journal record {i} carries seq {blob.seq} "
+                    "(reordered or spliced)"
+                )
+        except IntegrityError:
+            if i == len(records) - 1:
+                return valid
+            raise
+        valid.append(blob)
+        prev = blob.mac
+    return valid

@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.errors import SgxError
+from repro.errors import AttackDetected, SgxError
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,21 @@ class AttestationService:
                       f"termination-attack restart churn")
             )
         return VerificationResult(True)
+
+    def attest(self, enclave):
+        """One full attestation round for a (re)launched enclave.
+
+        Issues a fresh nonce, obtains the quote, and verifies it; a
+        rejected quote raises :class:`AttackDetected` — the recovery
+        supervisor must never resume traffic to an unattested restart.
+        """
+        nonce = self.fresh_nonce()
+        result = self.verify(quote(enclave, nonce), nonce)
+        if not result.accepted:
+            raise AttackDetected(
+                f"re-attestation rejected: {result.reason}"
+            )
+        return result
 
     @property
     def under_attack(self):

@@ -52,6 +52,10 @@ class BalloonHandler:
         #: the OS must be prepared for (and chaos campaigns count).
         self.refusals = 0
 
+    def snapshot_counters(self):
+        """Canonical counter tuple for recovery fingerprints."""
+        return (self.requests, self.pages_surrendered, self.refusals)
+
     def handle_request(self, pages_requested):
         """Give back up to ``pages_requested`` pages; returns the count
         actually freed (0 = refusal).

@@ -154,6 +154,11 @@ class GrapheneRuntime:
         self.balloon = None if legacy else BalloonHandler(self.pager)
         self._balloon_request = None
         self._balloon_response = 0
+        #: Optional repro.recovery.RecoveryManager: when attached, every
+        #: input to the paging state machine (faults, progress, balloon
+        #: upcalls, claim/release) is journaled so a crashed enclave can
+        #: be replayed to this exact state.
+        self.recovery = None
         enclave.runtime = self
 
     # -- construction ----------------------------------------------------
@@ -320,6 +325,8 @@ class GrapheneRuntime:
         """Forward-progress event observed by the libOS (I/O, alloc, …)."""
         if self.policy is not None:
             self.policy.on_progress(kind)
+        if self.recovery is not None:
+            self.recovery.note_progress(kind)
 
     def call(self, fn, *args, **kwargs):
         """Model an ECALL: EENTER, run ``fn`` inside, EEXIT."""
@@ -346,6 +353,8 @@ class GrapheneRuntime:
                 self.kernel.cost.autarky_handler, Category.AUTARKY_HANDLER
             )
             self._balloon_response = self.balloon.handle_request(request)
+            if self.recovery is not None:
+                self.recovery.note_balloon(request, self._balloon_response)
             return
         if self._entry_expected:
             fn, args, kwargs = self._entry_fn
@@ -377,12 +386,23 @@ class GrapheneRuntime:
                     raise AttackDetected(
                         "fault on managed page with no policy configured"
                     )
+                before = getattr(self.policy, "pages_fetched", 0)
                 self.policy.on_fault(info.vaddr, info.access)
+                if self.recovery is not None:
+                    self.recovery.note_fault(
+                        info.vaddr, info.access, managed=True,
+                        fetched=getattr(self.policy, "pages_fetched", 0)
+                        - before,
+                    )
             elif self.region_of(info.vaddr) is not None:
                 # Insensitive OS-managed page: hand the fault to the OS,
                 # which could not see the address on its own (the
                 # libjpeg pipeline pattern of §7.3).
                 self.channel.call("os_resolve", self.enclave, info.vaddr)
+                if self.recovery is not None:
+                    self.recovery.note_fault(
+                        info.vaddr, info.access, managed=False, fetched=0
+                    )
             else:
                 raise AttackDetected(
                     f"fault outside any region at {info.vaddr:#x}"
@@ -414,11 +434,18 @@ class GrapheneRuntime:
     def claim(self, vaddrs, pin=False):
         """Mark specific pages enclave-managed (the libjpeg pattern of
         claiming sensitive buffers after malloc, §7.3)."""
-        return self.pager.claim_pages(vaddrs, pin=pin)
+        vaddrs = list(vaddrs)
+        result = self.pager.claim_pages(vaddrs, pin=pin)
+        if self.recovery is not None:
+            self.recovery.note_claim(vaddrs, pin)
+        return result
 
     def release(self, vaddrs):
         """Yield pages back to OS management."""
+        vaddrs = list(vaddrs)
         self.pager.release_pages(vaddrs)
+        if self.recovery is not None:
+            self.recovery.note_release(vaddrs)
 
     # -- setup helpers ---------------------------------------------------
 

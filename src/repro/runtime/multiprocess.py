@@ -82,8 +82,28 @@ class EnclaveSupervisor:
                         f"restart (termination-attack churn)"
                     ) from exc
                 record.restarts += 1
+                self._reclaim(record)
                 record.runtime = self._factory()
                 self._attest(record.runtime.enclave)
+
+    def _reclaim(self, record):
+        """Free the dead incarnation's host resources (EPC frames,
+        page-table entries, driver paging state) before a replacement
+        launches — restart churn must not leak EPC."""
+        runtime = record.runtime
+        if runtime is not None:
+            runtime.kernel.driver.reclaim_enclave(runtime.enclave)
+            record.runtime = None
+
+    def teardown(self, record):
+        """Retire one child and reclaim everything it held."""
+        self._children.pop(record.child_id, None)
+        self._reclaim(record)
+
+    def shutdown(self):
+        """Retire the whole brood (supervisor teardown)."""
+        for record in list(self._children.values()):
+            self.teardown(record)
 
     # -- attestation -------------------------------------------------------
 

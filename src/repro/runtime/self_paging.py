@@ -77,6 +77,11 @@ class SelfPager:
         #: frequency evictor can learn which pages stay hot.
         self._page_faults = defaultdict(int)
 
+        #: Optional repro.recovery.RecoveryManager: late regrouping is a
+        #: paging-state input with no libOS wrapper, so the pager itself
+        #: journals it when recovery is attached.
+        self.recovery_observer = None
+
         #: Experiment counters.
         self.fetches = 0
         self.evictions = 0
@@ -264,11 +269,14 @@ class SelfPager:
         unit.  Used when pages acquire cluster membership after they
         were fetched individually (late clustering): from then on they
         evict together, preserving the cluster invariant."""
+        vaddrs = list(vaddrs)
         vpns = tuple(
             vpn_of(v) for v in vaddrs if vpn_of(v) in self._resident
         )
         if vpns:
             self._push_unit(vpns)
+        if self.recovery_observer is not None:
+            self.recovery_observer.note_regroup(vaddrs)
 
     def note_fault(self, vaddr):
         """Record a fault against the page (frequency eviction input)."""
@@ -291,6 +299,42 @@ class SelfPager:
     def pin(self, vaddrs):
         for vaddr in vaddrs:
             self._pinned.add(vpn_of(vaddr))
+
+    # -- canonical-state accessors (repro.recovery fingerprints) -----------
+
+    def snapshot_queue(self):
+        """Deterministic image of the eviction queue.
+
+        FIFO: the live units' page tuples in queue order (order *is*
+        state — it decides future victims).  Frequency: the live units
+        as sorted ``(fault_count, pages)`` pairs — heap-internal seq
+        numbers are an allocator detail, not observable state."""
+        if self.order is EvictionOrder.FIFO:
+            return tuple(
+                unit.pages for unit in self._fifo if unit.alive
+            )
+        return tuple(sorted(
+            (unit.fault_count, unit.pages)
+            for _count, _seq, unit in self._freq_heap if unit.alive
+        ))
+
+    def snapshot_hotness(self):
+        """Sorted nonzero per-page lifetime fault counts."""
+        return tuple(sorted(
+            (vpn, count) for vpn, count in self._page_faults.items()
+            if count
+        ))
+
+    def snapshot_counters(self):
+        """Residency sets and lifetime counters as one canonical tuple."""
+        return (
+            tuple(sorted(self._resident)),
+            tuple(sorted(self._pinned)),
+            tuple(sorted(self._claimed)),
+            self.fetches,
+            self.evictions,
+            self.degradations,
+        )
 
     # -- internals -----------------------------------------------------------
 

@@ -13,6 +13,7 @@ callers) are what the paper's flows depend on, not the cipher itself.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 
@@ -95,6 +96,18 @@ class PagingCrypto:
         del self._outstanding[(enclave_id, vaddr)]
         return sealed.ciphertext
 
+    def outstanding_table(self, enclave_id):
+        """Sorted ``(vaddr, version)`` tuples of every outstanding sealed
+        copy for ``enclave_id`` — the anti-replay state an enclave must
+        re-establish bit-for-bit after a crash (recovery fingerprints
+        include it; ``_next_version`` is deliberately excluded: it is a
+        local allocator, not observable state)."""
+        return tuple(sorted(
+            (vaddr, version)
+            for (eid, vaddr), version in self._outstanding.items()
+            if eid == enclave_id
+        ))
+
     @staticmethod
     def _mac(enclave_id, vaddr, version, nonce, contents):
         # The MAC must cover the ciphertext object's *identity* so
@@ -103,3 +116,64 @@ class PagingCrypto:
         # per-process salt is harmless here.
         # repro: allow[determinism] intra-run token, never in results
         return hash((enclave_id, vaddr, version, nonce, id(contents)))
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """A sealed state blob in untrusted storage (checkpoint snapshot or
+    one journal record).  ``payload`` must be a canonical (hashable,
+    deterministically ordered) tuple tree — the MAC covers its repr."""
+
+    kind: str
+    seq: int
+    payload: object
+    prev_mac: str
+    mac: str
+
+
+class StateSealer:
+    """Seals recovery state (checkpoints, journal records) under a key
+    derived from the enclave *measurement*, not its launch identity.
+
+    Two launches of the same program have the same measurement, so a
+    restarted enclave can unseal what its crashed predecessor wrote —
+    exactly SGX's MRENCLAVE sealing policy.  MACs are hash-chained
+    (``prev_mac`` is covered by each record's MAC) so truncating or
+    corrupting any *interior* record invalidates the whole suffix; only
+    the very tail can be torn off, which recovery treats as a torn
+    write.  Unlike :class:`PagingCrypto` this uses sha256 — the MACs
+    land in deterministic fingerprints, so the salted builtin ``hash``
+    is off the table.
+    """
+
+    GENESIS = "genesis"
+
+    def __init__(self, measurement):
+        self._key = hashlib.sha256(
+            f"repro-state-sealer:{measurement}".encode()
+        ).hexdigest()
+
+    def mac(self, kind, seq, payload, prev_mac):
+        body = repr((self._key, kind, seq, payload, prev_mac))
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def seal(self, kind, seq, payload, prev_mac=GENESIS):
+        return SealedBlob(
+            kind=kind, seq=seq, payload=payload, prev_mac=prev_mac,
+            mac=self.mac(kind, seq, payload, prev_mac),
+        )
+
+    def verify(self, blob, expected_prev=None):
+        """Check a blob's MAC (and, when given, its chain link); raises
+        :class:`IntegrityError` on any mismatch."""
+        if expected_prev is not None and blob.prev_mac != expected_prev:
+            raise IntegrityError(
+                f"journal chain break at seq {blob.seq} "
+                f"({blob.kind}): prev MAC mismatch"
+            )
+        if self.mac(blob.kind, blob.seq, blob.payload,
+                    blob.prev_mac) != blob.mac:
+            raise IntegrityError(
+                f"sealed {blob.kind} blob seq {blob.seq}: MAC mismatch"
+            )
+        return blob.payload

@@ -106,6 +106,15 @@ class CostModel:
     tlb_fill: int = 40
     autarky_ad_check: int = 10
 
+    # Crash-consistent recovery (repro.recovery): sealing a checkpoint
+    # snapshot, appending one journal record, and replaying one record
+    # during restore.  Sized like the SGX2 software-crypto path: MAC a
+    # small record ≈ one page MAC; a checkpoint seals a multi-page
+    # canonical state blob.
+    journal_append: int = 1_800
+    checkpoint_seal: int = 14_000
+    journal_replay: int = 600
+
     # Host interaction.
     syscall: int = 1_500          # plain kernel entry (no enclave cross)
     exitless_call: int = 3_500    # exitless RPC to an untrusted thread

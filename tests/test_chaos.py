@@ -17,6 +17,8 @@ from repro.chaos.campaign import (
     OUTCOME_ABORTED,
     OUTCOME_COMPLETED,
     OUTCOME_DEGRADED,
+    OUTCOME_RECOVERED,
+    _ChaosRun,
     _prepare_workload,
     _system_config,
     run_campaign,
@@ -24,6 +26,7 @@ from repro.chaos.campaign import (
 )
 from repro.chaos.injector import FaultInjector
 from repro.chaos.plan import (
+    CRASH_KINDS,
     FORCED_KINDS,
     OP_KINDS,
     SYSCALL_KINDS,
@@ -407,11 +410,47 @@ class TestCampaign:
         assert first.digest == second.digest
         assert first == second
 
-    def test_outcomes_are_the_three_safe_states(self):
+    def test_outcomes_are_the_four_safe_states(self):
         result = run_campaign(range(4), check_determinism=False)
-        allowed = {OUTCOME_COMPLETED, OUTCOME_DEGRADED, OUTCOME_ABORTED}
+        allowed = {OUTCOME_COMPLETED, OUTCOME_DEGRADED, OUTCOME_ABORTED,
+                   OUTCOME_RECOVERED}
         assert {r.outcome for r in result.runs} <= allowed
         assert len(result.runs) == 4 * len(DEFAULT_POLICIES)
+
+    @pytest.mark.parametrize("kind", CRASH_KINDS)
+    def test_crash_kinds_produce_verified_recoveries(self, kind):
+        # One scripted crash mid-run, nothing else: the run must end
+        # recovered, with the restored state verified against the
+        # witness trace (a divergence would be a violation).
+        run = _ChaosRun(5, "rate_limit")
+        plan = FaultPlan(seed=5,
+                         events=(FaultEvent(kind, at_op=60, param=1),))
+        run.plan = plan
+        run.injector.uninstall()
+        run.injector = FaultInjector(plan, run.kernel,
+                                     run.enclave).install()
+        result = run.execute()
+        assert result.outcome == OUTCOME_RECOVERED
+        assert result.recoveries == 1
+        assert not result.violations
+        assert kind.value in result.fired_kinds
+        assert result.ops_done == N_OPS
+
+    def test_no_crash_sweep_still_sees_recoveries(self):
+        # A plain 12-seed default sweep (crash kinds in rotation) must
+        # produce at least one verified recovery somewhere.
+        result = run_campaign(range(12), policies=("rate_limit",),
+                              check_determinism=False)
+        assert result.ok
+        assert result.recoveries > 0
+
+    def test_no_crash_exclusion_removes_crash_kinds(self):
+        result = run_campaign(range(4), check_determinism=False,
+                              exclude=CRASH_KINDS)
+        fired = {FaultKind(v) for r in result.runs
+                 for v in r.fired_kinds}
+        assert not (fired & set(CRASH_KINDS))
+        assert result.recoveries == 0
 
     def test_smoke_sweep_is_safe_and_reproducible(self):
         result = run_campaign(range(4))

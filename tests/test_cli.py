@@ -109,6 +109,34 @@ class TestAnalyze:
         assert "analyze" in capsys.readouterr().out
 
 
+class TestRecover:
+    def test_cli_recover_text(self, capsys):
+        assert main(["recover", "--ops", "40",
+                     "--policies", "rate_limit"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "forgiven" in out
+        assert "rejected (IntegrityAbort)" in out
+        assert "quarantined after" in out
+        assert "all recovery invariants hold" in out
+
+    def test_cli_recover_json(self, capsys):
+        import json
+        assert main(["recover", "--ops", "40", "--format", "json",
+                     "--policies", "pin_all", "oram"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert [r["policy"] for r in payload["policies"]] == [
+            "pin_all", "oram"]
+        assert all(r["restored_verified"] for r in payload["policies"])
+        assert payload["rollback"]["rollback_rejected"]
+        assert payload["quarantine"]["quarantined"]
+
+    def test_listed_in_help(self, capsys):
+        main(["list"])
+        assert "recover" in capsys.readouterr().out
+
+
 class TestVerifyClaims:
     def test_cli_verify_command(self, capsys, monkeypatch):
         from repro.experiments import verify_claims

@@ -10,24 +10,36 @@ from repro.runtime.policies import PinAllPolicy
 from repro.sgx.params import AccessType
 
 
+def _launch_child(kernel, legacy=False):
+    runtime = GrapheneRuntime.launch(
+        kernel,
+        None if legacy else PinAllPolicy(),
+        layout=EnclaveLayout(runtime_pages=4, code_pages=8,
+                             data_pages=8, heap_pages=128),
+        quota_pages=512, enclave_managed_budget=256,
+        legacy=legacy,
+    )
+    if not legacy:
+        heap = runtime.regions["heap"]
+        runtime.preload([heap.page(i) for i in range(16)], pin=True)
+        runtime.policy.seal()
+    return runtime
+
+
 def make_factory(legacy=False):
     """Each child gets a fresh kernel (fresh machine per launch keeps
     the test independent of EPC leftovers)."""
     def factory():
-        kernel = HostKernel(epc_pages=1_024)
-        runtime = GrapheneRuntime.launch(
-            kernel,
-            None if legacy else PinAllPolicy(),
-            layout=EnclaveLayout(runtime_pages=4, code_pages=8,
-                                 data_pages=8, heap_pages=128),
-            quota_pages=512, enclave_managed_budget=256,
-            legacy=legacy,
-        )
-        if not legacy:
-            heap = runtime.regions["heap"]
-            runtime.preload([heap.page(i) for i in range(16)], pin=True)
-            runtime.policy.seal()
-        return runtime
+        return _launch_child(HostKernel(epc_pages=1_024), legacy=legacy)
+    return factory
+
+
+def make_shared_kernel_factory(kernel):
+    """All incarnations share one kernel — the shape that exposed the
+    dead-enclave bookkeeping leak (restart churn on a real machine
+    reuses the same EPC)."""
+    def factory():
+        return _launch_child(kernel)
     return factory
 
 
@@ -122,3 +134,54 @@ class TestSupervision:
 
         supervisor.run_child(record, flaky)
         assert supervisor.total_restarts() == 2
+
+
+class TestEpcReclamation:
+    """Restart churn and teardown must return every EPC frame the dead
+    incarnations held (the dead-enclave bookkeeping leak fix)."""
+
+    def test_restart_churn_does_not_leak_epc(self):
+        kernel = HostKernel(epc_pages=1_024)
+        free0 = kernel.epc.free_pages
+        supervisor = EnclaveSupervisor(make_shared_kernel_factory(kernel),
+                                       max_restarts=3)
+        record = supervisor.spawn()
+        after_spawn = kernel.epc.free_pages
+        assert after_spawn < free0
+        state = {"attacks_left": 2}
+
+        def flaky(runtime):
+            if state["attacks_left"]:
+                state["attacks_left"] -= 1
+                return attacked_workload(runtime)
+            return benign_workload(runtime)
+
+        assert supervisor.run_child(record, flaky) == "done"
+        assert record.restarts == 2
+        # Only the live incarnation's frames are outstanding: every
+        # corpse was reclaimed before its replacement launched.
+        assert kernel.epc.free_pages == after_spawn
+        supervisor.shutdown()
+        assert kernel.epc.free_pages == free0
+        assert not supervisor.children()
+
+    def test_teardown_retires_one_child(self):
+        kernel = HostKernel(epc_pages=1_024)
+        free0 = kernel.epc.free_pages
+        supervisor = EnclaveSupervisor(make_shared_kernel_factory(kernel))
+        record = supervisor.spawn()
+        assert supervisor.run_child(record, benign_workload) == "done"
+        supervisor.teardown(record)
+        assert kernel.epc.free_pages == free0
+        assert not supervisor.children()
+
+    def test_lockdown_leaves_corpse_reclaimable(self):
+        kernel = HostKernel(epc_pages=1_024)
+        free0 = kernel.epc.free_pages
+        supervisor = EnclaveSupervisor(make_shared_kernel_factory(kernel),
+                                       max_restarts=1)
+        record = supervisor.spawn()
+        with pytest.raises(LockdownError):
+            supervisor.run_child(record, attacked_workload)
+        supervisor.shutdown()
+        assert kernel.epc.free_pages == free0
