@@ -119,6 +119,13 @@ class Project:
         self._method_index = {}
         #: class name -> tuple of ClassInfo (for base resolution)
         self._class_index = {}
+        #: memoized resolutions, shared by every pass in one run: the
+        #: taint and accounting passes resolve the same call sites, and
+        #: the tables never change after construction, so the answer
+        #: for a given (call node, module, caller) is fixed.
+        self._resolve_cache = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.sources = list(modules)
         for mod in modules:
             self._index_module(mod)
@@ -264,6 +271,18 @@ class Project:
         clients that lose information by trusting a summary (the taint
         engine) must combine them with their conservative fallback.
         """
+        key = (id(call), module,
+               caller.qualname if caller is not None else None)
+        cached = self._resolve_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = self._resolve_call_uncached(call, module, caller)
+        self._resolve_cache[key] = result
+        return result
+
+    def _resolve_call_uncached(self, call, module, caller):
         chain = attr_chain(call.func)
         if not chain:
             return (), True

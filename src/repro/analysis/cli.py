@@ -39,11 +39,17 @@ def build_parser():
         "--strict", action="store_true",
         help="also fail on stale # repro: allow[...] annotations",
     )
+    parser.add_argument(
+        "--unused-suppressions", action="store_true",
+        help="report only stale # repro: allow[...] annotations "
+             "(implies --strict; exit 1 iff any are stale)",
+    )
     return parser
 
 
 def run(argv=None):
     args = build_parser().parse_args(argv)
+    strict = args.strict or args.unused_suppressions
     if args.paths:
         # A typo'd path must not pass the gate vacuously.
         missing = [p for p in args.paths if not Path(p).exists()]
@@ -52,9 +58,15 @@ def run(argv=None):
                 print(f"repro analyze: no such path: {p}",
                       file=sys.stderr)
             return 2
-        report = analyze_paths(args.paths, strict=args.strict)
+        report = analyze_paths(args.paths, strict=strict)
     else:
-        report = analyze_tree(strict=args.strict)
+        report = analyze_tree(strict=strict)
+    if args.unused_suppressions:
+        # Keep only staleness findings: real violations have their own
+        # gate; this mode audits the allow inventory.
+        report.findings = [
+            f for f in report.findings if f.rule == "suppression/unused"
+        ]
     if args.format == "json":
         print(report.render_json())
     elif args.format == "sarif":

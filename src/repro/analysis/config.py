@@ -227,9 +227,15 @@ class AnalysisConfig:
 
     # -- lifecycle orderliness (Guardian; SGX ISA §2.1, §5.2) -------------
     #: Module prefixes whose SGX ISA call sites are checked against the
-    #: launch / eviction / resume automata.
+    #: launch / eviction / resume / recovery automata.  ``repro.recovery``
+    #: and ``repro.chaos`` entered the scope with the crash/restore
+    #: transitions: journal records must only reach a live incarnation.
+    #: ``repro.modelcheck`` drives the same crash/restore protocol, so
+    #: its action implementations are held to the spec statically too
+    #: (and run the automata dynamically, as the oracle).
     lifecycle_prefixes: tuple = (
         "repro.runtime.", "repro.host.", "repro.experiments.",
+        "repro.recovery.", "repro.chaos.", "repro.modelcheck.",
         "tests.", "benchmarks.", "examples.",
     )
 

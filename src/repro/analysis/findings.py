@@ -48,6 +48,10 @@ class Report:
     findings: list = field(default_factory=list)
     suppressed: int = 0
     checked_files: int = 0
+    #: Call-graph build metadata from the driver (build time, module/
+    #: function counts, resolution-cache statistics); shown in the JSON
+    #: rendering so CI can track graph-construction regressions.
+    callgraph: dict = field(default_factory=dict)
 
     def ok(self):
         return not self.findings
@@ -65,14 +69,14 @@ class Report:
         return "\n".join(lines)
 
     def render_json(self):
-        return json.dumps(
-            {
-                "findings": [f.to_dict() for f in self.sorted_findings()],
-                "suppressed": self.suppressed,
-                "checked_files": self.checked_files,
-            },
-            indent=2,
-        )
+        payload = {
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+            "suppressed": self.suppressed,
+            "checked_files": self.checked_files,
+        }
+        if self.callgraph:
+            payload["callgraph"] = self.callgraph
+        return json.dumps(payload, indent=2)
 
     def render_sarif(self):
         """SARIF 2.1.0, the GitHub code-scanning ingestion format.

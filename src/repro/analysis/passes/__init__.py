@@ -74,6 +74,9 @@ RULE_CATALOG = {
         "eviction follows EBLOCK → TLB shootdown → EWB",
     "lifecycle/resume-order":
         "ERESUME resumes an interrupted enclave: AEX comes first",
+    "lifecycle/recovery-order":
+        "recovery follows crash → relaunch → restore; journal records "
+        "only reach a live incarnation",
     "robustness/broad-except":
         "runtime code must not swallow faults with broad except handlers",
     "robustness/unbounded-restart":

@@ -12,12 +12,14 @@ from repro.analysis.findings import Finding
 from repro.analysis.passes.lifecycle.automaton import (
     RULE_EVICT,
     RULE_LAUNCH,
+    RULE_RECOVERY,
     RULE_RESUME,
     OpCollector,
     check_ops,
 )
 
-__all__ = ["LifecyclePass", "RULE_LAUNCH", "RULE_EVICT", "RULE_RESUME"]
+__all__ = ["LifecyclePass", "RULE_LAUNCH", "RULE_EVICT", "RULE_RESUME",
+           "RULE_RECOVERY"]
 
 _HINTS = {
     RULE_LAUNCH: ("build the enclave ECREATE → EADD/EEXTEND → EINIT → "
@@ -25,12 +27,14 @@ _HINTS = {
     RULE_EVICT: ("evict EBLOCK → page-table drop (TLB shootdown) → EWB "
                  "(§2.1); ELDU starts the page over"),
     RULE_RESUME: "ERESUME resumes an interrupted enclave: AEX comes first",
+    RULE_RECOVERY: ("crash → relaunch → restore (docs/recovery.md); "
+                    "journal records only reach a live incarnation"),
 }
 
 
 class LifecyclePass:
     family = "lifecycle"
-    rules = (RULE_LAUNCH, RULE_EVICT, RULE_RESUME)
+    rules = (RULE_LAUNCH, RULE_EVICT, RULE_RESUME, RULE_RECOVERY)
 
     def __init__(self, config):
         self.config = config

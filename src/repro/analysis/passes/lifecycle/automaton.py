@@ -18,6 +18,18 @@ enclave/page expression they name, and run three small automata:
   an ERESUME with no comparable AEX before it but one after it.  A
   function that resumes an enclave suspended elsewhere is not ours to
   judge.
+* **recovery** — crash → relaunch → restore (the PR 5 crash/restore
+  protocol).  Flags a ``restore`` that observably precedes the
+  ``crash`` it recovers from, and journal activity (``note_*`` record
+  appends, ``seal_checkpoint``) issued to a manager whose enclave
+  crashed without an intervening ``restore`` — records appended to a
+  dead incarnation are lost, checkpoints sealed over it anchor garbage.
+
+Each automaton is a small class with an incremental ``feed(op)`` step,
+so the *same spec* drives two consumers: the static pass (ops collected
+from the AST by :class:`OpCollector`) and the model checker's runtime
+oracle (:mod:`repro.analysis.passes.lifecycle.oracle`, ops observed
+live from the instruction/CPU/recovery layers).
 
 Two kinds of false positive are designed out.  Ops in sibling branch
 arms carry *branch vectors* (``{id(if_node): arm}``) and are compared
@@ -43,6 +55,7 @@ from repro.analysis.walker import attr_chain
 RULE_LAUNCH = "lifecycle/launch-order"
 RULE_EVICT = "lifecycle/evict-order"
 RULE_RESUME = "lifecycle/resume-order"
+RULE_RECOVERY = "lifecycle/recovery-order"
 
 #: op name -> (enclave-key arg position, page-key arg position).
 #: Positions ignore the receiver (``self.instr.ewb(enclave, base)`` has
@@ -66,6 +79,24 @@ ISA_OPS = {
 DROP_RECEIVERS = frozenset({"page_table", "pagetable", "pt"})
 
 ADD_FAMILY = frozenset({"eadd", "eadd_tcs", "eextend"})
+
+#: Recovery-protocol ops (PR 5 crash/restore), keyed by the manager
+#: expression they are called on.  ``crash`` kills the incarnation,
+#: ``restore`` replays the journal onto a relaunched one, and the
+#: journal-record family appends to the sealed journal (``begin`` seals
+#: the base checkpoint, ``seal_checkpoint`` anchors, ``note_*`` append
+#: one record each).  The ``note_*``/``seal_checkpoint`` names are
+#: distinctive; ``crash`` and ``restore`` are generic method names, so
+#: they only count when called on a receiver that is plainly a recovery
+#: manager (mirroring :data:`DROP_RECEIVERS`).
+RECOVERY_RECEIVERS = frozenset({
+    "manager", "recovery", "recovery_manager", "mgr", "rm",
+})
+RECOVERY_RECORD_OPS = frozenset({
+    "begin", "seal_checkpoint", "note_fault", "note_progress",
+    "note_balloon", "note_claim", "note_release", "note_regroup",
+    "note_oram",
+})
 
 MAX_SPLICE_DEPTH = 4
 
@@ -215,6 +246,15 @@ class OpCollector:
                 self.ops.append(Op("drop", None, page, call.lineno,
                                    dict(self.branch)))
             return
+        if name in RECOVERY_RECORD_OPS and len(chain) >= 2:
+            self.ops.append(Op(name, ".".join(chain[:-1]), None,
+                               call.lineno, dict(self.branch)))
+            return
+        if name in ("crash", "restore") and len(chain) >= 2 and \
+                chain[-2] in RECOVERY_RECEIVERS:
+            self.ops.append(Op(name, ".".join(chain[:-1]), None,
+                               call.lineno, dict(self.branch)))
+            return
         self._splice(call, assign_target)
 
     def _splice(self, call, assign_target, depth=0):
@@ -295,30 +335,35 @@ def _calls_in_order(expr):
 
 
 # -- automata ---------------------------------------------------------------
-
-
-def check_ops(ops):
-    """Run the three automata; yields (rule, line, message)."""
-    yield from _check_launch(ops)
-    yield from _check_evict(ops)
-    yield from _check_resume(ops)
+#
+# Each automaton consumes Op objects one at a time through ``feed`` and
+# yields ``(rule, line, message)`` violations.  Branch vectors make the
+# static feed conservative; the runtime oracle feeds ops with empty
+# branch vectors (a live trace has no sibling arms), so the same
+# transition tables are exact there.
 
 
 def _prior(history, op):
     return [p for p in history if comparable(p, op)]
 
 
-def _check_launch(ops):
-    history = {}   # enclave key -> [ops]
-    for op in ops:
+class LaunchAutomaton:
+    """ECREATE → EADD/EADD_TCS/EEXTEND → EINIT → EENTER, per enclave."""
+
+    rule = RULE_LAUNCH
+
+    def __init__(self):
+        self._history = {}   # enclave key -> [ops]
+
+    def feed(self, op):
         if op.name == "ecreate":
             if op.encl is not None:
-                history[op.encl] = []
-            continue
+                self._history[op.encl] = []
+            return
         if op.encl is None or op.name not in (
                 ADD_FAMILY | {"einit", "eenter"}):
-            continue
-        prior = _prior(history.setdefault(op.encl, []), op)
+            return
+        prior = _prior(self._history.setdefault(op.encl, []), op)
         if op.name in ADD_FAMILY:
             for kind in ("einit", "eenter"):
                 hit = next((p for p in prior if p.name == kind), None)
@@ -340,20 +385,26 @@ def _check_launch(ops):
                     yield (RULE_LAUNCH, op.line,
                            f"second EINIT({op.encl}) (first at line "
                            f"{hit.line})")
-        history[op.encl].append(op)
+        self._history[op.encl].append(op)
 
 
-def _check_evict(ops):
-    history = {}   # page key -> [ops]
-    for op in ops:
+class EvictAutomaton:
+    """EBLOCK → page-table drop → EWB, per page; ELDU resets."""
+
+    rule = RULE_EVICT
+
+    def __init__(self):
+        self._history = {}   # page key -> [ops]
+
+    def feed(self, op):
         if op.name not in ("eblock", "drop", "ewb", "eldu"):
-            continue
+            return
         if op.page is None:
-            continue
+            return
         if op.name == "eldu":
-            history[op.page] = []
-            continue
-        prior = _prior(history.setdefault(op.page, []), op)
+            self._history[op.page] = []
+            return
+        prior = _prior(self._history.setdefault(op.page, []), op)
         if op.name == "eblock":
             for kind, why in (("ewb", "the page is already evicted"),
                               ("drop", "the mapping is already gone")):
@@ -370,23 +421,108 @@ def _check_evict(ops):
                        f"page-table drop({op.page}) after EWB (line "
                        f"{hit.line}): the shootdown must precede "
                        f"eviction")
-        history[op.page].append(op)
+        self._history[op.page].append(op)
 
 
-def _check_resume(ops):
-    by_key = {}
-    for op in ops:
+class RecoveryAutomaton:
+    """crash → relaunch → restore, per recovery manager.
+
+    Two transitions are checked.  A ``restore`` is an *observed
+    inversion* when no comparable ``crash`` precedes it but one follows
+    (the resume automaton's conservatism: a function restoring after a
+    crash that happened elsewhere is not ours to judge).  And once a
+    comparable ``crash`` has been seen, any journal-record op
+    (``begin``/``seal_checkpoint``/``note_*``) before the next
+    comparable ``restore`` is a violation: the records go to a dead
+    incarnation and are lost, checkpoints sealed there anchor garbage.
+    """
+
+    rule = RULE_RECOVERY
+
+    def __init__(self):
+        self._history = {}   # manager key -> [ops]
+        self._pending = []   # restores awaiting a later crash
+
+    def feed(self, op):
+        if op.encl is None or op.name not in (
+                RECOVERY_RECORD_OPS | {"crash", "restore"}):
+            return
+        history = self._history.setdefault(op.encl, [])
+        prior = _prior(history, op)
+        if op.name == "restore":
+            if not any(p.name == "crash" for p in prior):
+                self._pending.append(op)
+        elif op.name == "crash":
+            for waiting in list(self._pending):
+                if waiting.encl == op.encl and comparable(waiting, op):
+                    self._pending.remove(waiting)
+                    yield (RULE_RECOVERY, waiting.line,
+                           f"restore({op.encl}) before any crash (a "
+                           f"crash follows at line {op.line}): restore "
+                           f"replays the journal onto a relaunched "
+                           f"enclave, not a live one")
+        else:
+            crash = None
+            for p in reversed(prior):
+                if p.name == "restore":
+                    break
+                if p.name == "crash":
+                    crash = p
+                    break
+            if crash is not None:
+                yield (RULE_RECOVERY, op.line,
+                       f"{op.name}({op.encl}) after crash (line "
+                       f"{crash.line}) without an intervening restore: "
+                       f"the record reaches a dead incarnation")
+        history.append(op)
+
+    def finish(self):
+        self._pending.clear()
+        return ()
+
+
+class ResumeAutomaton:
+    """AEX → ERESUME; only observed inversions are flagged, which needs
+    look-ahead: violations surface from :meth:`finish`."""
+
+    rule = RULE_RESUME
+
+    def __init__(self):
+        self._by_key = {}
+
+    def feed(self, op):
         if op.name in ("aex", "eresume") and op.encl is not None:
-            by_key.setdefault(op.encl, []).append(op)
-    for key, seq in by_key.items():
-        for i, op in enumerate(seq):
-            if op.name != "eresume":
-                continue
-            before = [p for p in seq[:i]
-                      if p.name == "aex" and comparable(p, op)]
-            after = [p for p in seq[i + 1:]
-                     if p.name == "aex" and comparable(p, op)]
-            if not before and after:
-                yield (RULE_RESUME, op.line,
-                       f"ERESUME({key}) before any AEX (an AEX follows "
-                       f"at line {after[0].line})")
+            self._by_key.setdefault(op.encl, []).append(op)
+        return ()
+
+    def finish(self):
+        for key, seq in self._by_key.items():
+            for i, op in enumerate(seq):
+                if op.name != "eresume":
+                    continue
+                before = [p for p in seq[:i]
+                          if p.name == "aex" and comparable(p, op)]
+                after = [p for p in seq[i + 1:]
+                         if p.name == "aex" and comparable(p, op)]
+                if not before and after:
+                    yield (RULE_RESUME, op.line,
+                           f"ERESUME({key}) before any AEX (an AEX "
+                           f"follows at line {after[0].line})")
+
+
+def build_automata():
+    """The full shared spec, one fresh automaton per protocol."""
+    return (LaunchAutomaton(), EvictAutomaton(), RecoveryAutomaton(),
+            ResumeAutomaton())
+
+
+def check_ops(ops):
+    """Run every automaton over ``ops``; yields (rule, line, message)."""
+    automata = build_automata()
+    for op in ops:
+        for automaton in automata:
+            yield from automaton.feed(op) or ()
+    for automaton in automata:
+        finish = getattr(automaton, "finish", None)
+        if finish is not None:
+            yield from finish()

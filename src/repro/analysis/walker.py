@@ -235,18 +235,36 @@ def default_roots():
 
 
 def run_passes(modules, config=None, strict=False):
-    """Run every registered pass over ``modules``; returns a Report."""
+    """Run every registered pass over ``modules``; returns a Report.
+
+    The interprocedural :class:`~repro.analysis.callgraph.Project` is
+    built exactly once here and shared by every pass via ``prepare``;
+    its build time and resolution-cache statistics land in the report
+    (``--format json``) so regressions in graph construction are
+    visible in CI.
+    """
+    import time
+
     from repro.analysis.callgraph import Project
     from repro.analysis.passes import build_passes
 
     config = config or DEFAULT_CONFIG
     passes = build_passes(config)
+    # Timing tool output, never a simulated result: the analyzer runs
+    # on the host, outside the deterministic simulation.
+    started = time.perf_counter()  # repro: allow[determinism/time]
     project = Project(modules)
+    build_seconds = time.perf_counter() - started  # repro: allow[determinism/time]
     for pass_ in passes:
         prepare = getattr(pass_, "prepare", None)
         if prepare is not None:
             prepare(project)
     report = Report()
+    report.callgraph = {
+        "build_seconds": round(build_seconds, 6),
+        "modules": len(project.modules),
+        "functions": len(project.functions),
+    }
     for mod in modules:
         report.checked_files += 1
         for pass_ in passes:
@@ -268,6 +286,8 @@ def run_passes(modules, config=None, strict=False):
                     module=mod.module,
                 ))
     report.findings.sort(key=Finding.sort_key)
+    report.callgraph["resolve_cache_hits"] = project.cache_hits
+    report.callgraph["resolve_cache_misses"] = project.cache_misses
     return report
 
 

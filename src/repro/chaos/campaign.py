@@ -195,10 +195,13 @@ def _prepare_workload(system, policy_name):
 class _ChaosRun:
     """One seeded run of one policy under one fault plan."""
 
-    def __init__(self, seed, policy_name, exclude=()):
+    def __init__(self, seed, policy_name, exclude=(), plan=None):
         self.seed = seed
         self.policy_name = policy_name
-        self.plan = FaultPlan.generate(seed, N_OPS, exclude=exclude)
+        #: An explicit plan (a model-checker witness, a frozen
+        #: regression) replaces the seed-generated one verbatim.
+        self.plan = (plan if plan is not None
+                     else FaultPlan.generate(seed, N_OPS, exclude=exclude))
         config = _system_config(policy_name)
         self.system = AutarkySystem(config)
         self.kernel = self.system.kernel
@@ -572,6 +575,18 @@ class _ChaosRun:
 def run_one(seed, policy_name, exclude=()):
     """Run one seed against one policy; returns a :class:`RunResult`."""
     return _ChaosRun(seed, policy_name, exclude=exclude).execute()
+
+
+def run_plan(plan, policy_name):
+    """Replay an explicit :class:`~repro.chaos.plan.FaultPlan` against
+    one policy; returns a :class:`RunResult`.
+
+    This is the replay half of the model checker's counterexample
+    export: a minimized violation (or safety witness) serialized as a
+    plan must drive the full campaign workload to the same outcome
+    class it had inside the checker.
+    """
+    return _ChaosRun(plan.seed, policy_name, plan=plan).execute()
 
 
 def _campaign_point(task):

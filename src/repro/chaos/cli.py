@@ -11,8 +11,8 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.chaos.campaign import DEFAULT_POLICIES, run_campaign
-from repro.chaos.plan import CRASH_KINDS, FaultKind
+from repro.chaos.campaign import DEFAULT_POLICIES, run_campaign, run_plan
+from repro.chaos.plan import CRASH_KINDS, FaultKind, FaultPlan
 
 #: A sweep must fire at least this many distinct fault kinds, or the
 #: campaign is not exercising the surface it claims to.
@@ -53,6 +53,13 @@ def build_parser():
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--plan", metavar="FILE",
+        help="replay one serialized FaultPlan (a model-checker witness "
+             "or frozen regression) instead of sweeping seeds; the file "
+             "is FaultPlan.to_json() output, optionally wrapped as "
+             '{"plan": ..., "policy": ..., "expected_outcome": ...}',
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="print one line per run",
     )
@@ -64,6 +71,8 @@ def run(argv=None):
     policies = tuple(
         p.strip() for p in args.policies.split(",") if p.strip()
     )
+    if args.plan:
+        return _replay_plan(args, policies)
     result = run_campaign(
         range(args.seeds),
         policies=policies,
@@ -82,6 +91,58 @@ def run(argv=None):
                          sort_keys=True))
     else:
         _print_text(result, args, ok, kinds_fired)
+    return 0 if ok else 1
+
+
+def _replay_plan(args, policies):
+    """Replay one serialized plan; exit 0 iff every run was safe and —
+    when the file carries an ``expected_outcome`` — the outcome class
+    matched it."""
+    with open(args.plan, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    expected = None
+    if "plan" in payload:  # model-checker witness wrapper
+        if payload.get("policy"):
+            policies = (payload["policy"],)
+        expected = payload.get("expected_outcome")
+        plan = FaultPlan.from_json(payload["plan"])
+    else:
+        plan = FaultPlan.from_json(payload)
+    ok = True
+    runs = []
+    for policy in policies:
+        run_ = run_plan(plan, policy)
+        matched = expected is None or run_.outcome == expected
+        ok = ok and run_.safe and matched
+        runs.append((policy, run_, matched))
+    if args.format == "json":
+        print(json.dumps({
+            "ok": ok,
+            "plan": plan.to_json(),
+            "expected_outcome": expected,
+            "runs": [
+                {
+                    "policy": policy,
+                    "outcome": run_.outcome,
+                    "reason": run_.reason,
+                    "matched_expected": matched,
+                    "violations": list(run_.violations),
+                    "digest": run_.digest,
+                }
+                for policy, run_, matched in runs
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"replay {plan.describe()}")
+        for policy, run_, matched in runs:
+            extra = f" reason={run_.reason}" if run_.reason else ""
+            verdict = "" if matched else \
+                f"  EXPECTED {expected}, GOT {run_.outcome}"
+            print(f"  {policy:14s} {run_.outcome:9s}{extra}"
+                  f" digest={run_.digest}{verdict}")
+            for violation in run_.violations:
+                print(f"    VIOLATION: {violation}")
+        print("verdict:", "OK" if ok else "FAIL")
     return 0 if ok else 1
 
 

@@ -220,3 +220,30 @@ class FaultPlan:
     def describe(self):
         inner = ", ".join(e.describe() for e in self.events)
         return f"plan(seed={self.seed}: {inner})"
+
+    # -- serialization (model-checker witnesses, frozen regressions) -------
+
+    def to_json(self):
+        """A JSON-ready dict; round-trips through :meth:`from_json`."""
+        return {
+            "seed": self.seed,
+            "events": [
+                {"kind": e.kind.value, "at_op": e.at_op, "param": e.param}
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload):
+        """Rebuild a plan from :meth:`to_json` output.  Unknown kind
+        strings raise ``ValueError`` — a witness written by a newer
+        tree must not silently replay as a weaker plan."""
+        events = tuple(
+            FaultEvent(
+                kind=FaultKind(e["kind"]),
+                at_op=int(e["at_op"]),
+                param=int(e.get("param", 1)),
+            )
+            for e in payload["events"]
+        )
+        return cls(seed=int(payload.get("seed", 0)), events=events)

@@ -66,6 +66,7 @@ def cmd_list():
     print("\nother subcommands: verify, report [path], "
           "analyze [--strict] [--format text|json], "
           "chaos [--seeds N] [--policies ...] [--jobs N], "
+          "modelcheck [--policy all] [--depth N] [--jobs N], "
           "recover [--ops N] [--policies ...], "
           "bench [--jobs N] [--output path]")
 
@@ -98,6 +99,10 @@ def main(argv=None):
         # Same pattern for the fault-injection campaign runner.
         from repro.chaos.cli import run as chaos_run
         return chaos_run(argv[1:])
+    if argv and argv[0] == "modelcheck":
+        # Bounded exhaustive exploration of host-action interleavings.
+        from repro.modelcheck.cli import run as modelcheck_run
+        return modelcheck_run(argv[1:])
     if argv and argv[0] == "recover":
         # Crash-consistent checkpoint/restore demonstration.
         from repro.recovery.cli import run as recover_run

@@ -1,0 +1,20 @@
+"""Bounded exhaustive model checking of host-action interleavings.
+
+The chaos campaign samples the space of hostile host behaviours; this
+package *enumerates* it, bounded by depth and state count, over tiny
+but fully real systems — every transition drives the same runtime code
+the experiments use, and every reached state is checked against the
+full invariant set.  See ``docs/model-checking.md``.
+"""
+
+from repro.modelcheck.explorer import Exploration, explore
+from repro.modelcheck.minimize import minimize, violation_messages
+from repro.modelcheck.model import POLICIES
+
+__all__ = [
+    "Exploration",
+    "explore",
+    "minimize",
+    "violation_messages",
+    "POLICIES",
+]

@@ -1,0 +1,139 @@
+"""``python -m repro modelcheck`` — bounded exhaustive state search.
+
+Explores every host-action interleaving up to ``--depth`` over each
+requested policy's tiny system, checking the full invariant set at
+every state.  Exit status 0 only when *no* explored state violates an
+invariant (``--policy broken`` is therefore expected to exit 1 — it
+exists to prove the checker finds seeded bugs).
+
+Violating traces are minimized before reporting; ``--export DIR``
+writes each terminal-class witness (and each minimized violation) as a
+replayable ``repro chaos --plan`` envelope.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.modelcheck.explorer import explore
+from repro.modelcheck.export import export_witnesses, witness_payload
+from repro.modelcheck.minimize import minimize
+from repro.modelcheck.model import POLICIES
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro modelcheck",
+        description="bounded exhaustive exploration of host-action "
+                    "interleavings over tiny real systems",
+    )
+    parser.add_argument(
+        "--policy", default="all",
+        help="paging policy to explore: one of "
+             f"{', '.join(POLICIES)}, 'broken' (seeded-bug toy, "
+             "expected to fail), or 'all' (default)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=3, metavar="N",
+        help="maximum trace length to explore (default: 3)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=400, metavar="N",
+        help="distinct-state budget per policy; the cut is "
+             "deterministic (default: 400)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for frontier expansion; results are "
+             "bit-identical to --jobs 1 (default: 1)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--export", metavar="DIR",
+        help="write every witness trace and minimized violation as a "
+             "replayable 'repro chaos --plan' JSON file under DIR",
+    )
+    return parser
+
+
+def run(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.policy == "all":
+        policies = POLICIES
+    else:
+        policies = tuple(
+            p.strip() for p in args.policy.split(",") if p.strip())
+    results = []
+    for policy in policies:
+        result = explore(policy, depth=args.depth,
+                         max_states=args.max_states, jobs=args.jobs)
+        minimized = [
+            minimize(policy, trace) for trace, _ in result.violations
+        ]
+        results.append((result, minimized))
+        if args.export:
+            _export(args.export, result, minimized)
+    ok = all(result.ok for result, _ in results)
+    if args.format == "json":
+        print(json.dumps(_as_json(results, args, ok), indent=2,
+                         sort_keys=True))
+    else:
+        _print_text(results, args, ok)
+    return 0 if ok else 1
+
+
+def _export(directory, result, minimized):
+    os.makedirs(directory, exist_ok=True)
+    payloads = dict(export_witnesses(result))
+    for index, (trace, _messages) in enumerate(minimized):
+        payload = witness_payload(result.policy, trace, None)
+        if payload is not None:
+            payloads[f"violation-{index}"] = payload
+    for label, payload in payloads.items():
+        name = f"{result.policy}-{label.replace('/', '-')}.json"
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def _print_text(results, args, ok):
+    for result, minimized in results:
+        status = "OK" if result.ok else "UNSAFE"
+        truncated = " (truncated)" if result.truncated else ""
+        print(f"{result.policy:15s} {status:6s} "
+              f"states={result.states} "
+              f"transitions={result.transitions} "
+              f"depth={result.depth_reached}/{result.depth}"
+              f"{truncated} digest={result.digest[:16]}")
+        for label, count in sorted(result.terminals.items()):
+            print(f"  terminal {label}: {count}")
+        for (trace, messages), (short, short_messages) in zip(
+                result.violations, minimized):
+            print(f"  VIOLATION via {list(trace)}")
+            print(f"    minimized: {list(short)}")
+            for message in short_messages:
+                print(f"    {message}")
+    print("verdict:", "OK" if ok else "FAIL")
+
+
+def _as_json(results, args, ok):
+    return {
+        "ok": ok,
+        "depth": args.depth,
+        "max_states": args.max_states,
+        "policies": [
+            {
+                **result.as_json(),
+                "minimized_violations": [
+                    {"trace": list(short), "messages": list(messages)}
+                    for short, messages in minimized
+                ],
+            }
+            for result, minimized in results
+        ],
+    }

@@ -1,0 +1,100 @@
+"""Export model-checker witnesses as replayable chaos fault plans.
+
+A terminal trace found by the explorer is only worth trusting if the
+*full-scale* runtime — the 240-op chaos campaign workload, not the tiny
+model — reaches the same outcome class under the same hostile acts.
+This module maps a model trace's host actions onto
+:class:`repro.chaos.plan.FaultPlan` events and wraps them in the JSON
+envelope ``python -m repro chaos --plan`` replays and verifies.
+
+Workload actions (``touch``/``progress``/``claim``/…) have no plan
+counterpart — the campaign drives its own workload — so only the
+hostile actions are mapped.  Events are spaced 20 ops apart starting at
+op 60, past the campaign's warm-up prologue, preserving the trace's
+action order.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plan import FaultEvent, FaultKind, FaultPlan
+from repro.modelcheck.model import SQUEEZE_CUT
+
+#: First mapped event's campaign op index, and the spacing between
+#: events: late enough to clear warm-up, sparse enough that each act's
+#: consequences settle before the next.
+FIRST_OP = 60
+OP_SPACING = 20
+
+#: Model actions with a campaign fault-kind counterpart.  ``deny`` maps
+#: per SGX version; parameterless entries use the model's magnitudes.
+_ACTION_KINDS = {
+    "tamper": (FaultKind.TAMPER_BACKING, 1),
+    "unmap": (FaultKind.UNMAP_RESIDENT, 1),
+    "crash": (FaultKind.CRASH_ENCLAVE, 1),
+    "balloon": (FaultKind.BALLOON_REQUEST, 2),
+    "squeeze": (FaultKind.QUOTA_SQUEEZE, SQUEEZE_CUT),
+}
+
+#: Policies the chaos campaign can run (the model's ``oram`` and the
+#: seeded-bug ``broken`` world have no campaign counterpart).
+REPLAYABLE_POLICIES = ("pin_all", "clusters", "rate_limit",
+                       "rate_limit_sgx2")
+
+
+def plan_for_trace(policy_name, trace):
+    """The :class:`FaultPlan` equivalent of a model trace's hostile
+    actions, or ``None`` when nothing maps (pure-workload trace)."""
+    events = []
+    for action in trace:
+        mapped = _map_action(policy_name, action)
+        if mapped is None:
+            continue
+        kind, param = mapped
+        events.append(FaultEvent(
+            kind=kind,
+            at_op=FIRST_OP + OP_SPACING * len(events),
+            param=param,
+        ))
+    if not events:
+        return None
+    return FaultPlan(seed=0, events=tuple(events))
+
+
+def _map_action(policy_name, action):
+    if action in _ACTION_KINDS:
+        return _ACTION_KINDS[action]
+    if action.startswith("deny:"):
+        kind = (FaultKind.DENY_SGX2
+                if policy_name == "rate_limit_sgx2"
+                else FaultKind.DENY_FETCH)
+        return kind, int(action.split(":", 1)[1])
+    return None
+
+
+def witness_payload(policy_name, trace, expected_outcome):
+    """The ``--plan`` envelope for one witness trace, or ``None`` when
+    the trace has no mappable hostile action or the policy has no
+    campaign counterpart."""
+    if policy_name not in REPLAYABLE_POLICIES:
+        return None
+    plan = plan_for_trace(policy_name, trace)
+    if plan is None:
+        return None
+    return {
+        "plan": plan.to_json(),
+        "policy": policy_name,
+        "expected_outcome": expected_outcome,
+        "source_trace": list(trace),
+    }
+
+
+def export_witnesses(exploration):
+    """``label -> payload`` for every exportable witness trace of one
+    :class:`repro.modelcheck.explorer.Exploration`."""
+    out = {}
+    for label, trace in sorted(exploration.witnesses.items()):
+        outcome = label.split("/", 1)[0]
+        payload = witness_payload(exploration.policy, trace, outcome)
+        if payload is not None:
+            out[label] = payload
+    return out

@@ -1,0 +1,47 @@
+"""Deliberately broken runtimes: seeded bugs the checker must catch.
+
+The model checker's value is falsifiable only if it *finds* unsafe
+states when they exist.  ``--policy broken`` boots the rate-limited
+runtime and then knocks out the universal resident-fault attack check —
+precisely the controlled-channel leak of §2.2 that Autarky's §5.2.1
+check closes.  The checker must report an invariant violation with a
+short counterexample trace (touch a page, clobber its PTE, touch it
+again), and the minimizer must shrink any longer witness back to that
+core.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.policies import RateLimitPolicy
+
+
+class LeakyRateLimitPolicy(RateLimitPolicy):
+    """Rate limiting minus the §5.2.1 resident-fault check.
+
+    An OS-induced fault on a resident page is handed back to the OS
+    for service (``os_resolve`` remaps it and thereby observes the
+    address) instead of being diagnosed as an attack — the exact
+    pre-Autarky behaviour the model checker's ``unmap`` action probes
+    for.
+    """
+
+    def on_fault(self, vaddr, access):
+        if self.pager.is_resident(vaddr):
+            # Deliberate bug: the naive handler services the fault and
+            # reopens the controlled channel.
+            self.pager.channel.call(
+                "os_resolve", self.pager.enclave, vaddr)
+            self.legit_faults += 1
+            return
+        super().on_fault(vaddr, access)
+
+
+def break_policy(runtime):
+    """Swap the live policy's behaviour for the leaky variant in place.
+
+    Reclassing (rather than rebuilding) keeps every counter, limiter,
+    and pager attachment of the healthy policy, so the broken world is
+    bit-identical to ``rate_limit`` until the missing check matters.
+    """
+    runtime.policy.__class__ = LeakyRateLimitPolicy
+    return runtime

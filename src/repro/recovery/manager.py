@@ -57,6 +57,12 @@ class RecoveryManager:
         #: Chaos hook: kill the enclave right after appending journal
         #: record number N (1-based journal length).  One-shot.
         self.crash_after = None
+        #: Optional lifecycle witness, called ``lifecycle_observer(
+        #: name)`` on every recovery-protocol step (``begin``,
+        #: ``seal_checkpoint``, ``note_*`` appends, ``crash``,
+        #: ``restore``) — the model checker's runtime oracle feeds
+        #: these into the shared crash/restore automaton.
+        self.lifecycle_observer = None
         #: Lifetime counters (observability).
         self.records_written = 0
         self.records_replayed = 0
@@ -72,10 +78,15 @@ class RecoveryManager:
         if hasattr(runtime.policy, "observer"):
             runtime.policy.observer = self
 
+    def _witness(self, name):
+        if self.lifecycle_observer is not None:
+            self.lifecycle_observer(name)
+
     def begin(self):
         """Seal the base checkpoint (bootstrap anchor) and start
         recording.  Call once the deterministic warm-up is done."""
         self.recording = True
+        self._witness("begin")
         if self.keep_trace:
             self.trace = [fingerprint(self.runtime)]
         self.seal_checkpoint()
@@ -96,6 +107,7 @@ class RecoveryManager:
         blob = self.sealer.seal("checkpoint", len(self.checkpoints),
                                 payload)
         self.checkpoints.append(blob)
+        self._witness("seal_checkpoint")
         return blob
 
     # -- recording ---------------------------------------------------------
@@ -132,6 +144,7 @@ class RecoveryManager:
         )
         self.journal.append(blob)
         self.records_written += 1
+        self._witness(f"note_{kind}")
         if self.keep_trace:
             self.trace.append(fingerprint(self.runtime))
         if (self.crash_after is not None
@@ -146,6 +159,7 @@ class RecoveryManager:
         """Model the host killing the enclave at this very point."""
         self.recording = False
         self.runtime.enclave.dead = True
+        self._witness("crash")
         raise EnclaveCrashed(
             f"enclave {self.runtime.enclave.enclave_id} killed by the "
             f"host at journal position {len(self.journal)}"
@@ -194,6 +208,7 @@ class RecoveryManager:
         number of records replayed."""
         self.recording = False
         self._bind(runtime)
+        self._witness("restore")
         anchors = self.verify_freshness()
         base_counter, base_len, base_fp = anchors[0]
         if base_len != 0:

@@ -49,12 +49,21 @@ class Cpu:
         #: (``kernel.attach_cpu``) to break the construction cycle.
         self.kernel = None
         self.mode = ExecutionMode.HOST
+        #: Optional lifecycle witness (the model checker's runtime
+        #: oracle), called ``op_observer(name, enclave, tcs)`` after
+        #: each completed entry/exit transition.
+        self.op_observer = None
         #: Event counters for experiments.
         self.aex_count = 0
         self.eenter_count = 0
         self.eresume_count = 0
         self.eexit_count = 0
         self.fault_count = 0
+
+
+    def _observe(self, name, enclave, tcs):
+        if self.op_observer is not None:
+            self.op_observer(name, enclave, tcs)
 
     # -- the enclave data path ---------------------------------------------
 
@@ -148,6 +157,7 @@ class Cpu:
             tcs.pending_exception = True
         self.mmu.tlb.flush()
         self.mode = ExecutionMode.HOST
+        self._observe("aex", enclave, tcs)
 
     def interrupt(self, enclave, tcs):
         """Asynchronous exit for a hardware interrupt (timer, IPI).
@@ -167,6 +177,7 @@ class Cpu:
         tcs.ssa.push(SsaFrame(exitinfo=None, saved_context="irq"))
         self.mmu.tlb.flush()
         self.mode = ExecutionMode.HOST
+        self._observe("aex", enclave, tcs)
 
     def resume_from_interrupt(self, enclave, tcs):
         """ERESUME after an interrupt — legal even for self-paging
@@ -192,6 +203,7 @@ class Cpu:
         tcs.pending_exception = False
         tcs.busy = True
         self.mode = ExecutionMode.ENCLAVE
+        self._observe("eenter", enclave, tcs)
         try:
             enclave.runtime.on_enter(tcs)
         except EnclaveTerminated:
@@ -228,6 +240,7 @@ class Cpu:
         self.clock.charge(self.cost.eresume, Category.AEX_ERESUME)
         self.mmu.tlb.flush()
         self.mode = ExecutionMode.ENCLAVE
+        self._observe("eresume", enclave, tcs)
 
     # -- fault orchestration ---------------------------------------------
 

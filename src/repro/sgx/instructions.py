@@ -45,6 +45,16 @@ class SgxInstructions:
         #: scripted host may refuse the augmentation (EPC pressure) by
         #: raising from the hook.  See repro.chaos.
         self.fault_hook = None
+        #: Optional lifecycle witness, called ``op_observer(name,
+        #: enclave, vaddr)`` after each protocol-relevant instruction
+        #: *completes* (a refused instruction never happened).  The
+        #: model checker's runtime oracle feeds these into the same
+        #: automata the static lifecycle pass runs.
+        self.op_observer = None
+
+    def _observe(self, name, enclave, vaddr=None):
+        if self.op_observer is not None:
+            self.op_observer(name, enclave, vaddr)
 
     # -- launch ----------------------------------------------------------
 
@@ -52,6 +62,7 @@ class SgxInstructions:
         enclave = Enclave(base, size_pages, attributes)
         self.enclaves[enclave.enclave_id] = enclave
         enclave.measurement.extend("ECREATE", base)
+        self._observe("ecreate", enclave)
         return enclave
 
     def eadd(self, enclave, vaddr, contents=None, perms=Permissions.RW,
@@ -62,6 +73,7 @@ class SgxInstructions:
             raise SgxError("EADD after EINIT")
         pfn = self._install(enclave, vaddr, contents, perms, page_type)
         enclave.measurement.extend("EADD", vaddr)
+        self._observe("eadd", enclave, vaddr)
         return pfn
 
     def eadd_tcs(self, enclave, vaddr, nssa=None):
@@ -77,6 +89,7 @@ class SgxInstructions:
         if enclave.initialized:
             raise SgxError("double EINIT")
         enclave.initialized = True
+        self._observe("einit", enclave)
 
     # -- SGX1 paging (privileged) ------------------------------------------
 
@@ -93,6 +106,7 @@ class SgxInstructions:
         if entry.blocked:
             raise SgxError(f"EBLOCK: {vaddr:#x} already blocked")
         entry.blocked = True
+        self._observe("eblock", enclave, vaddr)
 
     def ewb(self, enclave, vaddr):
         """Evict a page: seal contents, free the frame, return the blob.
@@ -127,6 +141,7 @@ class SgxInstructions:
         entry.blocked = False
         self.epc.free(frame)
         del enclave.backed[vpn]
+        self._observe("ewb", enclave, vaddr)
         return sealed
 
     def eldu(self, enclave, vaddr, sealed, perms=Permissions.RW):
@@ -136,7 +151,9 @@ class SgxInstructions:
         contents = self.hw_crypto.unseal(
             enclave.enclave_id, page_base(vaddr), sealed
         )
-        return self._install(enclave, vaddr, contents, perms, PageType.REG)
+        pfn = self._install(enclave, vaddr, contents, perms, PageType.REG)
+        self._observe("eldu", enclave, vaddr)
+        return pfn
 
     # -- SGX2 dynamic memory management ------------------------------------
 

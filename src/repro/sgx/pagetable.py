@@ -61,6 +61,11 @@ class PageTable:
         self._shootdown_targets = []
         #: Shared generation stamp (private when standing alone).
         self.epoch = epoch if epoch is not None else TranslationEpoch()
+        #: Optional lifecycle witness, called ``op_observer("drop",
+        #: vaddr)`` when a mapping is removed — the shootdown step of
+        #: the EBLOCK → drop → EWB eviction protocol the model
+        #: checker's runtime oracle verifies.
+        self.op_observer = None
 
     def register_tlb(self, tlb):
         self._shootdown_targets.append(tlb)
@@ -109,6 +114,8 @@ class PageTable:
         self.epoch.value += 1
         self._ptes.pop(vpn_of(vaddr), None)
         self._shootdown(vaddr)
+        if self.op_observer is not None:
+            self.op_observer("drop", vaddr)
 
     def set_protection(self, vaddr, writable=None, executable=None):
         self.epoch.value += 1

@@ -1301,12 +1301,12 @@ class TestWholeTree:
         assert report.checked_files > 50
 
     def test_known_suppressions_are_used(self, report):
-        # Every # repro: allow[...] in the tree suppresses something
+        # Every allow annotation in the tree suppresses something
         # (strict mode would have reported stale ones above) and the
-        # count matches the documented threat-model inventory: 11
+        # count matches the documented threat-model inventory: 13
         # architectural exceptions plus the 20 deliberate Table-2 app
         # leaks the attack experiments measure.
-        assert report.suppressed == 31
+        assert report.suppressed == 33
 
     def test_config_families_cover_passes(self):
         from repro.analysis.passes import rule_families
