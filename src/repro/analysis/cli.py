@@ -40,6 +40,12 @@ def build_parser():
         help="also fail on stale # repro: allow[...] annotations",
     )
     parser.add_argument(
+        "--only", action="append", metavar="FAMILY",
+        help="run only the named pass family (repeatable, or "
+             "comma-separated); see docs/static-analysis.md for the "
+             "family list",
+    )
+    parser.add_argument(
         "--unused-suppressions", action="store_true",
         help="report only stale # repro: allow[...] annotations "
              "(implies --strict; exit 1 iff any are stale)",
@@ -50,6 +56,19 @@ def build_parser():
 def run(argv=None):
     args = build_parser().parse_args(argv)
     strict = args.strict or args.unused_suppressions
+    only = None
+    if args.only:
+        from repro.analysis.passes import rule_families
+
+        only = [family.strip() for spec in args.only
+                for family in spec.split(",") if family.strip()]
+        unknown = sorted(set(only) - set(rule_families()))
+        if unknown:
+            families = ", ".join(rule_families())
+            for family in unknown:
+                print(f"repro analyze: unknown pass family: {family} "
+                      f"(choose from {families})", file=sys.stderr)
+            return 2
     if args.paths:
         # A typo'd path must not pass the gate vacuously.
         missing = [p for p in args.paths if not Path(p).exists()]
@@ -58,9 +77,9 @@ def run(argv=None):
                 print(f"repro analyze: no such path: {p}",
                       file=sys.stderr)
             return 2
-        report = analyze_paths(args.paths, strict=strict)
+        report = analyze_paths(args.paths, strict=strict, only=only)
     else:
-        report = analyze_tree(strict=strict)
+        report = analyze_tree(strict=strict, only=only)
     if args.unused_suppressions:
         # Keep only staleness findings: real violations have their own
         # gate; this mode audits the allow inventory.

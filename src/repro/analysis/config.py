@@ -239,6 +239,76 @@ class AnalysisConfig:
         "tests.", "benchmarks.", "examples.",
     )
 
+    # -- effects / purity (epoch soundness, parallel purity, hot path) ----
+    #: Module prefixes the epoch-soundness checker reports on: the ISA
+    #: model, the host OS/driver side, and the in-enclave runtime — the
+    #: layers that own or reach translation-affecting state.
+    effects_epoch_prefixes: tuple = (
+        "repro.sgx.", "repro.host.", "repro.runtime.",
+    )
+    #: Attribute names that constitute translation-affecting state: a
+    #: write through any of these (on an ambient object) must be
+    #: covered by a TranslationEpoch bump, or every MMU memo minted
+    #: before the write stays trusted after it.
+    effects_translation_attrs: frozenset = _default(frozenset({
+        "_ptes",        # page-table entry map
+        "_entries",     # TLB / EPCM entry stores
+        "backed",       # EPC residency map
+        "present", "writable", "executable", "accessed", "dirty", "pfn",
+        "valid", "page_type", "enclave_id", "perms",
+        "pending", "modified", "blocked",
+    }))
+    #: Constructor-shaped methods exempt from epoch soundness: no memo
+    #: can refer to an object still being built.
+    effects_epoch_exempt_names: frozenset = _default(frozenset({
+        "__init__", "__post_init__",
+    }))
+    #: Classes whose ``self.value += 1`` *is* the epoch bump.
+    effects_epoch_classes: frozenset = _default(frozenset({
+        "TranslationEpoch",
+    }))
+    #: Parallel-runner entry points: callee name → positional index of
+    #: the task callable whose transitive write set must be empty.
+    effects_task_runners: dict = _default({
+        "run_indexed": 0,
+    })
+    #: Reviewed-intentional ambient writes exempt from parallel
+    #: purity, in display form.  The enclave/TCS id counters are
+    #: process-local allocation bookkeeping: every forked worker
+    #: re-derives them deterministically from its own task, the ids
+    #: never enter result digests (the chaos/parallel CI jobs prove
+    #: bit-identity across pool widths), and flagging them at all six
+    #: runner call sites would bury real impurities.
+    effects_purity_allowed_writes: frozenset = _default(frozenset({
+        "repro.sgx.enclave.Enclave._next_id",
+        "repro.sgx.tcs.Tcs._next_id",
+    }))
+    #: Container methods that mutate their receiver (escape analysis
+    #: treats ``ambient.append(...)`` as an ambient element write).
+    effects_mutator_methods: frozenset = _default(frozenset({
+        "append", "extend", "insert", "add", "update", "clear",
+        "pop", "popitem", "remove", "discard", "setdefault",
+        "sort", "reverse", "appendleft", "popleft",
+    }))
+    #: Container methods whose result aliases an element of the
+    #: receiver (``d.get(k)`` hands out ambient state when ``d`` is
+    #: ambient).
+    effects_accessor_methods: frozenset = _default(frozenset({
+        "get", "pop", "popitem", "setdefault", "values", "items",
+        "keys",
+    }))
+    #: Hot functions (``Class.method`` / bare function name) checked by
+    #: effects/hot-path-perf; ``# repro: hot`` on or directly above a
+    #: ``def`` marks additional ones in-line.
+    effects_hot_functions: frozenset = _default(frozenset({
+        "Mmu.probe_run", "Mmu.fast_hit", "Mmu.fast_view",
+        "Mmu.translate_nofault",
+        "Cpu.access", "Cpu.access_run",
+        "Tlb.lookup", "Tlb.install",
+        "PageTable.lookup", "Epcm.check_access",
+        "Pte.allows", "TlbEntry.allows",
+    }))
+
     #: Rule families with dedicated pass implementations (used by the
     #: CLI for validation and by the docs test for coverage).
     rule_families: tuple = (
@@ -249,6 +319,7 @@ class AnalysisConfig:
         "leakage",
         "lifecycle",
         "robustness",
+        "effects",
     )
 
     def accounting_pattern(self):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.analysis.passes.accounting import CycleAccountingPass
 from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.effects import EffectsPass
 from repro.analysis.passes.lifecycle import LifecyclePass
 from repro.analysis.passes.mutation import MutationDisciplinePass
 from repro.analysis.passes.robustness import RobustnessPass
@@ -29,11 +30,18 @@ PASS_CLASSES = (
     LeakagePass,
     LifecyclePass,
     RobustnessPass,
+    EffectsPass,
 )
 
 
-def build_passes(config):
-    return [cls(config) for cls in PASS_CLASSES]
+def build_passes(config, only=None):
+    """Instantiate the registered passes; ``only`` (an iterable of
+    family names) restricts to those families."""
+    classes = PASS_CLASSES
+    if only is not None:
+        wanted = set(only)
+        classes = tuple(cls for cls in classes if cls.family in wanted)
+    return [cls(config) for cls in classes]
 
 
 def rule_families():
@@ -82,6 +90,15 @@ RULE_CATALOG = {
     "robustness/unbounded-restart":
         "restart/retry loops must be bounded or escape via "
         "raise/return/break (restart churn is a §5.3 signal)",
+    "effects/epoch-soundness":
+        "translation-affecting mutators must bump the TranslationEpoch "
+        "on every path before returning",
+    "effects/parallel-purity":
+        "parallel task workers must have empty ambient write sets "
+        "(--jobs N bit-identity)",
+    "effects/hot-path-perf":
+        "hot-path loops must avoid invariant re-lookup, per-iteration "
+        "allocation, and exception control flow",
     "suppression/unused":
         "allow-annotations must suppress at least one finding (--strict)",
 }

@@ -152,6 +152,13 @@ class Suppressions:
             line for line in self._comment_lines if line not in self._used
         )
 
+    def unused_entries(self):
+        """Like :meth:`unused`, with each line's rule tokens (so the
+        driver can skip annotations for families it did not run)."""
+        return [
+            (line, self._comment_lines[line]) for line in self.unused()
+        ]
+
 
 @dataclass
 class ModuleSource:
@@ -234,14 +241,18 @@ def default_roots():
     return roots
 
 
-def run_passes(modules, config=None, strict=False):
-    """Run every registered pass over ``modules``; returns a Report.
+def run_passes(modules, config=None, strict=False, only=None):
+    """Run the registered passes over ``modules``; returns a Report.
 
     The interprocedural :class:`~repro.analysis.callgraph.Project` is
     built exactly once here and shared by every pass via ``prepare``;
-    its build time and resolution-cache statistics land in the report
-    (``--format json``) so regressions in graph construction are
-    visible in CI.
+    its build time, resolution-cache statistics, and per-pass-family
+    wall time land in the report (``--format json``) so regressions in
+    graph construction or any one pass are visible in CI.  ``only``
+    restricts the run to the named pass families; stale-annotation
+    findings (``--strict``) then cover only annotations mentioning
+    those families, so a narrowed run cannot misreport suppressions
+    owned by passes it never executed.
     """
     import time
 
@@ -249,34 +260,46 @@ def run_passes(modules, config=None, strict=False):
     from repro.analysis.passes import build_passes
 
     config = config or DEFAULT_CONFIG
-    passes = build_passes(config)
+    passes = build_passes(config, only=only)
     # Timing tool output, never a simulated result: the analyzer runs
     # on the host, outside the deterministic simulation.
     started = time.perf_counter()  # repro: allow[determinism/time]
     project = Project(modules)
     build_seconds = time.perf_counter() - started  # repro: allow[determinism/time]
+    pass_seconds = {pass_.family: 0.0 for pass_ in passes}
     for pass_ in passes:
         prepare = getattr(pass_, "prepare", None)
         if prepare is not None:
+            started = time.perf_counter()  # repro: allow[determinism/time]
             prepare(project)
+            pass_seconds[pass_.family] += \
+                time.perf_counter() - started  # repro: allow[determinism/time]
     report = Report()
     report.callgraph = {
         "build_seconds": round(build_seconds, 6),
         "modules": len(project.modules),
         "functions": len(project.functions),
     }
+    ran_families = frozenset(pass_seconds)
     for mod in modules:
         report.checked_files += 1
         for pass_ in passes:
             if not pass_.applies(mod.module):
                 continue
+            started = time.perf_counter()  # repro: allow[determinism/time]
             for finding in pass_.run(mod):
                 if mod.suppressions.suppresses(finding.rule, finding.line):
                     report.suppressed += 1
                 else:
                     report.findings.append(finding)
+            pass_seconds[pass_.family] += \
+                time.perf_counter() - started  # repro: allow[determinism/time]
         if strict:
-            for line in mod.suppressions.unused():
+            for line, tokens in mod.suppressions.unused_entries():
+                if only is not None and not any(
+                        token.split("/", 1)[0] in ran_families
+                        for token in tokens):
+                    continue
                 report.findings.append(Finding(
                     path=mod.path,
                     line=line,
@@ -288,27 +311,31 @@ def run_passes(modules, config=None, strict=False):
     report.findings.sort(key=Finding.sort_key)
     report.callgraph["resolve_cache_hits"] = project.cache_hits
     report.callgraph["resolve_cache_misses"] = project.cache_misses
+    report.callgraph["pass_seconds"] = {
+        family: round(seconds, 6)
+        for family, seconds in sorted(pass_seconds.items())
+    }
     return report
 
 
-def analyze_paths(paths, config=None, strict=False):
+def analyze_paths(paths, config=None, strict=False, only=None):
     """Analyze explicit files/directories; returns a Report."""
     modules = []
     for path in paths:
         for file_path in iter_source_files(path):
             modules.append(load_module(file_path))
-    return run_passes(modules, config=config, strict=strict)
+    return run_passes(modules, config=config, strict=strict, only=only)
 
 
-def analyze_tree(root=None, config=None, strict=False):
+def analyze_tree(root=None, config=None, strict=False, only=None):
     """Analyze the default scope (package + benchmarks/ + examples/
     when present); an explicit ``root`` narrows to that tree."""
     roots = [root] if root is not None else default_roots()
-    return analyze_paths(roots, config=config, strict=strict)
+    return analyze_paths(roots, config=config, strict=strict, only=only)
 
 
 def analyze_source(source, module, path="<memory>", config=None,
-                   strict=False):
+                   strict=False, only=None):
     """Analyze one in-memory snippet (the unit-test entry point)."""
     mod = ModuleSource(
         path=path,
@@ -316,4 +343,4 @@ def analyze_source(source, module, path="<memory>", config=None,
         source=source,
         tree=ast.parse(source, filename=path),
     )
-    return run_passes([mod], config=config, strict=strict)
+    return run_passes([mod], config=config, strict=strict, only=only)

@@ -257,6 +257,11 @@ class Mmu:
             )
         return None
 
+    # Setting A/D bits to True is monotone-permissive: it can only
+    # turn a would-be Autarky A/D fault into a hit, never invalidate a
+    # translation an existing memo relies on, so the fast path stays
+    # sound without an epoch bump (which would defeat the memo).
+    # repro: allow[effects/epoch-soundness]
     def _update_ad(self, vaddr, pte, access):
         pte.accessed = True
         if access is AccessType.WRITE:

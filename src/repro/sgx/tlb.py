@@ -75,6 +75,11 @@ class Tlb:
         self.hits += 1
         return entry.pfn
 
+    # Installing an entry only *adds* a translation the walk just
+    # validated; memos minted earlier stay correct, so no epoch bump
+    # is needed on the fill path (the capacity-eviction branch, which
+    # removes a translation, does bump).
+    # repro: allow[effects/epoch-soundness]
     def install(self, vaddr, pfn, writable, executable):
         self.fills += 1
         if self.capacity is not None and len(self._entries) >= self.capacity:

@@ -1,0 +1,38 @@
+"""Epoch-sound counterpart fixture: every translation-affecting write
+bumps the epoch on all paths.  Analyzed as
+``repro.sgx.fixture_epoch_sound`` — must produce zero findings."""
+
+
+class CleanTable:
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self._entries = {}
+
+    def unmap(self, vpn):
+        self._entries.pop(vpn, None)
+        self.epoch.value += 1
+
+    def protect(self, vpn, writable):
+        pte = self._entries.get(vpn)
+        if pte is None:
+            return
+        pte.writable = writable
+        self.epoch.value += 1
+
+    def retire(self, vpn):
+        self._entries.pop(vpn, None)
+        self._stamp()
+
+    def _stamp(self):
+        self.epoch.value += 1
+
+    def install(self, vpn, pte):
+        # Guarded early return before any write is fine.
+        if pte is None:
+            return None
+        self._entries[vpn] = pte
+        self.epoch.value += 1
+        return pte
+
+    def snapshot(self):
+        return dict(self._entries)

@@ -1,0 +1,44 @@
+"""Seeded epoch-soundness violations: golden fixture for the effects
+pass.  Analyzed as ``repro.sgx.fixture_epoch_unsound`` — each unsound
+mutator fires exactly once; the sound ones below stay clean."""
+
+
+class ShadowTable:
+    """Page-table shim whose mutators forget the epoch contract."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self._entries = {}
+
+    def unmap_quietly(self, vpn):
+        # Seeded: removes a translation, never bumps.
+        self._entries.pop(vpn, None)
+
+    def protect(self, vpn, writable):
+        # Seeded: conditional bump misses the tighten path.
+        pte = self._entries[vpn]
+        pte.writable = writable
+        if writable:
+            self.epoch.value += 1
+
+    def clear_via_alias(self, vpn):
+        # Seeded: the write hides behind a local alias of ambient state.
+        entries = self._entries
+        entries[vpn] = None
+
+    def unmap(self, vpn):
+        # Sound: bump on the only path.
+        self._entries.pop(vpn, None)
+        self.epoch.value += 1
+
+    def retire(self, vpn):
+        # Sound: the helper bumps on every path, which propagates.
+        self._entries.pop(vpn, None)
+        self._stamp()
+
+    def _stamp(self):
+        self.epoch.value += 1
+
+    def snapshot(self):
+        # Sound: reads never need a bump.
+        return dict(self._entries)

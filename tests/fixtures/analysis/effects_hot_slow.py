@@ -1,0 +1,34 @@
+"""Seeded hot-path-perf violations: golden fixture for the effects
+pass.  Analyzed as ``repro.sgx.fixture_hot_slow`` — the marked method
+trips all three hot-path rules; the unmarked twin stays silent."""
+
+
+class Walker:
+    def __init__(self, table):
+        self.table = table
+
+    # repro: hot
+    def scan(self, items):
+        total = 0
+        for item in items:
+            size = len(self.table.inner.data)
+            bucket = []
+            try:
+                total += item // size
+            except ZeroDivisionError:
+                total += 0
+            bucket.append(total)
+        return total
+
+    def scan_cold(self, items):
+        # Identical body, no hot marker: the checker must stay quiet.
+        total = 0
+        for item in items:
+            size = len(self.table.inner.data)
+            bucket = []
+            try:
+                total += item // size
+            except ZeroDivisionError:
+                total += 0
+            bucket.append(total)
+        return total

@@ -1,0 +1,61 @@
+"""Seeded parallel-purity violations: golden fixture for the effects
+pass.  Analyzed as ``repro.experiments.fixture_impure_task`` — every
+``run_indexed`` call site below hands over an impure worker and fires
+exactly once."""
+
+from functools import partial
+
+from repro.parallel import run_indexed
+
+CACHE = {}
+STATS = {"calls": 0}
+EVENTS = []
+
+
+def cache_task(item):
+    # Impure: writes a module-global dict shared across tasks.
+    CACHE[item] = item * 2
+    return CACHE[item]
+
+
+def tag_task(item):
+    # Impure: mutates the task item in place (lost under --jobs N).
+    item.done = True
+    return item
+
+
+def _bump_stats(item):
+    STATS["calls"] = STATS["calls"] + 1
+    return item
+
+
+def relay_task(item):
+    # Impure transitively: the helper writes ambient state.
+    return _bump_stats(item)
+
+
+def traced(fn):
+    def wrapper(item):
+        return fn(item)
+    return wrapper
+
+
+@traced
+def logged_task(item):
+    # Impure behind a decorator: the summary belongs to the def.
+    EVENTS.append(item)
+    return item
+
+
+def scaled_task(item, scale=1):
+    CACHE[item] = item * scale
+    return item
+
+
+def launch(items):
+    a = run_indexed(cache_task, items, jobs=2)
+    b = run_indexed(tag_task, items, jobs=2)
+    c = run_indexed(relay_task, items, jobs=2)
+    d = run_indexed(logged_task, items, jobs=2)
+    e = run_indexed(partial(scaled_task, scale=3), items, jobs=2)
+    return a, b, c, d, e

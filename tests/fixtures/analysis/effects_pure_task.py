@@ -1,0 +1,34 @@
+"""Pure-worker counterpart fixture: every worker builds its state
+locally, so ``--jobs N`` is bit-identical to serial.  Analyzed as
+``repro.experiments.fixture_pure_task`` — must produce zero findings."""
+
+from functools import partial
+
+from repro.parallel import run_indexed
+
+
+def histogram_task(values):
+    # Local containers are fair game: they never escape the worker.
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def transform_task(item, scale=1):
+    out = []
+    out.append(item * scale)
+    out.extend(out)
+    return tuple(out)
+
+
+def chained_task(item):
+    # Calling another pure worker stays pure.
+    return histogram_task([item, item])
+
+
+def launch(batches):
+    a = run_indexed(histogram_task, batches, jobs=4)
+    b = run_indexed(partial(transform_task, scale=2), batches, jobs=4)
+    c = run_indexed(chained_task, batches, jobs=4)
+    return a, b, c

@@ -503,3 +503,17 @@ class TestChaosCli:
         assert payload["seeds"] == 2
         assert len(payload["runs"]) == 2 * len(DEFAULT_POLICIES)
         assert not payload["violations"]
+
+    def test_frozen_witness_replays(self, capsys):
+        # A model-checker witness (modelcheck --export) frozen as a
+        # regression: the rate_limit policy must keep aborting with
+        # attack-detected when the host unmaps a resident page
+        # mid-run.  Re-freeze only if the protocol itself changes.
+        from pathlib import Path
+        from repro.chaos.cli import run
+        witness = (Path(__file__).parent / "fixtures" / "chaos" /
+                   "rate_limit_unmap_resident_witness.json")
+        assert run(["--plan", str(witness)]) == 0
+        out = capsys.readouterr().out
+        assert "attack-detected" in out
+        assert "verdict: OK" in out
