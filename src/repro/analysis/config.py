@@ -224,6 +224,13 @@ class AnalysisConfig:
     #: Exact module names also covered (the package root itself, which
     #: a bare prefix match would miss).
     robustness_roots: frozenset = _default(frozenset({"repro"}))
+    #: Module prefixes where the unbounded-queue rule runs: the
+    #: long-lived layers (the service's drive loop, the runtime's
+    #: paging/supervision loops) where an append-only container inside
+    #: a ``while`` loop turns offered load into unbounded memory.
+    robustness_queue_prefixes: tuple = (
+        "repro.service.", "repro.runtime.",
+    )
 
     # -- lifecycle orderliness (Guardian; SGX ISA §2.1, §5.2) -------------
     #: Module prefixes whose SGX ISA call sites are checked against the

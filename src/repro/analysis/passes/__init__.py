@@ -90,6 +90,9 @@ RULE_CATALOG = {
     "robustness/unbounded-restart":
         "restart/retry loops must be bounded or escape via "
         "raise/return/break (restart churn is a §5.3 signal)",
+    "robustness/unbounded-queue":
+        "service/runtime while-loops must bound, drain, or escape any "
+        "list/deque they accumulate into",
     "effects/epoch-soundness":
         "translation-affecting mutators must bump the TranslationEpoch "
         "on every path before returning",

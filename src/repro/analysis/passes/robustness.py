@@ -42,6 +42,7 @@ from repro.analysis.findings import Finding
 
 RULE_BROAD_EXCEPT = "robustness/broad-except"
 RULE_UNBOUNDED_RESTART = "robustness/unbounded-restart"
+RULE_UNBOUNDED_QUEUE = "robustness/unbounded-queue"
 
 #: Exception names too wide for runtime code to catch.
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
@@ -53,10 +54,21 @@ RESTART_NAME_RE = re.compile(
     r"restore|reconnect|factory)"
 )
 
+#: Methods that grow a list/deque (the accumulation side of the
+#: unbounded-queue rule).
+QUEUE_GROWERS = frozenset({"append", "appendleft", "extend"})
+
+#: Methods that drain/bound the same container; a loop that consumes
+#: what it produces is a queue, not a leak.
+QUEUE_CONSUMERS = frozenset({
+    "pop", "popleft", "popitem", "remove", "discard", "clear",
+})
+
 
 class RobustnessPass:
     family = "robustness"
-    rules = (RULE_BROAD_EXCEPT, RULE_UNBOUNDED_RESTART)
+    rules = (RULE_BROAD_EXCEPT, RULE_UNBOUNDED_RESTART,
+             RULE_UNBOUNDED_QUEUE)
 
     def __init__(self, config):
         self.config = config
@@ -70,6 +82,8 @@ class RobustnessPass:
     def run(self, mod):
         yield from self._broad_handlers(mod)
         yield from self._unbounded_restarts(mod)
+        if mod.module.startswith(self.config.robustness_queue_prefixes):
+            yield from self._unbounded_queues(mod)
 
     def _broad_handlers(self, mod):
         for node in ast.walk(mod.tree):
@@ -131,6 +145,110 @@ class RobustnessPass:
                 ),
                 module=mod.module,
             )
+
+    def _unbounded_queues(self, mod):
+        """Flag list/deque accumulation inside ``while`` loop scopes
+        with nothing bounding the container.
+
+        A long-lived service loop that only ever ``append``s turns
+        load into unbounded memory — the exact failure mode the
+        service's *bounded* run queue (shed with ``QUEUE_FULL``)
+        exists to rule out.  Three shapes are not findings:
+
+        * the loop test references the container (``while len(q) < n``
+          — the accumulation *is* the bound);
+        * the loop scope also consumes from it (``pop``/``popleft``/
+          ``clear``/``del``/rebinding — a queue, not a leak);
+        * the loop scope escapes via ``raise``/``return``/``break``
+          (growth is bounded by the escape condition).
+        """
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test_names = self._dotted_names(node.test)
+            if self._escapes(node.body):
+                continue
+            for call in self._walk_scope(node.body):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in QUEUE_GROWERS):
+                    continue
+                recv = self._dotted(func.value)
+                if recv is None:
+                    continue
+                if recv in test_names:
+                    continue
+                if self._consumed_in(node.body, recv):
+                    continue
+                yield Finding(
+                    path=mod.path,
+                    line=call.lineno,
+                    rule=RULE_UNBOUNDED_QUEUE,
+                    message=(
+                        f"unbounded accumulation: {recv}.{func.attr}() "
+                        "inside a while loop that never bounds, drains, "
+                        "or escapes — a long-lived loop turns offered "
+                        "load into unbounded memory"
+                    ),
+                    hint=(
+                        "bound the container (shed with a structured "
+                        "reason once full, like the service run queue), "
+                        "drain it in the same loop, or cap the loop "
+                        "itself; annotate a reviewed exception with "
+                        "# repro: allow[robustness]"
+                    ),
+                    module=mod.module,
+                )
+
+    @classmethod
+    def _consumed_in(cls, body, recv):
+        """Whether the loop scope drains, deletes, or rebinds ``recv``."""
+        for node in cls._walk_scope(body):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in QUEUE_CONSUMERS
+                        and cls._dotted(func.value) == recv):
+                    return True
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and cls._dotted(target.value) == recv:
+                        return True
+                    if cls._dotted(target) == recv:
+                        return True
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if cls._dotted(target) == recv:
+                        return True
+        return False
+
+    @classmethod
+    def _dotted_names(cls, expr):
+        """Every dotted name mentioned anywhere in ``expr``."""
+        names = set()
+        for node in ast.walk(expr):
+            dotted = cls._dotted(node)
+            if dotted is not None:
+                names.add(dotted)
+        return names
+
+    @staticmethod
+    def _dotted(expr):
+        """``a.b.c`` display form of a Name/Attribute chain, or None."""
+        parts = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
 
     @staticmethod
     def _is_forever(test):

@@ -68,6 +68,7 @@ def cmd_list():
           "chaos [--seeds N] [--policies ...] [--jobs N], "
           "modelcheck [--policy all] [--depth N] [--jobs N], "
           "recover [--ops N] [--policies ...], "
+          "serve [--smoke|--sweep] [--jobs N], "
           "bench [--jobs N] [--output path]")
 
 
@@ -107,6 +108,10 @@ def main(argv=None):
         # Crash-consistent checkpoint/restore demonstration.
         from repro.recovery.cli import run as recover_run
         return recover_run(argv[1:])
+    if argv and argv[0] == "serve":
+        # The multi-tenant enclave service (smoke + contention sweep).
+        from repro.service.cli import run as serve_run
+        return serve_run(argv[1:])
     if argv and argv[0] == "bench":
         # Wall-clock benchmark of the access engine + parallel runner.
         from repro.bench import run as bench_run

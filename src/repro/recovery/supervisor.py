@@ -29,9 +29,11 @@ from repro.errors import (
     ChaosAbort,
     EnclaveCrashed,
     EnclaveTerminated,
+    EpcExhausted,
     HostCallDenied,
     IntegrityAbort,
     Quarantined,
+    SgxError,
 )
 from repro.recovery.manager import RecoveryManager
 from repro.runtime.attestation import AttestationService
@@ -79,6 +81,14 @@ class RecoverySupervisor:
         self.auto_checkpoint_every = auto_checkpoint_every
         self.keep_trace = keep_trace
         self._fleet = {}
+        # Lifetime counters surfaced by :meth:`stats` (callers — the
+        # service breaker, metrics endpoints — read these instead of
+        # poking private fields or summing over a fleet that shrinks
+        # as members are torn down).
+        self._restarts_retired = 0
+        self._backoff_cycles = 0
+        self._recoveries = 0
+        self._quarantines = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -140,45 +150,114 @@ class RecoverySupervisor:
             if record.restarts >= policy.max_restarts:
                 break
             record.restarts += 1
-            self.kernel.clock.charge(
-                policy.backoff.wait_cycles(attempt), Category.BACKOFF
-            )
+            wait = policy.backoff.wait_cycles(attempt)
+            self._backoff_cycles += wait
+            self.kernel.clock.charge(wait, Category.BACKOFF)
             try:
                 self._restore_once(record)
                 record.state = RUNNING
+                self._recoveries += 1
                 return record.runtime
             except IntegrityAbort:
                 raise
             except (EnclaveCrashed, EnclaveTerminated, ChaosAbort,
-                    HostCallDenied) as exc:
+                    HostCallDenied, EpcExhausted) as exc:
+                # EpcExhausted is the multi-tenant case: the corpse is
+                # gone but the *other* enclaves hold every frame, so a
+                # relaunch cannot even pin its runtime.  Transient —
+                # retry under backoff like any other restart failure.
                 last = exc
                 record.failures.append(str(exc))
         record.state = QUARANTINED
+        self._quarantines += 1
         raise Quarantined(
             f"enclave {name!r} exhausted its restart budget "
             f"({policy.max_restarts}); refusing further restarts "
             f"(restart churn is a termination-channel signal)"
         ) from last
 
+    #: Free-EPC margin required beyond a relaunch's eager footprint
+    #: (TCS page + pinned runtime region) before we attempt it.
+    RELAUNCH_MARGIN_PAGES = 4
+
     def _restore_once(self, record):
         """One restart attempt: reclaim, relaunch, attest, restore."""
         corpse = record.runtime
         if corpse is not None:
             self.kernel.driver.reclaim_enclave(corpse.enclave)
-        runtime = record.program.launch(self.kernel)
-        record.attestation.attest(runtime.enclave)
-        record.manager.restore(runtime)
+            record.runtime = None
+        # Pre-flight: a relaunch eagerly EADDs its TCS and pins its
+        # runtime region.  Starting that with too few free frames would
+        # die halfway and strand the partial enclave's pages (no handle
+        # to reclaim them by) — check first, fail whole.
+        build_layout = getattr(record.program, "build_layout", None)
+        if build_layout is not None:
+            layout = build_layout()
+            needed = (
+                1 + layout.runtime_pages + self.RELAUNCH_MARGIN_PAGES
+            )
+            if self.kernel.epc.free_pages < needed:
+                raise EpcExhausted(
+                    f"relaunch of {record.name!r} needs {needed} free "
+                    f"EPC pages, only {self.kernel.epc.free_pages} "
+                    f"available"
+                )
+        before = set(self.kernel.instr.enclaves)
+        try:
+            runtime = record.program.launch(self.kernel)
+            record.attestation.attest(runtime.enclave)
+            record.manager.restore(runtime)
+        except (EnclaveTerminated, EnclaveCrashed, HostCallDenied,
+                SgxError):
+            # The attempt died mid-build or mid-replay (e.g. its
+            # warm-up could not pin pages under EPC pressure, or the
+            # replay itself aborted).  Reclaim the new incarnation
+            # before re-raising, or its frames leak — ``record`` never
+            # gets a handle to find them by later.
+            for eid in set(self.kernel.instr.enclaves) - before:
+                self.kernel.driver.reclaim_enclave(
+                    self.kernel.instr.enclaves[eid]
+                )
+            raise
         record.runtime = runtime
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self):
+        """Lifetime counter snapshot (survives member teardown).
+
+        Plain sorted-key dict so service breakers, health endpoints,
+        and run digests can consume it without reaching into private
+        supervisor state."""
+        fleet = list(self._fleet.values())
+        return {
+            "backoff_cycles": self._backoff_cycles,
+            "down": sum(1 for r in fleet if r.state == DOWN),
+            "fleet": len(fleet),
+            "quarantines": self._quarantines,
+            "recoveries": self._recoveries,
+            "restarts": (
+                self._restarts_retired
+                + sum(r.restarts for r in fleet)
+            ),
+            "running": sum(1 for r in fleet if r.state == RUNNING),
+        }
 
     # -- teardown ----------------------------------------------------------
 
     def teardown(self, name):
         """Remove one enclave and reclaim every host resource it held
         (the dead-enclave bookkeeping leak fix: EPC frames, driver
-        state, fifo slots all go)."""
-        record = self._fleet.pop(name)
+        state, fifo slots all go).  Idempotent: tearing down a member
+        that is already gone is a no-op, and the underlying reclaim
+        never double-frees EPC."""
+        record = self._fleet.pop(name, None)
+        if record is None:
+            return None
+        self._restarts_retired += record.restarts
         if record.runtime is not None:
             self.kernel.driver.reclaim_enclave(record.runtime.enclave)
+            record.runtime = None
         return record
 
     def shutdown(self):

@@ -1,0 +1,151 @@
+"""Per-tenant circuit breaker over the runtime's backoff machinery.
+
+A tenant whose enclave keeps aborting (IntegrityAbort, ChaosAbort,
+quarantine) is a liability to its neighbours: every failed request
+burns queue slots, paging bandwidth, and — per §5.3 — leaks one bit per
+restart through the termination channel.  The breaker converts repeated
+failure into *cheap structured rejection*:
+
+::
+
+    CLOSED --failures >= trip_after--> OPEN
+    OPEN   --cooldown elapsed-------->  HALF_OPEN (one probe admitted)
+    HALF_OPEN --probe succeeds-------> CLOSED
+    HALF_OPEN --probe fails----------> OPEN (cooldown escalates)
+
+Cooldowns come from :class:`repro.runtime.backoff.RetryPolicy` — the
+same bounded, cycle-priced exponential schedule the paging runtime uses
+for denied host calls — and are measured on the *simulated* clock, so
+breaker behaviour is as reproducible as everything else.  A quarantined
+tenant latches the breaker open permanently: the recovery supervisor
+has already judged that restarts must stop.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.backoff import RetryPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one tenant."""
+
+    def __init__(self, trip_after=2, cooldown=None,
+                 window_cycles=150_000_000):
+        if trip_after < 1:
+            raise ValueError("breaker must tolerate at least one failure")
+        self.trip_after = trip_after
+        #: Failures are counted over a sliding window of simulated
+        #: cycles, not consecutively: a tenant whose enclave keeps
+        #: dying trips the breaker even when healthy requests complete
+        #: between the aborts (abort → recover → abort again is exactly
+        #: the restart-churn pattern §5.3 warns about).
+        self.window_cycles = window_cycles
+        #: Cooldown schedule: trip number N waits
+        #: ``cooldown.wait_cycles(min(N, max_attempts))`` cycles.
+        # Base cooldown spans many router ticks of idle clock but stays
+        # well inside one service run, so a tripped breaker reaches
+        # HALF_OPEN (and can prove recovery) before the run drains.
+        self.cooldown = cooldown or RetryPolicy(
+            max_attempts=4, base_cycles=8_000_000, multiplier=4
+        )
+        self.state = CLOSED
+        #: Recent failure timestamps, pruned to the window and bounded
+        #: by ``trip_after`` (the count can never usefully exceed it).
+        self.recent_failures = []
+        self.trip_count = 0
+        self.open_until_cycles = 0
+        self.latched = False
+        # Lifetime transition counters (metrics snapshot).
+        self.trips = 0
+        self.half_opens = 0
+        self.closes = 0
+        self.rejections = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def allow(self, now_cycles):
+        """Whether one request may pass right now.
+
+        OPEN flips to HALF_OPEN once the cooldown has elapsed; the
+        HALF_OPEN state admits exactly one probe, then rejects until
+        the probe reports back.
+        """
+        if self.latched:
+            self.rejections += 1
+            return False
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_cycles >= self.open_until_cycles:
+                self.state = HALF_OPEN
+                self.half_opens += 1
+                return True
+            self.rejections += 1
+            return False
+        # HALF_OPEN: the single probe is already in flight.
+        self.rejections += 1
+        return False
+
+    # -- outcome reporting -------------------------------------------------
+
+    def record_success(self):
+        """A request completed; a HALF_OPEN probe success re-closes the
+        breaker and forgives the failure history."""
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.trip_count = 0
+            self.recent_failures.clear()
+            self.closes += 1
+
+    def record_failure(self, now_cycles):
+        """A request aborted; trip once the window holds enough."""
+        horizon = now_cycles - self.window_cycles
+        self.recent_failures = [
+            t for t in self.recent_failures if t > horizon
+        ]
+        self.recent_failures.append(now_cycles)
+        if len(self.recent_failures) > self.trip_after:
+            del self.recent_failures[0]
+        if self.state == HALF_OPEN or \
+                len(self.recent_failures) >= self.trip_after:
+            self._trip(now_cycles)
+
+    def cancel_probe(self):
+        """The half-open probe was cancelled (deadline, tenant down)
+        before the enclave could prove anything: return to OPEN without
+        escalating the cooldown, so the next ``allow`` re-probes."""
+        if self.state == HALF_OPEN:
+            self.state = OPEN
+
+    def latch_open(self):
+        """Permanently open (tenant quarantined by the supervisor)."""
+        self.latched = True
+        self.state = OPEN
+        self.trips += 1
+
+    def _trip(self, now_cycles):
+        self.state = OPEN
+        self.trips += 1
+        self.trip_count += 1
+        attempt = min(self.trip_count, self.cooldown.max_attempts)
+        self.open_until_cycles = (
+            now_cycles + self.cooldown.wait_cycles(attempt)
+        )
+        self.recent_failures.clear()
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self):
+        """Canonical counter tuple for metrics and run digests."""
+        return (
+            self.state,
+            self.trips,
+            self.half_opens,
+            self.closes,
+            self.rejections,
+            self.latched,
+        )

@@ -1,0 +1,129 @@
+"""Service-level fault kinds: the chaos harness attacks the *service*.
+
+The core chaos plans (:mod:`repro.chaos.plan`) script a hostile host
+against one enclave.  The service adds a second adversary tier — badly
+behaved (or hostile) *tenants* and the host squeezing the whole fleet:
+
+* ``TENANT_BURST``  — a tenant multiplies its offered load for a
+  window of ticks; admission control must shed the excess with
+  structured rejections instead of starving neighbours.
+* ``TENANT_STALL``  — a tenant's requests stop making progress (each
+  op burns extra simulated cycles); the per-request deadline must
+  cancel them instead of letting them camp on the run queue.
+* ``TENANT_TAMPER`` — the host forges a swapped-out blob of one
+  tenant; the next fetch must fail stop with ``IntegrityAbort``, the
+  breaker must trip, and recovery + half-open must bring the tenant
+  back.
+
+These are a separate enum from :class:`repro.chaos.plan.FaultKind` on
+purpose: the campaign's ``_apply`` dispatch and its frozen
+model-checker witnesses enumerate that enum exhaustively, and service
+faults target a *tenant of a fleet*, not *the* enclave.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ServiceFaultKind(str, Enum):
+    TENANT_BURST = "tenant-burst"
+    TENANT_STALL = "tenant-stall"
+    TENANT_TAMPER = "tenant-tamper"
+
+
+@dataclass(frozen=True)
+class ServiceFaultEvent:
+    """One scheduled act against one tenant."""
+
+    kind: ServiceFaultKind
+    at_tick: int
+    tenant_index: int
+    #: Burst: load multiplier.  Stall: extra cycles per op.  Tamper:
+    #: unused (the target page is drawn from live swapped state).
+    param: int = 0
+    #: Ticks the effect persists (burst / stall windows).
+    duration: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Seed-deterministic schedule of service faults.
+
+    Regenerating with the same ``(seed, ticks, n_tenants, tamperable)``
+    yields the identical plan — the property that lets a service
+    failure be replayed from nothing but its seed.
+    """
+
+    seed: int
+    ticks: int
+    events: tuple
+
+    def by_tick(self):
+        table = {}
+        for event in self.events:
+            table.setdefault(event.at_tick, []).append(event)
+        return table
+
+    def kinds(self):
+        return {event.kind for event in self.events}
+
+    @staticmethod
+    def generate(seed, ticks, n_tenants, tamperable=()):
+        """Generate a plan for a fleet of ``n_tenants``.
+
+        ``tamperable`` lists tenant indices with pageable working sets
+        (pin_all tenants never swap after seal, so forging their
+        backing store is a no-op and tamper events skip them).  When
+        any tenant is tamperable, the plan always schedules at least
+        two tampers against one victim — the acceptance criterion
+        requires an observable breaker trip *and* half-open recovery,
+        which needs repeated integrity failures on one tenant.
+        """
+        rng = random.Random((seed << 8) ^ 0x5EC7)
+        events = []
+        tamperable = tuple(sorted(tamperable))
+        if tamperable and ticks >= 8:
+            victim = tamperable[rng.randrange(len(tamperable))]
+            first = 2 + rng.randrange(max(1, ticks // 4))
+            second = first + 1
+            events.append(ServiceFaultEvent(
+                ServiceFaultKind.TENANT_TAMPER, first, victim
+            ))
+            events.append(ServiceFaultEvent(
+                ServiceFaultKind.TENANT_TAMPER, second, victim
+            ))
+        n_random = max(2, ticks // 10)
+        for i in range(n_random):
+            # Alternate kinds so every plan exercises both the burst
+            # and the stall machinery (coin flips can starve one).
+            kind = (ServiceFaultKind.TENANT_BURST
+                    if i % 2 == 0
+                    else ServiceFaultKind.TENANT_STALL)
+            tenant = rng.randrange(n_tenants)
+            at = rng.randrange(1, max(2, ticks - 2))
+            if kind is ServiceFaultKind.TENANT_BURST:
+                events.append(ServiceFaultEvent(
+                    kind, at, tenant,
+                    param=3 + rng.randrange(4),
+                    duration=2 + rng.randrange(3),
+                ))
+            else:
+                events.append(ServiceFaultEvent(
+                    kind, at, tenant,
+                    param=20_000_000 + rng.randrange(4) * 10_000_000,
+                    duration=1 + rng.randrange(3),
+                ))
+        events.sort(key=lambda e: (e.at_tick, e.tenant_index,
+                                   e.kind.value))
+        return ServiceFaultPlan(seed=seed, ticks=ticks,
+                                events=tuple(events))
+
+    def canonical(self):
+        return tuple(
+            (e.kind.value, e.at_tick, e.tenant_index, e.param,
+             e.duration)
+            for e in self.events
+        )

@@ -1,0 +1,198 @@
+"""``python -m repro serve`` — drive the multi-tenant enclave service.
+
+Two modes:
+
+* ``--smoke`` (also the CI gate): boot a 4-tenant fleet, drive ~200
+  requests of mixed-policy traffic with the seed's fault plan, probe
+  health/readiness, then re-run from scratch and require digest
+  equality.  Exit 0 only if every request ended in a terminal outcome,
+  no invariant fell, the breaker both tripped and recovered, and the
+  two digests match.
+
+* ``--sweep``: the cross-tenant contention sweep (seeds × the three
+  paper policies, over-committed EPC), with ``--jobs N`` fan-out that
+  must be bit-identical to serial, emitting ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.service.router import ServiceConfig, run_service
+from repro.service.sweep import (
+    SWEEP_POLICIES,
+    run_sweep,
+    sweep_report,
+)
+from repro.service.tenant import default_tenants
+
+#: Smoke sizing: 4 tenants × (2+3+2+3) arrivals/tick × 20 ticks = 200.
+SMOKE_TENANTS = 4
+SMOKE_TICKS = 20
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="deterministic multi-tenant enclave service",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="boot 4 tenants, drive ~200 requests, probe health, "
+             "verify double-run digest equality",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="cross-tenant EPC contention sweep (seeds x policies), "
+             "emitting a JSON report",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="service seed (default: 0)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=6, metavar="N",
+        help="sweep seeds 0..N-1 (default: 6)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=SMOKE_TENANTS, metavar="N",
+        help=f"fleet size (default: {SMOKE_TENANTS})",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=SMOKE_TICKS, metavar="N",
+        help=f"arrival ticks to drive (default: {SMOKE_TICKS})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep; results are identical "
+             "to --jobs 1 (default: 1)",
+    )
+    parser.add_argument(
+        "--no-determinism-check", action="store_true",
+        help="run each sweep point once instead of twice",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", metavar="PATH",
+        help="sweep report path (default: BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def _smoke_config(args):
+    return ServiceConfig(
+        seed=args.seed,
+        tenants=default_tenants(args.tenants),
+        ticks=args.ticks,
+    )
+
+
+def run_smoke(args):
+    """One full service run, probed, then replayed for digest equality."""
+    from repro.service.router import EnclaveService
+
+    service = EnclaveService(_smoke_config(args))
+    service.boot()
+    boot_ready = service.ready()
+    boot_health = service.health()
+    result = service.run()
+    final_ready = service.ready()
+    rerun = run_service(_smoke_config(args))
+
+    checks = {
+        "booted_ready": boot_ready,
+        "boot_health_ok": boot_health["status"] == "ok",
+        "drained_not_ready": not final_ready,
+        "no_violations": result.safe and rerun.safe,
+        "breaker_tripped": result.breaker_trips >= 1,
+        "breaker_recovered": result.breaker_closes >= 1,
+        "digest_equal": result.digest == rerun.digest,
+    }
+    ok = all(checks.values())
+    payload = {
+        "ok": ok,
+        "checks": checks,
+        "seed": args.seed,
+        "tenants": args.tenants,
+        "ticks": args.ticks,
+        "outcomes": result.outcome_counts,
+        "shed_by_reason": result.shed_by_reason,
+        "abort_reasons": result.abort_reasons,
+        "recoveries": result.recoveries,
+        "quarantines": result.quarantines,
+        "boot_health": boot_health,
+        "violations": list(result.violations),
+        "digest": result.digest,
+        "rerun_digest": rerun.digest,
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        total = sum(result.outcome_counts.values())
+        print(f"service smoke: seed={args.seed} tenants={args.tenants} "
+              f"ticks={args.ticks} requests={total}")
+        for outcome, count in result.outcome_counts.items():
+            print(f"  {outcome:18s} {count}")
+        for reason, count in result.shed_by_reason.items():
+            print(f"  shed[{reason}]: {count}")
+        for reason, count in result.abort_reasons.items():
+            print(f"  abort[{reason}]: {count}")
+        print(f"  recoveries={result.recoveries} "
+              f"quarantines={result.quarantines} "
+              f"breaker trips={result.breaker_trips} "
+              f"closes={result.breaker_closes}")
+        print(f"  digest={result.digest} rerun={rerun.digest}")
+        for name, passed in checks.items():
+            if not passed:
+                print(f"  CHECK FAILED: {name}")
+        for violation in result.violations:
+            print(f"  VIOLATION: {violation}")
+        print("verdict:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def run_contention_sweep(args):
+    seeds = range(args.seeds)
+    sweep = run_sweep(
+        seeds,
+        policies=SWEEP_POLICIES,
+        check_determinism=not args.no_determinism_check,
+        jobs=args.jobs,
+    )
+    report = sweep_report(sweep, list(seeds), list(SWEEP_POLICIES),
+                          args.jobs)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"service contention sweep: {len(sweep.points)} points "
+              f"({args.seeds} seeds x {len(SWEEP_POLICIES)} policies, "
+              f"jobs={args.jobs})")
+        for klass, count in sweep.class_counts().items():
+            print(f"  {klass:24s} {count}")
+        print(f"  breaker trips={sweep.breaker_trips()} "
+              f"closes={sweep.breaker_closes()}")
+        if sweep.violations:
+            print("SAFETY-INVARIANT VIOLATIONS:")
+            for seed, policy, message in sweep.violations:
+                print(f"  seed={seed} policy={policy}: {message}")
+        if sweep.determinism_failures:
+            print("DETERMINISM FAILURES:")
+            for seed, policy, first, second in sweep.determinism_failures:
+                print(f"  seed={seed} policy={policy}: {first} != {second}")
+        print(f"  report written to {args.output}")
+        print("verdict:", "OK" if sweep.ok else "FAIL")
+    return 0 if sweep.ok else 1
+
+
+def run(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.sweep:
+        return run_contention_sweep(args)
+    # --smoke is also the default mode.
+    return run_smoke(args)

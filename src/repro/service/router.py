@@ -1,0 +1,653 @@
+"""The multi-tenant enclave service: a deterministic request router.
+
+One long-lived front door admits YCSB-style traffic from many tenants,
+each backed by its own enclave on one shared kernel, all contending
+for one EPC.  The robustness core, in admission order:
+
+1. **degradation tier 2** — under extreme EPC pressure new work is
+   rejected with a structured ``SERVICE_OVERLOADED`` (reject *before*
+   evicting pinned tenants — suspension is never used on a sealed
+   working set);
+2. **paging budget** — a tenant still in paging debt from earlier
+   thrashing may not submit;
+3. **token bucket** — per-tenant request-rate admission;
+4. **bounded run queue** — a full queue sheds with ``QUEUE_FULL``
+   instead of growing without bound;
+5. **circuit breaker** — checked *last* so a half-open probe, once
+   admitted, is never lost to a cheaper rejection downstream.
+
+Degradation tier 1 (moderate pressure) shrinks non-pinned tenants'
+balloon targets — cooperative ballooning, §5.2.1 — before anything is
+rejected; tier 0 restores the loans once pressure subsides.
+
+Aborted tenants go through the recovery supervisor's bounded-restart /
+verified-replay pipeline; repeated integrity aborts trip the tenant's
+breaker, quarantine latches it open.  Every request ends in exactly
+one of the four terminal outcomes (see :mod:`repro.service.metrics`);
+anything else is recorded as an invariant violation and fails the run.
+
+Everything runs on the simulated clock with seeded randomness only, so
+a full service run is double-run digest-identical and ``--jobs N``
+bit-identical under :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clock import Category
+from repro.errors import (
+    ChaosAbort,
+    EnclaveCrashed,
+    EnclaveTerminated,
+    HostCallDenied,
+    IntegrityAbort,
+    IntegrityError,
+    Quarantined,
+)
+from repro.host.kernel import HostKernel
+from repro.recovery.supervisor import RUNNING, RecoverySupervisor
+from repro.runtime.multiprocess import EnclaveSupervisor
+from repro.service.chaos import ServiceFaultKind, ServiceFaultPlan
+from repro.service.metrics import (
+    BREAKER_OPEN,
+    DEADLINE,
+    OUTCOME_ABORTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_DEGRADED,
+    OUTCOME_SHED,
+    OUTCOMES,
+    PAGING_BUDGET,
+    QUEUE_FULL,
+    RATE_LIMITED,
+    SERVICE_OVERLOADED,
+    RequestResult,
+    ServiceMetrics,
+    epc_pressure_milli,
+)
+from repro.service.tenant import BUDGET_FLOOR, Tenant, default_tenants
+
+#: Compute cycles per request op (matches the chaos campaign's rhythm).
+OP_COMPUTE_CYCLES = 1_000
+
+#: Free EPC frames the router balloons for before asking the recovery
+#: supervisor to relaunch a tenant (eager launch footprint + warm-up).
+RELAUNCH_HEADROOM_PAGES = 64
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to boot and drive one service run."""
+
+    seed: int = 0
+    tenants: list = field(default_factory=lambda: default_tenants(4))
+    #: Shared EPC.  Deliberately smaller than the fleet's combined
+    #: working-set demand (over-commit) so cross-tenant pressure
+    #: actually occurs: the default mixed 4-tenant fleet peaks around
+    #: 900‰ occupancy here, deep in the tier-1 ballooning band.
+    epc_pages: int = 192
+    #: Ticks of arrival traffic (dispatch continues until drained).
+    ticks: int = 24
+    #: Bounded run queue — the only place requests wait.
+    queue_capacity: int = 16
+    #: Requests dispatched per tick.
+    dispatch_per_tick: int = 8
+    #: Simulated cycles the router charges per tick (time always
+    #: advances, so token buckets refill and cooldowns elapse even
+    #: when no work runs).
+    tick_cycles: int = 400_000
+    #: Degradation thresholds, EPC occupancy in thousandths.
+    tier1_pressure_milli: int = 800
+    tier2_pressure_milli: int = 920
+    #: Balloon pages requested per tier-1 shrink step.
+    shrink_step_pages: int = 16
+    #: Fault plan; None generates one from the seed, () disables.
+    fault_plan: Optional[ServiceFaultPlan] = None
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of one full service run."""
+
+    seed: int
+    ticks: int
+    outcome_counts: dict
+    shed_by_reason: dict
+    abort_reasons: dict
+    metrics: tuple           # ServiceMetrics.canonical()
+    tenants: tuple           # per-tenant canonical tuples
+    breaker_trips: int
+    breaker_closes: int
+    recoveries: int
+    quarantines: int
+    cycles: int
+    violations: tuple
+    digest: str
+
+    @property
+    def safe(self):
+        return not self.violations
+
+
+class EnclaveService:
+    """One bootable instance of the router (one kernel, one fleet)."""
+
+    def __init__(self, config=None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.kernel = HostKernel(epc_pages=cfg.epc_pages)
+        self.recovery = RecoverySupervisor(self.kernel)
+        self.tenants = [
+            Tenant(spec, i, cfg.seed)
+            for i, spec in enumerate(cfg.tenants)
+        ]
+        self.plan = cfg.fault_plan
+        if self.plan is None:
+            self.plan = ServiceFaultPlan.generate(
+                cfg.seed, cfg.ticks, len(self.tenants),
+                tamperable=tuple(
+                    t.index for t in self.tenants if not t.spec.pinned
+                ),
+            )
+        self._queue = deque()
+        self._engines = {}
+        self._gates = {}
+        self._pools = {}
+        self.metrics = ServiceMetrics()
+        self.results = []
+        self.violations = []
+        self.skipped_events = []
+        self.tier = 0
+        self.tick = 0
+        self._shrink_cursor = 0
+        self._restore_cursor = 0
+        self._booted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self):
+        """Launch every tenant through the spawn gate (measurement
+        pinning + self-paging attribute check) on top of the recovery
+        supervisor's launch/attest/seal pipeline."""
+        for tenant in self.tenants:
+            name = tenant.spec.name
+            program = tenant.program(self.config.epc_pages)
+            gate = EnclaveSupervisor(
+                child_factory=lambda n=name, p=program: (
+                    self.recovery.launch(n, p).runtime
+                ),
+            )
+            gate.spawn()
+            self._gates[name] = gate
+            self._bind(tenant)
+        self._booted = True
+        return self
+
+    def _bind(self, tenant):
+        """(Re)build the engine and pool for a tenant's current
+        incarnation — called at boot and after every recovery."""
+        record = self.recovery.member(tenant.spec.name)
+        program = record.program
+        self._engines[tenant.spec.name] = program.engine(record.runtime)
+        self._pools[tenant.spec.name] = tenant.pool(record.runtime)
+
+    def shutdown(self):
+        """Tear the fleet down and verify EPC parity.  Both supervisor
+        layers reclaim; the idempotent reclaim path makes the overlap
+        harmless."""
+        self.recovery.shutdown()
+        for gate in self._gates.values():
+            gate.shutdown()
+        self._booted = False
+        if self.kernel.epc.free_pages != self.kernel.epc.total_pages:
+            self.violations.append(
+                f"EPC leak after shutdown: {self.kernel.epc.free_pages} "
+                f"free of {self.kernel.epc.total_pages}"
+            )
+
+    # -- probes ------------------------------------------------------------
+
+    def ready(self):
+        """Readiness: booted and at least one tenant serving."""
+        if not self._booted:
+            return False
+        return any(
+            record.state == RUNNING for record in self.recovery.fleet()
+        )
+
+    def health(self):
+        """Liveness/health snapshot (sorted keys, JSON-safe)."""
+        fleet_states = {
+            record.name: record.state for record in self.recovery.fleet()
+        }
+        latched = sum(
+            1 for t in self.tenants if t.breaker.latched
+        )
+        if self.tier >= 2:
+            status = "overloaded"
+        elif self.tier == 1 or latched:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": self.ready(),
+            "tier": self.tier,
+            "epc_pressure_milli": epc_pressure_milli(self.kernel),
+            "queue_depth": len(self._queue),
+            "tenants": dict(sorted(fleet_states.items())),
+            "breakers": {
+                t.spec.name: t.breaker.state
+                for t in sorted(self.tenants, key=lambda t: t.spec.name)
+            },
+        }
+
+    # -- the drive loop ----------------------------------------------------
+
+    def run(self):
+        """Drive the configured number of arrival ticks, then drain the
+        queue, then shut down; returns a :class:`ServiceResult`."""
+        if not self._booted:
+            self.boot()
+        events = self.plan.by_tick()
+        for tick in range(self.config.ticks):
+            self.tick = tick
+            self.kernel.clock.charge(self.config.tick_cycles, Category.OS)
+            for event in events.get(tick, ()):
+                self._apply_fault(event)
+            self._evaluate_tiers()
+            self._admit_arrivals(tick)
+            self._dispatch()
+        # Drain: no new arrivals, dispatch until the bounded queue is
+        # empty (provably <= capacity ticks since dispatch_per_tick>=1).
+        for _ in range(self.config.queue_capacity + 1):
+            if not self._queue:
+                break
+            self.tick += 1
+            self.kernel.clock.charge(self.config.tick_cycles, Category.OS)
+            self._evaluate_tiers()
+            self._dispatch()
+        self.shutdown()
+        self._check_invariants()
+        return self._result()
+
+    # -- fault application -------------------------------------------------
+
+    def _apply_fault(self, event):
+        tenant = self.tenants[event.tenant_index]
+        if event.kind is ServiceFaultKind.TENANT_BURST:
+            tenant.burst_until_tick = self.tick + event.duration
+            tenant.burst_factor = max(2, event.param)
+        elif event.kind is ServiceFaultKind.TENANT_STALL:
+            tenant.stall_until_tick = self.tick + event.duration
+            tenant.stall_cycles = event.param
+        elif event.kind is ServiceFaultKind.TENANT_TAMPER:
+            self._tamper(tenant, event)
+        else:
+            raise ValueError(f"unhandled service fault {event.kind}")
+
+    def _tamper(self, tenant, event):
+        """Forge one swapped-out heap blob of the tenant; the tenant's
+        next request probes it first, which must fail stop."""
+        record = self.recovery.member(tenant.spec.name)
+        runtime = record.runtime
+        if runtime is None or record.state != RUNNING:
+            self.skipped_events.append((self.tick, "tamper", "down"))
+            return
+        backing = self.kernel.backing
+        eid = runtime.enclave.enclave_id
+        heap = runtime.regions["heap"]
+        swapped = sorted(
+            v for v in backing.swapped_pages(eid)
+            if heap.contains(v)
+            and not self.kernel.driver.resident(runtime.enclave, v)
+        )
+        if not swapped:
+            self.skipped_events.append(
+                (self.tick, "tamper", "nothing-swapped")
+            )
+            return
+        target = swapped[0]
+        blob = backing.get(eid, target)
+        backing.substitute(
+            eid, target,
+            dataclasses.replace(blob, mac="forged-by-chaos"),
+        )
+        tenant.pending_probe = target
+
+    # -- degradation tiers -------------------------------------------------
+
+    def _evaluate_tiers(self):
+        pressure = epc_pressure_milli(self.kernel)
+        self.metrics.peak_epc_pressure_milli = max(
+            self.metrics.peak_epc_pressure_milli, pressure
+        )
+        cfg = self.config
+        if pressure >= cfg.tier2_pressure_milli:
+            tier = 2
+        elif pressure >= cfg.tier1_pressure_milli:
+            tier = 1
+        else:
+            tier = 0
+        if tier != self.tier:
+            self.metrics.tier_changes += 1
+            self.tier = tier
+        if tier >= 1:
+            self._shrink_one()
+        elif tier == 0:
+            self._restore_one()
+
+    def _shrinkable(self):
+        return [
+            t for t in self.tenants
+            if not t.spec.pinned
+            and self.recovery.member(t.spec.name).state == RUNNING
+        ]
+
+    def _shrink_one(self):
+        """Tier 1: ask one non-pinned tenant (round-robin) to balloon
+        down one step.  Pinned tenants are exempt by definition."""
+        candidates = self._shrinkable()
+        if not candidates:
+            return
+        tenant = candidates[self._shrink_cursor % len(candidates)]
+        self._shrink_cursor += 1
+        record = self.recovery.member(tenant.spec.name)
+        runtime = record.runtime
+        freed = self.kernel.request_memory_reduction(
+            runtime.enclave, self.config.shrink_step_pages
+        )
+        if freed <= 0:
+            return
+        state = self.kernel.driver.state(runtime.enclave)
+        state.quota_pages = max(BUDGET_FLOOR, state.quota_pages - freed)
+        runtime.pager.budget_pages = max(
+            BUDGET_FLOOR, runtime.pager.budget_pages - freed
+        )
+        tenant.shrunk_pages += freed
+        self.metrics.balloon_reclaimed_pages += freed
+
+    def _make_headroom(self, pages):
+        """Tier-1 ballooning in service of recovery: a relaunch under a
+        full EPC cannot even pin its runtime, so shrink the surviving
+        non-pinned tenants (bounded rounds) until ``pages`` frames are
+        free.  Falling short is survivable — the supervisor's
+        pre-flight check fails the attempt cleanly and quarantines the
+        tenant once the restart budget is gone."""
+        for _ in range(4 * max(1, len(self.tenants))):
+            if self.kernel.epc.free_pages >= pages:
+                return
+            before = self.metrics.balloon_reclaimed_pages
+            self._shrink_one()
+            if self.metrics.balloon_reclaimed_pages == before:
+                return  # nobody can give any more
+
+    def _restore_one(self):
+        """Tier 0: repay one shrunk tenant (round-robin) one step."""
+        shrunk = [
+            t for t in self.tenants
+            if t.shrunk_pages > 0
+            and self.recovery.member(t.spec.name).state == RUNNING
+        ]
+        if not shrunk:
+            return
+        tenant = shrunk[self._restore_cursor % len(shrunk)]
+        self._restore_cursor += 1
+        back = min(self.config.shrink_step_pages, tenant.shrunk_pages)
+        record = self.recovery.member(tenant.spec.name)
+        runtime = record.runtime
+        self.kernel.driver.state(runtime.enclave).quota_pages += back
+        runtime.pager.budget_pages += back
+        tenant.shrunk_pages -= back
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit_arrivals(self, tick):
+        now = self.kernel.clock.cycles
+        for tenant in self.tenants:
+            for _ in range(tenant.arrivals(tick)):
+                request = tenant.make_request(now, tick)
+                self.metrics.submitted += 1
+                reason = self._admit(tenant, request, now)
+                if reason is None:
+                    self.metrics.admitted += 1
+                else:
+                    self._finish(RequestResult(
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        outcome=OUTCOME_SHED,
+                        reason=reason,
+                        cycles=0,
+                        fetches=0,
+                    ))
+
+    def _admit(self, tenant, request, now):
+        """The admission chain; returns a shed reason or None.
+
+        The breaker is checked last: once it admits a half-open probe,
+        nothing cheaper may shed it (a lost probe would wedge the
+        breaker half-open)."""
+        if self.tier >= 2:
+            return SERVICE_OVERLOADED
+        if not tenant.paging.admits(now):
+            return PAGING_BUDGET
+        if not tenant.bucket.try_take(now):
+            return RATE_LIMITED
+        if len(self._queue) >= self.config.queue_capacity:
+            return QUEUE_FULL
+        if not tenant.breaker.allow(now):
+            return BREAKER_OPEN
+        if tenant.pending_probe is not None:
+            # Attach the tamper probe only once a request is actually
+            # admitted — a probe consumed by a shed request would leave
+            # the forged blob waiting on an organic touch that may
+            # never come.
+            request = dataclasses.replace(
+                request, probe_vaddr=tenant.pending_probe
+            )
+            tenant.pending_probe = None
+        self._queue.append((tenant, request))
+        self.metrics.peak_queue_depth = max(
+            self.metrics.peak_queue_depth, len(self._queue)
+        )
+        return None
+
+    # -- dispatch and execution --------------------------------------------
+
+    def _dispatch(self):
+        for _ in range(self.config.dispatch_per_tick):
+            if not self._queue:
+                return
+            tenant, request = self._queue.popleft()
+            self._finish(self._execute(tenant, request))
+
+    def _execute(self, tenant, request):
+        """Run one admitted request to a terminal outcome."""
+        name = tenant.spec.name
+        record = self.recovery.member(name)
+        if record.state != RUNNING:
+            # Queued before the tenant went down and recovery failed.
+            tenant.breaker.cancel_probe()
+            return self._shed(request, BREAKER_OPEN)
+        engine = self._engines[name]
+        pool = self._pools[name]
+        runtime = record.runtime
+        clock = self.kernel.clock
+        start = clock.cycles
+        fetches0 = runtime.pager.fetches
+        degradations0 = runtime.pager.degradations
+        retried0 = runtime.paging_ops.retried_calls
+        try:
+            if request.probe_vaddr is not None:
+                engine.data_access(request.probe_vaddr)
+            for key, write in zip(request.keys, request.writes):
+                if clock.cycles > request.deadline_cycles:
+                    tenant.breaker.cancel_probe()
+                    self._charge_paging(tenant, runtime, fetches0)
+                    return self._shed(
+                        request, DEADLINE,
+                        cycles=clock.cycles - start,
+                        fetches=runtime.pager.fetches - fetches0,
+                    )
+                engine.data_access(pool[key], write=write)
+                engine.compute(OP_COMPUTE_CYCLES + request.stall_cycles)
+                tenant.ops_executed += 1
+                tenant.progress_if_due(engine)
+        except (EnclaveTerminated, IntegrityError) as exc:
+            return self._handle_abort(tenant, request, exc, start)
+        tenant.breaker.record_success()
+        self._charge_paging(tenant, runtime, fetches0)
+        absorbed = (
+            runtime.pager.degradations > degradations0
+            or runtime.paging_ops.retried_calls > retried0
+        )
+        return RequestResult(
+            tenant=name,
+            request_id=request.request_id,
+            outcome=OUTCOME_DEGRADED if absorbed else OUTCOME_COMPLETED,
+            reason="",
+            cycles=clock.cycles - start,
+            fetches=runtime.pager.fetches - fetches0,
+        )
+
+    def _charge_paging(self, tenant, runtime, fetches0):
+        tenant.paging.charge(max(0, runtime.pager.fetches - fetches0))
+
+    def _shed(self, request, reason, cycles=0, fetches=0):
+        return RequestResult(
+            tenant=request.tenant,
+            request_id=request.request_id,
+            outcome=OUTCOME_SHED,
+            reason=reason,
+            cycles=cycles,
+            fetches=fetches,
+        )
+
+    def _handle_abort(self, tenant, request, exc, start):
+        """Structured abort: report to the breaker, route the tenant
+        through the recovery supervisor, latch on quarantine."""
+        name = tenant.spec.name
+        clock = self.kernel.clock
+        tenant.aborts += 1
+        if isinstance(exc, EnclaveTerminated) and exc.reason:
+            reason = exc.reason.value
+        elif isinstance(exc, IntegrityError):
+            reason = "integrity"
+        else:
+            reason = f"unclassified({type(exc).__name__})"
+        tenant.breaker.record_failure(clock.cycles)
+        self.recovery.mark_down(name, exc)
+        self._make_headroom(RELAUNCH_HEADROOM_PAGES)
+        try:
+            self.recovery.recover(name)
+            self._bind(tenant)
+            tenant.recoveries += 1
+            self.metrics.recoveries += 1
+        except Quarantined:
+            tenant.breaker.latch_open()
+            self.metrics.quarantines += 1
+        except IntegrityAbort:
+            # Tamper/rollback evidence during restore itself: retrying
+            # cannot launder it — take the tenant out of rotation.
+            tenant.breaker.latch_open()
+            self.metrics.quarantines += 1
+        except (EnclaveCrashed, ChaosAbort, HostCallDenied):
+            tenant.breaker.latch_open()
+            self.metrics.quarantines += 1
+        return RequestResult(
+            tenant=name,
+            request_id=request.request_id,
+            outcome=OUTCOME_ABORTED,
+            reason=reason,
+            cycles=clock.cycles - start,
+            fetches=0,
+        )
+
+    def _finish(self, result):
+        if result.outcome not in OUTCOMES:
+            self.violations.append(
+                f"request {result.tenant}#{result.request_id} ended in "
+                f"non-terminal outcome {result.outcome!r}"
+            )
+        self.metrics.record(result)
+        self.results.append(result)
+
+    # -- invariants and reporting ------------------------------------------
+
+    def _check_invariants(self):
+        terminal = (
+            self.metrics.completed + self.metrics.degraded
+            + self.metrics.shed + self.metrics.aborted
+        )
+        if terminal != self.metrics.submitted:
+            self.violations.append(
+                f"request accounting leak: {self.metrics.submitted} "
+                f"submitted but {terminal} terminal outcomes"
+            )
+        if self._queue:
+            self.violations.append(
+                f"{len(self._queue)} requests left on the queue after "
+                f"drain"
+            )
+        for tenant in self.tenants:
+            record = self.recovery.member(tenant.spec.name) \
+                if tenant.spec.name in [
+                    r.name for r in self.recovery.fleet()
+                ] else None
+            if record is not None:
+                self.violations.append(
+                    f"tenant {tenant.spec.name} survived shutdown"
+                )
+        for fault in self.kernel.fault_log:
+            bases = {t.layout.base for t in self.tenants}
+            if (fault.vaddr not in bases or fault.write or fault.exec_
+                    or fault.present):
+                self.violations.append(
+                    f"unmasked fault leaked to the OS: {fault.vaddr:#x}"
+                )
+                break
+
+    def _result(self):
+        stats = self.recovery.stats()
+        fingerprint = repr((
+            self.config.seed,
+            self.config.ticks,
+            self.plan.canonical(),
+            self.metrics.canonical(),
+            tuple(t.canonical() for t in self.tenants),
+            tuple(sorted(stats.items())),
+            self.kernel.clock.cycles,
+            self.tier,
+            tuple(self.skipped_events),
+            tuple(self.violations),
+        )).encode()
+        return ServiceResult(
+            seed=self.config.seed,
+            ticks=self.config.ticks,
+            outcome_counts=self.metrics.outcome_counts(),
+            shed_by_reason=dict(sorted(
+                self.metrics.shed_by_reason.items()
+            )),
+            abort_reasons=dict(sorted(
+                self.metrics.abort_reasons.items()
+            )),
+            metrics=self.metrics.canonical(),
+            tenants=tuple(t.canonical() for t in self.tenants),
+            breaker_trips=sum(t.breaker.trips for t in self.tenants),
+            breaker_closes=sum(t.breaker.closes for t in self.tenants),
+            recoveries=self.metrics.recoveries,
+            quarantines=self.metrics.quarantines,
+            cycles=self.kernel.clock.cycles,
+            violations=tuple(self.violations),
+            digest=hashlib.sha256(fingerprint).hexdigest()[:16],
+        )
+
+
+def run_service(config=None):
+    """Boot, drive, drain, and shut down one service; returns the
+    :class:`ServiceResult`."""
+    return EnclaveService(config).run()

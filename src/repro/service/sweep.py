@@ -1,0 +1,185 @@
+"""The cross-tenant contention sweep: policies × seeds over one EPC.
+
+Each sweep point boots a homogeneous fleet (N tenants, one paper
+policy) whose quotas deliberately over-commit the shared EPC, drives
+the full service run, and classifies it into the three-way safety
+invariant's classes plus the service's fourth legal class:
+
+* ``completed``               — every request served cleanly;
+* ``degraded-within-budget``  — served, with hardening mechanisms
+  (bounded degradation, ballooning) absorbing the pressure;
+* ``shed-within-budget``      — some requests refused, every refusal
+  carrying a structured reason (the service *chose* the load to drop);
+* ``aborted-structured``      — at least one enclave failed stop with
+  a structured reason (and recovery/quarantine handled the corpse).
+
+Anything else — an invariant violation inside any run — fails the
+sweep.  With determinism checking on, every point runs twice and the
+digests must agree; ``jobs > 1`` fans points over
+:func:`repro.parallel.run_indexed` and must be bit-identical to the
+serial sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.router import ServiceConfig, run_service
+from repro.service.tenant import TenantSpec
+
+SWEEP_POLICIES = ("pin_all", "clusters", "rate_limit")
+
+RUN_COMPLETED = "completed"
+RUN_DEGRADED = "degraded-within-budget"
+RUN_SHED = "shed-within-budget"
+RUN_ABORTED = "aborted-structured"
+
+#: EPC sizing for sweep points: four tenants × 128-page quotas = 512
+#: pages of quota over 224 pages of EPC, and combined working sets
+#: that push occupancy into the tier-1/tier-2 bands under all three
+#: policies (a pin_all fleet's sealed sets alone need ~200 pages).
+SWEEP_TENANTS = 4
+SWEEP_EPC_PAGES = 224
+SWEEP_TICKS = 20
+
+_DISTRIBUTIONS = ("zipf", "uniform", "hotspot90", "hotspot99")
+
+
+def homogeneous_tenants(policy, n=SWEEP_TENANTS):
+    """N tenants all under one paper policy, varied distributions."""
+    return [
+        TenantSpec(
+            name=f"tenant-{i}",
+            policy=policy,
+            distribution=_DISTRIBUTIONS[i % len(_DISTRIBUTIONS)],
+            arrivals_per_tick=2 + (i % 2),
+            quota_pages=128,
+        )
+        for i in range(n)
+    ]
+
+
+def sweep_config(seed, policy, tenants=SWEEP_TENANTS,
+                 epc_pages=SWEEP_EPC_PAGES, ticks=SWEEP_TICKS):
+    return ServiceConfig(
+        seed=seed,
+        tenants=homogeneous_tenants(policy, tenants),
+        epc_pages=epc_pages,
+        ticks=ticks,
+    )
+
+
+def classify(result):
+    """Run-level outcome class (the four-way invariant)."""
+    if result.outcome_counts["structured-abort"]:
+        return RUN_ABORTED
+    if result.outcome_counts["shed"]:
+        return RUN_SHED
+    if result.outcome_counts["degraded-in-budget"]:
+        return RUN_DEGRADED
+    return RUN_COMPLETED
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of a full contention sweep."""
+
+    points: list = field(default_factory=list)   # (seed, policy, class, ServiceResult)
+    determinism_failures: list = field(default_factory=list)
+
+    @property
+    def violations(self):
+        return [
+            (seed, policy, v)
+            for seed, policy, _, result in self.points
+            for v in result.violations
+        ]
+
+    @property
+    def ok(self):
+        return not self.violations and not self.determinism_failures
+
+    def class_counts(self):
+        counts = {}
+        for _, _, klass, _ in self.points:
+            counts[klass] = counts.get(klass, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def breaker_trips(self):
+        return sum(r.breaker_trips for _, _, _, r in self.points)
+
+    def breaker_closes(self):
+        return sum(r.breaker_closes for _, _, _, r in self.points)
+
+
+def _sweep_point(task):
+    """Worker for one ``(seed, policy, check)`` point — top-level and
+    pure, so :func:`repro.parallel.run_indexed` can fork it; each point
+    boots its own kernel, so points are fully independent."""
+    seed, policy, check = task
+    result = run_service(sweep_config(seed, policy))
+    rerun_digest = (
+        run_service(sweep_config(seed, policy)).digest if check else None
+    )
+    return result, rerun_digest
+
+
+def run_sweep(seeds, policies=SWEEP_POLICIES, check_determinism=True,
+              jobs=1):
+    """Sweep ``seeds`` × ``policies``; returns a :class:`SweepResult`.
+
+    Results merge in canonical seed-outer, policy-inner order, so the
+    sweep is identical at any ``jobs`` width."""
+    from repro.parallel import run_indexed
+
+    tasks = [
+        (seed, policy, check_determinism)
+        for seed in seeds for policy in policies
+    ]
+    outcomes = run_indexed(_sweep_point, tasks, jobs=jobs)
+    sweep = SweepResult()
+    for (seed, policy, _), (result, rerun_digest) in zip(tasks, outcomes):
+        if rerun_digest is not None and rerun_digest != result.digest:
+            sweep.determinism_failures.append(
+                (seed, policy, result.digest, rerun_digest)
+            )
+        sweep.points.append((seed, policy, classify(result), result))
+    return sweep
+
+
+def sweep_report(sweep, seeds, policies, jobs):
+    """The ``BENCH_service.json`` payload (sorted keys, JSON-safe)."""
+    return {
+        "ok": sweep.ok,
+        "seeds": list(seeds),
+        "policies": list(policies),
+        "jobs": jobs,
+        "classes": sweep.class_counts(),
+        "breaker_trips": sweep.breaker_trips(),
+        "breaker_closes": sweep.breaker_closes(),
+        "violations": [
+            {"seed": seed, "policy": policy, "message": message}
+            for seed, policy, message in sweep.violations
+        ],
+        "determinism_failures": [
+            {"seed": seed, "policy": policy, "digests": [first, second]}
+            for seed, policy, first, second in sweep.determinism_failures
+        ],
+        "points": [
+            {
+                "seed": seed,
+                "policy": policy,
+                "class": klass,
+                "outcomes": result.outcome_counts,
+                "shed_by_reason": result.shed_by_reason,
+                "abort_reasons": result.abort_reasons,
+                "breaker_trips": result.breaker_trips,
+                "breaker_closes": result.breaker_closes,
+                "recoveries": result.recoveries,
+                "quarantines": result.quarantines,
+                "cycles": result.cycles,
+                "digest": result.digest,
+            }
+            for seed, policy, klass, result in sweep.points
+        ],
+    }

@@ -1,0 +1,276 @@
+"""Tenants: per-client enclaves multiplexed over one shared EPC.
+
+Each tenant is one paying client of the service: its own enclave (own
+layout base, own paging policy, own quota), its own YCSB-style key
+distribution, and its own admission state (token bucket, paging
+budget, circuit breaker).  All tenants' enclaves live on the *same*
+:class:`~repro.host.kernel.HostKernel` and contend for the same EPC —
+the regime the paper never measured and the one where the robustness
+machinery earns its keep.
+
+Tenants are launched and restored through
+:class:`~repro.recovery.supervisor.RecoverySupervisor`, so an aborted
+tenant goes through the full bounded-restart / verified-replay /
+quarantine pipeline rather than being silently relaunched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import SystemConfig
+from repro.recovery.program import EnclaveProgram
+from repro.runtime.libos import EnclaveLayout
+from repro.runtime.rate_limit import ProgressKind
+from repro.service.admission import PagingBudget, TokenBucket
+from repro.service.breaker import CircuitBreaker
+from repro.sgx.params import PAGE_SIZE
+from repro.workloads.ycsb import make_generator
+
+#: Address-space stride between tenant enclaves (distinct bases, the
+#: multi-enclave idiom from experiments/multi_enclave.py).
+BASE_STRIDE = 0x10_0000_0000
+
+#: Heap pages each tenant's workload churns over.  Larger than any
+#: tenant's resident budget, so every tenant pages under load.
+POOL_PAGES = 96
+
+#: Pages a pin_all tenant preloads and seals (its whole working set —
+#: pinned tenants do not page after seal and are never balloon-shrunk).
+PINNED_POOL_PAGES = 40
+
+#: Floor for balloon-shrunk resident budgets: below this a tenant
+#: cannot hold its pinned runtime region and shrinking becomes an
+#: attack, not a negotiation.
+BUDGET_FLOOR = 24
+
+
+def tenant_config(policy_name, epc_pages, quota_pages):
+    """A small paging-heavy :class:`SystemConfig` for one tenant
+    (mirrors the chaos campaign's sizing so faults have teeth)."""
+    common = dict(
+        epc_pages=epc_pages,
+        quota_pages=quota_pages,
+        runtime_pages=8,
+        code_pages=16,
+        data_pages=16,
+        heap_pages=256,
+    )
+    if policy_name == "pin_all":
+        return SystemConfig.for_policy(
+            "pin_all", enclave_managed_budget=min(120, quota_pages - 8),
+            **common
+        )
+    if policy_name == "clusters":
+        return SystemConfig.for_policy(
+            "clusters", cluster_pages=8, enclave_managed_budget=64,
+            **common
+        )
+    if policy_name == "rate_limit":
+        return SystemConfig.for_policy(
+            "rate_limit", max_faults_per_progress=64, grace_faults=512,
+            enclave_managed_budget=64, **common
+        )
+    raise ValueError(f"service does not cover policy {policy_name!r}")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant."""
+
+    name: str
+    policy: str = "rate_limit"          # pin_all | clusters | rate_limit
+    distribution: str = "uniform"       # YCSB generator name
+    #: Requests this tenant submits per router tick (its offered load).
+    arrivals_per_tick: int = 2
+    #: Ops per request (key accesses against the tenant's pool).
+    ops_per_request: int = 8
+    #: Per-enclave EPC quota; the sum across tenants may exceed the
+    #: shared EPC (that over-commit is the point).
+    quota_pages: int = 128
+    #: Token-bucket admission: burst capacity and refill period.
+    bucket_capacity: int = 8
+    cycles_per_token: int = 40_000
+    #: Paging budget: fetch allowance and regeneration period.
+    paging_capacity: int = 256
+    cycles_per_page: int = 2_000
+    #: Deadline per request, charged in simulated cycles.
+    deadline_cycles: int = 60_000_000
+    #: Breaker trip threshold (consecutive structured aborts).
+    breaker_trip_after: int = 2
+
+    @property
+    def pinned(self):
+        """pin_all tenants hold sealed working sets: never balloon-
+        shrunk (tier 1) and never evicted (tier 2 rejects instead)."""
+        return self.policy == "pin_all"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One admitted unit of work."""
+
+    tenant: str
+    request_id: int
+    keys: tuple                  # pool indices to touch, in order
+    writes: tuple                # parallel write flags
+    issued_cycles: int
+    deadline_cycles: int         # absolute simulated-cycle deadline
+    #: Extra compute charged per op while the tenant is stalled
+    #: (TENANT_STALL fault) — drives the request into its deadline.
+    stall_cycles: int = 0
+    #: Page the first op must touch (TENANT_TAMPER probe), or None.
+    probe_vaddr: Optional[int] = None
+
+
+class Tenant:
+    """Runtime state of one tenant inside the service."""
+
+    def __init__(self, spec, index, service_seed):
+        self.spec = spec
+        self.index = index
+        self.layout = EnclaveLayout(
+            base=BASE_STRIDE * (index + 1),
+            runtime_pages=8, code_pages=16, data_pages=16,
+            heap_pages=256,
+        )
+        self.pool_pages = (
+            PINNED_POOL_PAGES if spec.pinned else POOL_PAGES
+        )
+        # Workload randomness: one stream per tenant, decoupled from
+        # every other tenant and from the fault plan.
+        self._rng = random.Random(
+            (service_seed << 16) ^ (index * 0x9E37) ^ 0x5E21
+        )
+        self._generator = make_generator(
+            spec.distribution, self.pool_pages, rng=self._rng
+        )
+        self.bucket = TokenBucket(
+            capacity=spec.bucket_capacity,
+            cycles_per_token=spec.cycles_per_token,
+        )
+        self.paging = PagingBudget(
+            capacity=spec.paging_capacity,
+            cycles_per_page=spec.cycles_per_page,
+        )
+        self.breaker = CircuitBreaker(trip_after=spec.breaker_trip_after)
+        # Fault-plan state (set by the service chaos layer).
+        self.burst_until_tick = -1
+        self.burst_factor = 1
+        self.stall_until_tick = -1
+        self.stall_cycles = 0
+        self.pending_probe = None
+        # Degradation bookkeeping (tier-1 balloon shrink, restorable).
+        self.shrunk_pages = 0
+        # Lifetime counters.
+        self.requests_issued = 0
+        self.ops_executed = 0
+        self.aborts = 0
+        self.recoveries = 0
+
+    # -- launch ------------------------------------------------------------
+
+    def program(self, epc_pages):
+        """The relaunchable recipe the recovery supervisor drives."""
+        return EnclaveProgram(
+            config=tenant_config(
+                self.spec.policy, epc_pages, self.spec.quota_pages
+            ),
+            layout=self.layout,
+            warmup=self._warmup,
+            name=self.spec.name,
+        )
+
+    def _warmup(self, runtime):
+        """Deterministic bootstrap, replayed bit-identically on every
+        relaunch (the restore fingerprint depends on it)."""
+        heap = runtime.regions["heap"]
+        if self.spec.policy == "pin_all":
+            for i in range(self.pool_pages):
+                runtime.access(heap.start + i * PAGE_SIZE)
+            runtime.policy.seal()
+        elif self.spec.policy == "clusters":
+            runtime.allocator.alloc_pages(self.pool_pages)
+
+    def pool(self, runtime):
+        """The heap addresses requests touch (index ↔ vaddr)."""
+        heap = runtime.regions["heap"]
+        return [
+            heap.start + i * PAGE_SIZE for i in range(self.pool_pages)
+        ]
+
+    # -- request generation ------------------------------------------------
+
+    def arrivals(self, tick):
+        """How many requests this tenant offers this tick."""
+        n = self.spec.arrivals_per_tick
+        if tick <= self.burst_until_tick:
+            n *= self.burst_factor
+        return n
+
+    def make_request(self, now_cycles, tick):
+        """Draw the next deterministic request from the tenant's
+        generator stream."""
+        spec = self.spec
+        keys = tuple(
+            self._generator.next() for _ in range(spec.ops_per_request)
+        )
+        writes = tuple(
+            self._rng.random() < 0.25 for _ in range(spec.ops_per_request)
+        )
+        stall = self.stall_cycles if tick <= self.stall_until_tick else 0
+        self.requests_issued += 1
+        return Request(
+            tenant=spec.name,
+            request_id=self.requests_issued,
+            keys=keys,
+            writes=writes,
+            issued_cycles=now_cycles,
+            deadline_cycles=now_cycles + spec.deadline_cycles,
+            stall_cycles=stall,
+        )
+
+    # -- execution helper --------------------------------------------------
+
+    def progress_if_due(self, engine):
+        """rate_limit tenants must report real progress or their own
+        limiter kills them; every tenant reports uniformly so policies
+        see identical op streams."""
+        if self.ops_executed % 8 == 7:
+            engine.progress(ProgressKind.SYSCALL)
+
+    # -- observability -----------------------------------------------------
+
+    def canonical(self):
+        """Deterministic per-tenant tuple for run digests (never
+        includes enclave ids — those are ambient across reruns)."""
+        return (
+            self.spec.name,
+            self.spec.policy,
+            self.requests_issued,
+            self.ops_executed,
+            self.aborts,
+            self.recoveries,
+            self.shrunk_pages,
+            self.breaker.snapshot(),
+        )
+
+
+def default_tenants(n, seed=0):
+    """A deterministic mixed fleet: the three paper policies round-
+    robin across ``n`` tenants, with varied distributions and loads."""
+    policies = ("rate_limit", "clusters", "pin_all")
+    distributions = ("zipf", "uniform", "hotspot90", "hotspot99")
+    specs = []
+    for i in range(n):
+        policy = policies[i % len(policies)]
+        specs.append(TenantSpec(
+            name=f"tenant-{i}",
+            policy=policy,
+            distribution=distributions[i % len(distributions)],
+            arrivals_per_tick=2 + (i % 2),
+            quota_pages=128,
+        ))
+    return specs

@@ -1,0 +1,47 @@
+"""Golden fixture for ``robustness/unbounded-queue``.
+
+Analyzed as ``repro.service.fixture_queue``: exactly one finding, on
+the marked append in :func:`drive_forever`.  Every other shape is a
+queue the rule must *not* flag — bounded by the loop test, drained in
+the same loop, rebound, or escaping.
+"""
+
+
+def drive_forever(service):
+    results = []
+    while service.running:
+        results.append(service.poll())     # FINDING: grows forever
+    return results
+
+
+def bounded_by_test(source, target):
+    victims = []
+    while len(victims) < target:
+        victims.extend(source.pop_unit())
+    return victims
+
+
+def produces_and_consumes(frontier, graph):
+    seen = set()
+    while frontier:
+        node = frontier.popleft()
+        seen.add(node)
+        for other in graph[node]:
+            frontier.append(other)
+    return seen
+
+
+def rebinds_each_round(service):
+    batch = []
+    while service.running:
+        batch.append(service.poll())
+        service.flush(batch)
+        batch = []
+
+
+def escapes_on_budget(service, budget):
+    log = []
+    while service.running:
+        log.append(service.poll())
+        if len(log) >= budget:
+            return log

@@ -1236,6 +1236,65 @@ class TestRobustness:
         assert report.ok()
         assert report.suppressed == 1
 
+    def test_unbounded_queue_flagged(self):
+        report = check("""
+            def drive(service):
+                inbox = []
+                while service.running:
+                    inbox.append(service.poll())
+            """, module="repro.service.loop")
+        assert rules_of(report) == ["robustness/unbounded-queue"]
+        assert "inbox.append" in report.findings[0].message
+
+    def test_unbounded_queue_attribute_receiver_flagged(self):
+        report = check("""
+            def drive(self):
+                while self.running:
+                    self.results.extend(self.poll())
+            """, module="repro.runtime.loop")
+        assert rules_of(report) == ["robustness/unbounded-queue"]
+
+    def test_queue_bounded_by_loop_test_clean(self):
+        report = check("""
+            def select(source, target):
+                victims = []
+                while len(victims) < target:
+                    victims.extend(source.pop_unit())
+                return victims
+            """, module="repro.runtime.selector")
+        assert report.ok(), report.render_text()
+
+    def test_queue_drained_in_loop_clean(self):
+        report = check("""
+            def bfs(frontier, graph):
+                while frontier:
+                    node = frontier.popleft()
+                    for other in graph[node]:
+                        frontier.append(other)
+            """, module="repro.runtime.walker")
+        assert report.ok(), report.render_text()
+
+    def test_queue_escaping_loop_clean(self):
+        report = check("""
+            def drive(service, budget):
+                log = []
+                while service.running:
+                    log.append(service.poll())
+                    if len(log) >= budget:
+                        return log
+            """, module="repro.service.loop")
+        assert report.ok(), report.render_text()
+
+    def test_queue_rule_scoped_to_service_and_runtime(self):
+        # Same shape outside the long-lived layers is not a finding.
+        report = check("""
+            def drive(service):
+                inbox = []
+                while service.running:
+                    inbox.append(service.poll())
+            """, module="repro.apps.batch")
+        assert report.ok(), report.render_text()
+
 
 # -- golden fixtures ----------------------------------------------------------
 
@@ -1269,6 +1328,13 @@ class TestGoldenFixtures:
         report = check_fixture("lifecycle_ordered.py",
                                "repro.experiments.fixture_ordered")
         assert report.ok(), report.render_text()
+
+    def test_unbounded_queue_fixture_exact_findings(self):
+        report = check_fixture("robustness_unbounded_queue.py",
+                               "repro.service.fixture_queue")
+        assert [(f.line, f.rule) for f in report.sorted_findings()] == [
+            (13, "robustness/unbounded-queue"),
+        ], report.render_text()
 
     def test_real_oram_is_oblivious(self):
         # The §6 regression: the real ORAM layer (path_oram.py,

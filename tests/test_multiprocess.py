@@ -185,3 +185,28 @@ class TestEpcReclamation:
             supervisor.run_child(record, attacked_workload)
         supervisor.shutdown()
         assert kernel.epc.free_pages == free0
+
+    def test_double_shutdown_free_page_parity(self):
+        """Shutdown is idempotent: a second pass (the service layer
+        shuts down both its supervisors, whose fleets overlap) must not
+        double-free EPC frames or disturb parity."""
+        kernel = HostKernel(epc_pages=1_024)
+        free0 = kernel.epc.free_pages
+        supervisor = EnclaveSupervisor(make_shared_kernel_factory(kernel))
+        record = supervisor.spawn()
+        assert supervisor.run_child(record, benign_workload) == "done"
+        supervisor.shutdown()
+        assert kernel.epc.free_pages == free0
+        supervisor.shutdown()
+        assert kernel.epc.free_pages == free0
+        assert not supervisor.children()
+
+    def test_double_teardown_single_child_parity(self):
+        kernel = HostKernel(epc_pages=1_024)
+        free0 = kernel.epc.free_pages
+        supervisor = EnclaveSupervisor(make_shared_kernel_factory(kernel))
+        record = supervisor.spawn()
+        supervisor.teardown(record)
+        assert kernel.epc.free_pages == free0
+        supervisor.teardown(record)   # second retire: a no-op
+        assert kernel.epc.free_pages == free0

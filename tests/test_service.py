@@ -1,0 +1,414 @@
+"""Multi-tenant service tests: admission, backpressure, degradation,
+breaker recovery, cross-tenant EPC contention, and determinism."""
+
+import pytest
+
+from repro.errors import EnclaveCrashed, EpcExhausted, Quarantined
+from repro.host.kernel import HostKernel
+from repro.recovery.supervisor import RecoverySupervisor
+from repro.service.admission import PagingBudget, TokenBucket
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.service.chaos import ServiceFaultKind, ServiceFaultPlan
+from repro.service.metrics import (
+    OUTCOME_ABORTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_DEGRADED,
+    OUTCOME_SHED,
+    OUTCOMES,
+)
+from repro.service.router import (
+    EnclaveService,
+    ServiceConfig,
+    run_service,
+)
+from repro.service.sweep import (
+    RUN_ABORTED,
+    RUN_COMPLETED,
+    RUN_DEGRADED,
+    RUN_SHED,
+    SWEEP_POLICIES,
+    classify,
+    run_sweep,
+    sweep_report,
+)
+
+
+# -- admission primitives -----------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(capacity=3, cycles_per_token=100)
+        assert all(bucket.try_take(0) for _ in range(3))
+        assert not bucket.try_take(0)
+
+    def test_refill_is_whole_tokens_without_drift(self):
+        bucket = TokenBucket(capacity=2, cycles_per_token=100)
+        assert bucket.try_take(0) and bucket.try_take(0)
+        assert not bucket.try_take(99)     # no partial token
+        assert bucket.try_take(100)        # exactly one regenerated
+        assert not bucket.try_take(150)    # the 50 spare cycles carry
+        assert bucket.try_take(200)        # ... into the next token
+
+    def test_capacity_caps_idle_accumulation(self):
+        bucket = TokenBucket(capacity=2, cycles_per_token=10)
+        assert bucket.try_take(10_000)
+        assert bucket.try_take(10_000)
+        assert not bucket.try_take(10_000)
+
+
+class TestPagingBudget:
+    def test_charges_in_arrears_and_recovers(self):
+        budget = PagingBudget(capacity=10, cycles_per_page=1_000)
+        assert budget.admits(0)
+        budget.charge(25)                  # thrashed: 15 pages in debt
+        assert not budget.admits(0)
+        assert not budget.admits(14_000)   # still one page short
+        assert budget.admits(16_000)
+
+    def test_balance_caps_at_capacity(self):
+        budget = PagingBudget(capacity=5, cycles_per_page=10)
+        assert budget.admits(1_000_000)
+        budget.charge(5)
+        assert not budget.admits(1_000_000)
+
+
+# -- the circuit breaker ------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_trips_after_windowed_failures(self):
+        breaker = CircuitBreaker(trip_after=2)
+        breaker.record_failure(1_000)
+        assert breaker.state == CLOSED
+        breaker.record_failure(2_000)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_interleaved_successes_do_not_mask_failures(self):
+        # abort -> recover -> healthy requests -> abort again is the
+        # §5.3 churn pattern; a consecutive counter would miss it.
+        breaker = CircuitBreaker(trip_after=2)
+        breaker.record_failure(1_000)
+        breaker.record_success()
+        breaker.record_failure(2_000)
+        assert breaker.state == OPEN
+
+    def test_failures_outside_window_expire(self):
+        breaker = CircuitBreaker(trip_after=2, window_cycles=1_000)
+        breaker.record_failure(0)
+        breaker.record_failure(5_000)      # first fell out of window
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(breaker.open_until_cycles - 1)
+        assert breaker.allow(breaker.open_until_cycles)
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(breaker.open_until_cycles)  # one probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.closes == 1
+
+    def test_half_open_probe_failure_escalates(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0)
+        first_wait = breaker.open_until_cycles
+        now = breaker.open_until_cycles
+        assert breaker.allow(now)
+        breaker.record_failure(now)
+        assert breaker.state == OPEN
+        assert breaker.open_until_cycles - now > first_wait
+
+    def test_cancel_probe_reopens_without_escalation(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0)
+        now = breaker.open_until_cycles
+        assert breaker.allow(now)
+        breaker.cancel_probe()
+        assert breaker.state == OPEN
+        assert breaker.allow(now)          # re-probe immediately
+
+    def test_latch_open_is_permanent(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.latch_open()
+        assert not breaker.allow(10**12)
+        breaker.record_success()
+        assert not breaker.allow(10**12)
+
+
+# -- the fault plan -----------------------------------------------------------
+
+class TestServiceFaultPlan:
+    def test_same_seed_same_plan(self):
+        a = ServiceFaultPlan.generate(7, 20, 4, tamperable=(0, 1))
+        b = ServiceFaultPlan.generate(7, 20, 4, tamperable=(0, 1))
+        assert a.canonical() == b.canonical()
+
+    def test_different_seed_different_plan(self):
+        a = ServiceFaultPlan.generate(7, 20, 4, tamperable=(0, 1))
+        b = ServiceFaultPlan.generate(8, 20, 4, tamperable=(0, 1))
+        assert a.canonical() != b.canonical()
+
+    def test_tamperable_fleet_gets_repeated_tampers(self):
+        plan = ServiceFaultPlan.generate(0, 20, 4, tamperable=(1, 3))
+        tampers = [e for e in plan.events
+                   if e.kind is ServiceFaultKind.TENANT_TAMPER]
+        assert len(tampers) >= 2
+        # Both land on one victim (the breaker needs repeats).
+        assert len({e.tenant_index for e in tampers}) == 1
+        assert all(e.tenant_index in (1, 3) for e in tampers)
+
+    def test_plan_covers_burst_and_stall(self):
+        plan = ServiceFaultPlan.generate(0, 20, 4)
+        assert ServiceFaultKind.TENANT_BURST in plan.kinds()
+        assert ServiceFaultKind.TENANT_STALL in plan.kinds()
+
+
+# -- the full service ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    """One shared seeded overload run (module-scoped: the assertions
+    below all read different facets of the same run)."""
+    return run_service(ServiceConfig(seed=0, ticks=20))
+
+
+class TestServiceRun:
+    def test_zero_invariant_violations(self, smoke_result):
+        assert smoke_result.safe, smoke_result.violations
+
+    def test_every_request_reaches_a_terminal_outcome(self, smoke_result):
+        counts = smoke_result.outcome_counts
+        assert set(counts) == set(OUTCOMES)
+        assert sum(counts.values()) > 0
+        # Overload actually happened: work was both served and shed.
+        assert counts[OUTCOME_COMPLETED] + counts[OUTCOME_DEGRADED] > 0
+        assert counts[OUTCOME_SHED] > 0
+
+    def test_structured_aborts_carry_reasons(self, smoke_result):
+        assert smoke_result.outcome_counts[OUTCOME_ABORTED] > 0
+        assert smoke_result.abort_reasons
+        assert all(reason for reason in smoke_result.abort_reasons)
+
+    def test_sheds_carry_structured_reasons(self, smoke_result):
+        assert smoke_result.shed_by_reason
+        assert (sum(smoke_result.shed_by_reason.values())
+                == smoke_result.outcome_counts[OUTCOME_SHED])
+
+    def test_breaker_trips_and_recovers(self, smoke_result):
+        assert smoke_result.breaker_trips >= 1
+        assert smoke_result.breaker_closes >= 1
+        assert smoke_result.recoveries >= 1
+
+    def test_double_run_digest_identical(self, smoke_result):
+        again = run_service(ServiceConfig(seed=0, ticks=20))
+        assert again.digest == smoke_result.digest
+
+    def test_different_seed_different_digest(self, smoke_result):
+        other = run_service(ServiceConfig(seed=1, ticks=20))
+        assert other.digest != smoke_result.digest
+        assert other.safe, other.violations
+
+
+class TestProbesAndDegradation:
+    def test_ready_and_health_probes(self):
+        service = EnclaveService(ServiceConfig(seed=0, ticks=4))
+        assert not service.ready()
+        service.boot()
+        assert service.ready()
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["ready"] is True
+        assert set(health["tenants"]) == {
+            t.spec.name for t in service.tenants
+        }
+        assert all(s == "closed" for s in health["breakers"].values())
+        service.shutdown()
+        assert not service.ready()
+        assert not service.violations
+
+    def test_overload_balloons_before_rejecting(self):
+        service = EnclaveService(ServiceConfig(seed=0, ticks=20))
+        result = service.run()
+        assert result.safe, result.violations
+        # Tier-1 ballooning ran (shrink before shed)...
+        metrics = service.metrics
+        assert metrics.balloon_reclaimed_pages > 0
+        assert metrics.peak_epc_pressure_milli >= 800
+        # ... and pinned tenants were never shrunk or evicted.
+        for tenant in service.tenants:
+            if tenant.spec.pinned:
+                assert tenant.shrunk_pages == 0
+
+    def test_queue_is_bounded(self):
+        config = ServiceConfig(seed=0, ticks=20, queue_capacity=4)
+        service = EnclaveService(config)
+        result = service.run()
+        assert result.safe, result.violations
+        assert service.metrics.peak_queue_depth <= 4
+        assert service.metrics.shed_by_reason.get("queue-full", 0) > 0
+
+
+# -- cross-tenant EPC contention sweep ---------------------------------------
+
+@pytest.fixture(scope="module")
+def contention_sweep():
+    """All three paper policies over-committing one EPC, serial."""
+    return run_sweep((0,), SWEEP_POLICIES, check_determinism=True,
+                     jobs=1)
+
+
+class TestContentionSweep:
+    def test_sweep_is_safe(self, contention_sweep):
+        assert contention_sweep.ok, (
+            contention_sweep.violations
+            or contention_sweep.determinism_failures
+        )
+
+    def test_every_point_in_the_four_way_invariant(self, contention_sweep):
+        legal = {RUN_COMPLETED, RUN_DEGRADED, RUN_SHED, RUN_ABORTED}
+        assert len(contention_sweep.points) == len(SWEEP_POLICIES)
+        for _, _, klass, result in contention_sweep.points:
+            assert klass in legal
+            assert result.safe, result.violations
+
+    def test_overcommit_forces_shedding_somewhere(self, contention_sweep):
+        classes = contention_sweep.class_counts()
+        assert classes.get(RUN_SHED, 0) + classes.get(RUN_ABORTED, 0) > 0
+
+    def test_jobs_parity_bit_identical(self, contention_sweep):
+        fanned = run_sweep((0,), SWEEP_POLICIES,
+                           check_determinism=False, jobs=2)
+        assert (
+            [r.digest for _, _, _, r in fanned.points]
+            == [r.digest for _, _, _, r in contention_sweep.points]
+        )
+
+    def test_report_is_json_shaped(self, contention_sweep):
+        import json
+        report = sweep_report(contention_sweep, (0,), SWEEP_POLICIES,
+                              jobs=1)
+        encoded = json.dumps(report, sort_keys=True)
+        assert json.loads(encoded)["ok"] is True
+
+    def test_classify_priority(self):
+        class Fake:
+            def __init__(self, **counts):
+                base = {o: 0 for o in OUTCOMES}
+                base.update(counts)
+                self.outcome_counts = base
+        assert classify(Fake()) == RUN_COMPLETED
+        assert classify(Fake(**{OUTCOME_DEGRADED: 1})) == RUN_DEGRADED
+        assert classify(Fake(**{OUTCOME_DEGRADED: 1,
+                                OUTCOME_SHED: 1})) == RUN_SHED
+        assert classify(Fake(**{OUTCOME_SHED: 1,
+                                OUTCOME_ABORTED: 1})) == RUN_ABORTED
+
+
+# -- the recovery supervisor's public counters (stats) ------------------------
+
+def _member_program(name="member", epc_pages=256):
+    from repro.recovery.program import EnclaveProgram
+    from repro.service.tenant import tenant_config
+
+    return EnclaveProgram(
+        config=tenant_config("rate_limit", epc_pages, 64),
+        name=name,
+    )
+
+
+class _CrashyProgram:
+    """Launches fine once, then every relaunch dies — drives the
+    supervisor through its whole restart budget into quarantine."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.launches = 0
+
+    def launch(self, kernel):
+        self.launches += 1
+        if self.launches > 1:
+            raise EnclaveCrashed("child died at relaunch")
+        return self.inner.launch(kernel)
+
+
+class TestSupervisorStats:
+    def test_stats_counts_a_successful_recovery(self):
+        kernel = HostKernel(epc_pages=256)
+        supervisor = RecoverySupervisor(kernel)
+        supervisor.launch("member", _member_program())
+        stats0 = supervisor.stats()
+        assert stats0["recoveries"] == 0
+        assert stats0["quarantines"] == 0
+        assert stats0["running"] == 1 and stats0["fleet"] == 1
+        supervisor.mark_down("member", "induced crash")
+        assert supervisor.stats()["down"] == 1
+        supervisor.recover("member")
+        stats = supervisor.stats()
+        assert stats["recoveries"] == 1
+        assert stats["restarts"] == 1
+        assert stats["backoff_cycles"] > 0
+        assert stats["running"] == 1 and stats["down"] == 0
+
+    def test_stats_counts_quarantine_without_private_fields(self):
+        kernel = HostKernel(epc_pages=256)
+        supervisor = RecoverySupervisor(kernel)
+        supervisor.launch("victim", _CrashyProgram(_member_program()))
+        supervisor.mark_down("victim", "induced crash")
+        with pytest.raises(Quarantined):
+            supervisor.recover("victim")
+        stats = supervisor.stats()
+        assert stats["quarantines"] == 1
+        assert stats["recoveries"] == 0
+        assert stats["running"] == 0 and stats["down"] == 0
+        assert stats["restarts"] >= 1
+        assert stats["backoff_cycles"] > 0
+
+    def test_stats_survive_teardown(self):
+        kernel = HostKernel(epc_pages=256)
+        supervisor = RecoverySupervisor(kernel)
+        supervisor.launch("victim", _CrashyProgram(_member_program()))
+        supervisor.mark_down("victim", "induced crash")
+        with pytest.raises(Quarantined):
+            supervisor.recover("victim")
+        restarts_live = supervisor.stats()["restarts"]
+        supervisor.teardown("victim")
+        stats = supervisor.stats()
+        assert stats["restarts"] == restarts_live   # retired, not lost
+        assert stats["fleet"] == 0
+
+    def test_teardown_is_idempotent(self):
+        kernel = HostKernel(epc_pages=256)
+        supervisor = RecoverySupervisor(kernel)
+        supervisor.launch("member", _member_program())
+        first = supervisor.teardown("member")
+        assert first is not None
+        assert supervisor.teardown("member") is None
+        assert supervisor.teardown("never-launched") is None
+        assert kernel.epc.free_pages == kernel.epc.total_pages
+
+    def test_preflight_refuses_relaunch_without_headroom(self):
+        """The EPC-pressure pre-flight: a relaunch that cannot even pin
+        its runtime is refused whole instead of stranding frames."""
+        kernel = HostKernel(epc_pages=64)
+        supervisor = RecoverySupervisor(kernel)
+        record = supervisor.launch(
+            "squeezed", _member_program("squeezed", epc_pages=64)
+        )
+        supervisor.mark_down("squeezed", "induced")
+        # Pretend the corpse is unreachable, then hog the EPC so the
+        # relaunch pre-flight (1 TCS + runtime + margin) cannot fit.
+        record.runtime = None
+        hog = kernel.epc
+        taken = [hog.alloc() for _ in range(hog.free_pages - 3)]
+        with pytest.raises(Quarantined) as exc_info:
+            supervisor.recover("squeezed")
+        assert isinstance(exc_info.value.__cause__, EpcExhausted)
+        for frame in taken:
+            hog.free(frame)
