@@ -65,6 +65,10 @@ class AnalysisConfig:
         "repro.sgx.epc",
         "repro.sgx.epcm",
         "repro.sgx.tlb",
+        # The columnar batch interpreter settles bulk TLB-hit
+        # accounting (``tlb.hits += n``) exactly as the MMU fast path
+        # does — it is the same architectural action, vectorized.
+        "repro.sgx.columnar",
     }))
     #: Component-name → methods that mutate it.  A call such as
     #: ``anything.epc.resize(...)`` outside the sanctioned modules is a
@@ -175,6 +179,7 @@ class AnalysisConfig:
     taint_page_sinks: dict = _default({
         "data_access": 0, "code_access": 0, "translate": 0,
         "data_access_run": 0, "touch_run": 0, "access_run": 2,
+        "make_run": 0, "replay": 0,
         "access_pages": 0, "fetch_batch": 0, "evict_batch": 0,
         "page_in": 1, "evict_page": 1,
         "ay_fetch_pages": 1, "ay_evict_pages": 1,
@@ -314,6 +319,9 @@ class AnalysisConfig:
         "Tlb.lookup", "Tlb.install",
         "PageTable.lookup", "Epcm.check_access",
         "Pte.allows", "TlbEntry.allows",
+        # The columnar batch interpreter (PR 9).
+        "ColumnarEngine.execute", "ColumnarEngine._compile",
+        "ReplayFrontend.replay",
     }))
 
     #: Rule families with dedicated pass implementations (used by the

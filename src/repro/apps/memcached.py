@@ -39,9 +39,10 @@ class Memcached:
         self.index_start = heap_start + self.item_pages * PAGE_SIZE
         self.gets = 0
         self.sets = 0
-        #: key → (index page, item page); the slab layout is static,
-        #: so a GET's page pair is computed once per key.
-        self._page_cache = {}
+        #: key → (page run, copy-out cycles); the slab layout is
+        #: static, so a GET's page pair is planned once per key with
+        #: the engine's ``make_run``.
+        self._trace_cache = {}
 
     @property
     def total_pages(self):
@@ -53,22 +54,25 @@ class Memcached:
     def index_page(self, key):
         return self.index_start + (key * 8 // PAGE_SIZE) * PAGE_SIZE
 
+    # repro: hot
     def get(self, key):
         """One YCSB GET: index probe, item read, response copy."""
-        if not 0 <= key < self.n_keys:
-            raise KeyError(key)
         self.gets += 1
         self.engine.compute(self.REQUEST_COMPUTE)
-        pages = self._page_cache.get(key)
-        if pages is None:
-            pages = (self.index_page(key), self.item_page(key))
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            if not 0 <= key < self.n_keys:
+                raise KeyError(key)
+            # repro: allow[leakage] deliberate victim (Table 2): the
+            # key selects the index page and item page the OS observes
+            run = self.engine.make_run(
+                (self.index_page(key), self.item_page(key))
+            )
+            trace = (run, self.ITEM_COMPUTE)
             # repro: allow[leakage] in-enclave memo keyed by the key;
-            # the OS-visible trace is the page run below
-            self._page_cache[key] = pages
-        # repro: allow[leakage] deliberate victim (Table 2): the key
-        # selects the index page and item page the OS observes
-        self.engine.data_access_run(pages)
-        self.engine.compute(self.ITEM_COMPUTE)
+            # the OS-visible trace is the page run above
+            self._trace_cache[key] = trace
+        self.engine.replay(trace)
 
     def set(self, key):
         """One SET: index probe, item write."""

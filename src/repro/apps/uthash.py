@@ -94,19 +94,21 @@ class UthashTable:
 
     # -- operations ----------------------------------------------------------
 
+    # repro: hot
     def lookup(self, item):
         """GET: walk the chain to the item, touching each node's page.
 
-        The chain's page list is computed up front and accessed as one
-        batch; per-node compute is charged in bulk (cycle totals are
-        order-independent, and the access order — bucket page, then
-        chain pages in position order — is unchanged).
+        The chain's page list is planned once per item with the
+        engine's :meth:`make_run` and replayed as one batch; per-node
+        compute is charged in bulk (cycle totals are order-independent,
+        and the access order — bucket page, then chain pages in
+        position order — is unchanged).
         """
-        if not 0 <= item < self.n_items:
-            raise KeyError(item)
         self.lookups += 1
         trace = self._trace_cache.get(item)
         if trace is None:
+            if not 0 <= item < self.n_items:
+                raise KeyError(item)
             bucket = item % self.nbuckets
             base = self.heap_start
             per_page = self.items_per_page
@@ -118,15 +120,15 @@ class UthashTable:
                 base + ((bucket + k * nbuckets) // per_page) * PAGE_SIZE
                 for k in range(item // nbuckets + 1)
             ]
-            trace = (pages, self.NODE_COMPUTE * (len(pages) - 1))
+            # repro: allow[leakage] deliberate victim (Table 2): the
+            # item hashes to the bucket page and item-dependent chain
+            # pages the OS observes
+            run = self.engine.make_run(pages)
+            trace = (run, self.NODE_COMPUTE * (len(pages) - 1))
             # repro: allow[leakage] in-enclave memo keyed by the item;
-            # the OS-visible trace is the page run below
+            # the OS-visible trace is the page run above
             self._trace_cache[item] = trace
-        # repro: allow[leakage] deliberate victim (Table 2): the item
-        # hashes to the bucket page and item-dependent chain pages the
-        # OS observes
-        self.engine.data_access_run(trace[0])
-        self.engine.compute(trace[1])
+        self.engine.replay(trace)
         return item
 
     def insert(self, item):

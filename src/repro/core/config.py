@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.sgx.columnar import TIER_COLUMNAR, normalize_tier
 from repro.sgx.params import (
     DEFAULT_EPC_PAGES,
     ArchOptimizations,
@@ -13,18 +14,24 @@ from repro.sgx.params import (
 )
 from repro.runtime.self_paging import EvictionOrder
 
-#: Process-wide default for the MMU's memoized translation fast path.
-#: Benchmarks flip it to measure the engine's own contribution; normal
-#: runs leave it on (the fast path is observationally equivalent — see
-#: docs/performance.md and tests/test_fastpath.py).
-_FASTPATH_DEFAULT = True
+#: Process-wide default for the translation fast-path tier: "off" (no
+#: memoization at all), "memo" (the PR 4 epoch-guarded per-page memo),
+#: or "columnar" (memo + the batch interpreter).  Benchmarks flip it
+#: to measure each engine's contribution; normal runs leave the full
+#: engine on (every tier is observationally equivalent — see
+#: docs/performance.md, tests/test_fastpath.py, tests/test_columnar.py).
+_FASTPATH_DEFAULT = TIER_COLUMNAR
 
 
-def set_fastpath_default(enabled):
-    """Set the process-wide fast-path default; returns the old value."""
+def set_fastpath_default(tier):
+    """Set the process-wide fast-path tier; returns the old value.
+
+    Accepts tier names ("off" / "memo" / "columnar") and the
+    historical booleans (False = off, True = the full engine).
+    """
     global _FASTPATH_DEFAULT
     old = _FASTPATH_DEFAULT
-    _FASTPATH_DEFAULT = bool(enabled)
+    _FASTPATH_DEFAULT = normalize_tier(tier)
     return old
 
 
@@ -74,9 +81,10 @@ class SystemConfig:
     exitless: bool = True
     #: None = unbounded TLB; set (e.g. 1536) for capacity-miss studies.
     tlb_capacity: Optional[int] = None
-    #: Memoized translation fast path; ``None`` defers to the
-    #: process-wide default (see :func:`set_fastpath_default`).
-    fastpath: Optional[bool] = None
+    #: Translation fast-path tier: "off", "memo", or "columnar"
+    #: (booleans accepted: False = off, True = columnar); ``None``
+    #: defers to the process-wide default (:func:`set_fastpath_default`).
+    fastpath: Optional[object] = None
     #: Enclave layout sizes (pages).
     runtime_pages: int = 64
     code_pages: int = 256

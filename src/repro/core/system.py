@@ -25,6 +25,7 @@ from repro.runtime.policies import (
     RateLimitPolicy,
 )
 from repro.runtime.rate_limit import RateLimiter
+from repro.sgx.columnar import PageRun, ReplayFrontend
 from repro.sgx.params import PAGE_SIZE, AccessType
 
 
@@ -74,6 +75,12 @@ class DirectEngine:
     The batched/compute hot paths bind the CPU run engine and the clock
     at construction — the per-call behaviour is identical to routing
     through the runtime wrappers, minus the wrapper frames.
+
+    Apps with repeating page traces plan them once with
+    :meth:`make_run` and replay the cached ``(run, cycles)`` pair with
+    :meth:`replay`; on the columnar tier both are rebound to the batch
+    interpreter (:mod:`repro.sgx.columnar`), on every other tier they
+    fall back to the plain batched path — same observables either way.
     """
 
     def __init__(self, runtime):
@@ -85,6 +92,29 @@ class DirectEngine:
         self._charge = kernel.clock.charge
         self._enclave = runtime.enclave
         self._tcs = runtime.tcs
+        self._bind_fastpath(kernel)
+
+    def _bind_fastpath(self, kernel):
+        """Rebind the trace API to the columnar frontend when the
+        machine was built with the columnar tier."""
+        if kernel.cpu.columnar is not None:
+            self.make_run = PageRun
+            self.replay = ReplayFrontend(
+                kernel, self._enclave, self._tcs
+            ).replay
+
+    def make_run(self, vaddrs):
+        """Plan a repeating page trace for :meth:`replay`.  Off the
+        columnar tier this is the identity on a list — the plain
+        batched path needs no plan."""
+        return list(vaddrs)
+
+    def replay(self, trace):
+        """Replay a cached ``(run, cycles)`` trace: one batched read
+        run plus one bulk compute charge."""
+        run, cycles = trace
+        self.data_access_run(run)
+        self._charge(cycles, Category.COMPUTE)
 
     def data_access(self, vaddr, write=False):
         self.runtime.access(
@@ -124,6 +154,11 @@ class OramEngine(DirectEngine):
     def __init__(self, runtime, oram_policy):
         super().__init__(runtime)
         self.oram_policy = oram_policy
+
+    def _bind_fastpath(self, kernel):
+        """ORAM data accesses never touch the MMU, so the columnar
+        interpreter does not apply; traces replay per-address through
+        the ORAM (the generic :meth:`DirectEngine.replay`)."""
 
     def data_access(self, vaddr, write=False):
         self.oram_policy.access(vaddr, write=write)

@@ -188,6 +188,14 @@ class DirectLike:
     def compute(self, cycles):
         self.runtime.compute(cycles)
 
+    def make_run(self, vaddrs):
+        return list(vaddrs)
+
+    def replay(self, trace):
+        run, cycles = trace
+        self.data_access_run(run)
+        self.runtime.compute(cycles)
+
     def progress(self, kind):
         self.runtime.progress(kind)
 

@@ -15,6 +15,12 @@ from repro.clock import Category, Clock
 from repro.errors import PageFault, SgxError
 from repro.host.backing import BackingStore
 from repro.host.driver import SgxDriver
+from repro.sgx.columnar import (
+    TIER_COLUMNAR,
+    TIER_OFF,
+    ColumnarEngine,
+    normalize_tier,
+)
 from repro.sgx.cpu import Cpu
 from repro.sgx.epc import EpcAllocator
 from repro.sgx.epcm import Epcm
@@ -51,9 +57,13 @@ class HostKernel:
                  fastpath=True):
         self.cost = cost or CostModel()
         self.clock = Clock()
+        #: Fast-path tier ("off" / "memo" / "columnar"); booleans are
+        #: accepted for compatibility (False = off, True = the full
+        #: engine).  See repro.sgx.columnar and docs/performance.md.
+        self.fastpath = normalize_tier(fastpath)
         #: One translation generation stamp shared by every component
         #: that can change what a virtual address resolves to; the
-        #: MMU's memoized fast path keys off it.  ``fastpath=False``
+        #: MMU's memoized fast path keys off it.  The "off" tier
         #: keeps the stamp wired (cheap) but denies it to the MMU, so
         #: every access takes the classic lookup/walk path — the A/B
         #: baseline for ``python -m repro bench``.
@@ -70,10 +80,14 @@ class HostKernel:
         self.driver = SgxDriver(self.instr, self.page_table, self.backing,
                                 self.clock, self.cost)
         self.mmu = Mmu(self.page_table, self.tlb, self.epcm, self.clock,
-                       self.cost, epoch=self.epoch if fastpath else None)
+                       self.cost,
+                       epoch=(None if self.fastpath == TIER_OFF
+                              else self.epoch))
         self.cpu = Cpu(self.mmu, self.clock, self.cost,
                        arch_opts or ArchOptimizations())
         self.cpu.kernel = self
+        if self.fastpath == TIER_COLUMNAR:
+            self.cpu.columnar = ColumnarEngine(self.tlb, self.epoch)
 
         #: Whether the OS follows the Autarky protocol (re-enter through
         #: the handler).  A naive or hostile OS that tries silent

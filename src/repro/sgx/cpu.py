@@ -22,6 +22,7 @@ import enum
 
 from repro.clock import Category
 from repro.errors import EnclaveTerminated, PageFault, SgxError
+from repro.sgx.columnar import PageRun, column_list
 from repro.sgx.params import PAGE_SHIFT, ArchOptimizations, page_base
 from repro.sgx.ssa import ExitInfo, SsaFrame
 
@@ -53,6 +54,10 @@ class Cpu:
         #: oracle), called ``op_observer(name, enclave, tcs)`` after
         #: each completed entry/exit transition.
         self.op_observer = None
+        #: Columnar batch interpreter (repro.sgx.columnar), attached by
+        #: the kernel when the fast-path tier is "columnar"; ``None``
+        #: keeps run execution on the PR 4 memo/replay path.
+        self.columnar = None
         #: Event counters for experiments.
         self.aex_count = 0
         self.eenter_count = 0
@@ -90,6 +95,7 @@ class Cpu:
             f"{MAX_FAULT_RETRIES} OS interventions"
         )
 
+    # repro: hot
     def access_run(self, enclave, tcs, vaddrs, access):
         """Batched :meth:`access` over an iterable of addresses.
 
@@ -99,8 +105,19 @@ class Cpu:
         their ``tlb.hits`` accounting is flushed in bulk, so a
         steady-state run of N pages costs N dict probes rather than N
         full call chains.  Returns the list of PFNs.
+
+        A :class:`~repro.sgx.columnar.PageRun` plan additionally tries
+        the columnar interpreter first: a compiled (or compilable)
+        fault-free run resolves in one bulk step; anything else — a
+        non-resident page, an epoch bump since compilation — falls
+        through to the memo probe and the sequential replay below.
         """
         enclave.require_alive()
+        columnar = self.columnar
+        if columnar is not None and type(vaddrs) is PageRun:
+            pfns = columnar.execute(vaddrs, access)
+            if pfns is not None:
+                return column_list(pfns)
         mmu = self.mmu
         # Optimistic probe: memo probes have no side effects, so the
         # whole run can be resolved in one C-speed pass when every page

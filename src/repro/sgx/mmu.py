@@ -110,6 +110,7 @@ class Mmu:
             return None
         return self._fast_dict(access)
 
+    # repro: hot
     def probe_run(self, vaddrs, access):
         """Resolve a whole run from the memo, or ``None`` on any miss.
 

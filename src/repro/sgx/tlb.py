@@ -100,5 +100,15 @@ class Tlb:
         self._entries.pop(vaddr >> PAGE_SHIFT, None)
         self.epoch.value += 1
 
+    def residency(self):
+        """The live ``{vpn: TlbEntry}`` map — the residency/permission
+        table the columnar engine compiles against.
+
+        Callers must treat it as read-only; it is mutated strictly in
+        place by the TLB itself, and every entry removal bumps the
+        shared epoch, which is what keeps compiled columns sound.
+        """
+        return self._entries
+
     def __contains__(self, vaddr):
         return vaddr >> PAGE_SHIFT in self._entries

@@ -34,6 +34,14 @@ class RecordingEngine:
     def compute(self, cycles):
         self.cycles += cycles
 
+    def make_run(self, vaddrs):
+        return list(vaddrs)
+
+    def replay(self, trace):
+        run, cycles = trace
+        self.data_access_run(run)
+        self.cycles += cycles
+
     def progress(self, kind):
         self.progress_events += 1
 
