@@ -93,6 +93,9 @@ RULE_CATALOG = {
     "robustness/unbounded-queue":
         "service/runtime while-loops must bound, drain, or escape any "
         "list/deque they accumulate into",
+    "robustness/unguarded-failover":
+        "replica-selection loops must own the all-replicas-unhealthy "
+        "fall-through with an explicit return/raise",
     "effects/epoch-soundness":
         "translation-affecting mutators must bump the TranslationEpoch "
         "on every path before returning",

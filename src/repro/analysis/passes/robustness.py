@@ -43,6 +43,7 @@ from repro.analysis.findings import Finding
 RULE_BROAD_EXCEPT = "robustness/broad-except"
 RULE_UNBOUNDED_RESTART = "robustness/unbounded-restart"
 RULE_UNBOUNDED_QUEUE = "robustness/unbounded-queue"
+RULE_UNGUARDED_FAILOVER = "robustness/unguarded-failover"
 
 #: Exception names too wide for runtime code to catch.
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
@@ -68,7 +69,7 @@ QUEUE_CONSUMERS = frozenset({
 class RobustnessPass:
     family = "robustness"
     rules = (RULE_BROAD_EXCEPT, RULE_UNBOUNDED_RESTART,
-             RULE_UNBOUNDED_QUEUE)
+             RULE_UNBOUNDED_QUEUE, RULE_UNGUARDED_FAILOVER)
 
     def __init__(self, config):
         self.config = config
@@ -84,6 +85,9 @@ class RobustnessPass:
         yield from self._unbounded_restarts(mod)
         if mod.module.startswith(self.config.robustness_queue_prefixes):
             yield from self._unbounded_queues(mod)
+        if mod.module.startswith(
+                self.config.robustness_failover_prefixes):
+            yield from self._unguarded_failovers(mod)
 
     def _broad_handlers(self, mod):
         for node in ast.walk(mod.tree):
@@ -201,6 +205,108 @@ class RobustnessPass:
                     ),
                     module=mod.module,
                 )
+
+    def _unguarded_failovers(self, mod):
+        """Flag replica-selection loops with no all-unhealthy guard.
+
+        A ``for`` loop over a pool's replicas that *selects* a target
+        (a ``return`` or its own ``break`` in the body) encodes
+        failover: walk the replicas, pick the first healthy one.  When
+        every replica is down the loop falls through — and a function
+        that just falls off the end converts "the whole pool is
+        unhealthy" into an implicit ``None`` (or stale state) nobody
+        chose to handle.  The fall-through must be owned explicitly:
+        a ``return`` or ``raise`` after the loop (or in its ``else``
+        block), so the all-down case is a structured shed or abort,
+        never an accident.  Loops that merely *visit* replicas
+        (teardown sweeps, canonical tuples — no ``return``/``break``)
+        are not selections and are not findings.
+        """
+        for func in ast.walk(mod.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for loop, iterated in self._selection_loops(func.body):
+                yield Finding(
+                    path=mod.path,
+                    line=loop.lineno,
+                    rule=RULE_UNGUARDED_FAILOVER,
+                    message=(
+                        f"replica-selection loop over {iterated} can "
+                        "fall through with every replica unhealthy and "
+                        "no explicit outcome — the all-down pool must "
+                        "shed or abort structurally, not fall off the "
+                        "end"
+                    ),
+                    hint=(
+                        "follow the loop with an explicit 'return "
+                        "None' (callers shed with pool-unavailable) or "
+                        "raise a structured abort, like "
+                        "TenantPool.elect_primary; annotate a reviewed "
+                        "exception with # repro: allow[robustness]"
+                    ),
+                    module=mod.module,
+                )
+
+    @classmethod
+    def _selection_loops(cls, body):
+        """``(loop, iterated-name)`` for every unguarded replica-
+        selection ``for`` loop in ``body``'s scope (nested blocks
+        included, nested ``def``/``class`` scopes excluded)."""
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.For):
+                iterated = cls._replica_iter(stmt.iter)
+                if (iterated is not None
+                        and cls._selects(stmt.body)
+                        and not cls._guarded(stmt, body[index + 1:])):
+                    yield stmt, iterated
+            for block in cls._stmt_blocks(stmt):
+                yield from cls._selection_loops(block)
+
+    @classmethod
+    def _replica_iter(cls, iter_expr):
+        """The replica-shaped dotted name the loop iterates, if any."""
+        for name in sorted(cls._dotted_names(iter_expr)):
+            if "replica" in name.lower():
+                return name
+        return None
+
+    @classmethod
+    def _selects(cls, body):
+        """Whether the loop body picks a target: a ``return`` in this
+        scope or a ``break`` belonging to this loop."""
+        if any(isinstance(node, ast.Return)
+               for node in cls._walk_scope(body)):
+            return True
+        return cls._has_own_break(body)
+
+    @classmethod
+    def _guarded(cls, loop, tail):
+        """Whether the fall-through is owned: a ``return``/``raise``
+        in the loop's ``else`` block or anywhere after the loop in the
+        same statement list."""
+        for node in cls._walk_scope(list(loop.orelse)):
+            if isinstance(node, (ast.Return, ast.Raise)):
+                return True
+        for node in cls._walk_scope(list(tail)):
+            if isinstance(node, (ast.Return, ast.Raise)):
+                return True
+        return False
+
+    @staticmethod
+    def _stmt_blocks(stmt):
+        """The nested statement lists of one compound statement."""
+        blocks = []
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field, None)
+            if block:
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
 
     @classmethod
     def _consumed_in(cls, body, recv):

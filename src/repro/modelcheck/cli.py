@@ -31,9 +31,10 @@ def build_parser():
     )
     parser.add_argument(
         "--policy", default="all",
-        help="paging policy to explore: one of "
-             f"{', '.join(POLICIES)}, 'broken' (seeded-bug toy, "
-             "expected to fail), or 'all' (default)",
+        help="world to explore: one of "
+             f"{', '.join(POLICIES)}, 'pool' (two-tenant pool-"
+             "failover world), 'broken' (seeded-bug toy, expected to "
+             "fail), or 'all' (the paging policies; default)",
     )
     parser.add_argument(
         "--depth", type=int, default=3, metavar="N",

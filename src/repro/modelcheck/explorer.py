@@ -22,14 +22,28 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.modelcheck import model, poolworld
 from repro.modelcheck.invariants import check_world
-from repro.modelcheck.model import (
-    boot,
-    enabled_actions,
-    replay,
-    successor,
-)
 from repro.parallel.runner import run_indexed
+
+#: Domain dispatch: which module implements a policy name's world.
+#: The single-enclave model covers the paging policies; ``pool`` is
+#: the two-tenant pool-failover world.  Each domain provides
+#: ``(boot, replay, enabled_actions, successor, check_world)``.
+_DOMAINS = {
+    name: (poolworld.boot, poolworld.replay,
+           poolworld.enabled_actions, poolworld.successor,
+           poolworld.check_world)
+    for name in poolworld.WORLDS
+}
+_MODEL_DOMAIN = (model.boot, model.replay, model.enabled_actions,
+                 model.successor, check_world)
+
+
+def domain_for(policy_name):
+    """The ``(boot, replay, enabled_actions, successor, check_world)``
+    quintuple implementing ``policy_name``'s world."""
+    return _DOMAINS.get(policy_name, _MODEL_DOMAIN)
 
 
 @dataclass
@@ -88,11 +102,12 @@ def _expand_task(item):
     action.  Returns plain picklable tuples; all bookkeeping happens in
     the sequential merge."""
     policy_name, trace = item
-    world = replay(policy_name, list(trace))
+    _, replay_, enabled_, successor_, check_ = domain_for(policy_name)
+    world = replay_(policy_name, list(trace))
     children = []
-    for action in enabled_actions(world):
-        child = successor(world, action)
-        messages = tuple(child.violations) + tuple(check_world(child))
+    for action in enabled_(world):
+        child = successor_(world, action)
+        messages = tuple(child.violations) + tuple(check_(child))
         children.append((
             action,
             child.state_key(),
@@ -118,10 +133,11 @@ def explore(policy_name, depth=3, max_states=400, jobs=1):
     """
     result = Exploration(policy=policy_name, depth=depth,
                          max_states=max_states)
-    root = boot(policy_name)
+    boot_, _, _, _, check_ = domain_for(policy_name)
+    root = boot_(policy_name)
     seen = {root.state_key()}
     result.states = 1
-    root_messages = tuple(root.violations) + tuple(check_world(root))
+    root_messages = tuple(root.violations) + tuple(check_(root))
     frontier = []
     if root_messages:
         result.violations.append(((), root_messages))

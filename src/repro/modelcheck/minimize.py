@@ -16,19 +16,29 @@ undefined behaviour.
 
 from __future__ import annotations
 
-from repro.modelcheck.invariants import check_world
-from repro.modelcheck.model import apply_action, boot, enabled_actions
+from repro.modelcheck.explorer import domain_for
+from repro.modelcheck.model import apply_action
 
 
 def violation_messages(policy_name, trace):
     """Replay ``trace`` and return its violation messages (empty when
     the trace is replay-invalid or safe)."""
-    world = boot(policy_name)
+    boot_, _, enabled_, _, check_ = domain_for(policy_name)
+    world = boot_(policy_name)
     for action in trace:
-        if world.terminal or action not in enabled_actions(world):
+        if world.terminal or action not in enabled_(world):
             return ()
+        _apply(world, action)
+    return tuple(world.violations) + tuple(check_(world))
+
+
+def _apply(world, action):
+    from repro.modelcheck import poolworld
+
+    if world.policy_name in poolworld.WORLDS:
+        poolworld.apply_action(world, action)
+    else:
         apply_action(world, action)
-    return tuple(world.violations) + tuple(check_world(world))
 
 
 def minimize(policy_name, trace):

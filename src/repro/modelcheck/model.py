@@ -161,6 +161,14 @@ class World:
         self.violations = []
         #: Quota pages taken by squeeze actions, owed back by unsqueeze.
         self.squeezed = 0
+        #: Whole-enclave suspension (§5.2.1): while True the enclave
+        #: cannot run and the host's only moves are resume, forging
+        #: the suspend-set blobs, or killing it.
+        self.suspended = False
+        #: A suspend-set blob was forged while suspended; the next
+        #: resume must reject it (ELDU integrity) or the world is
+        #: unsafe.
+        self.suspend_tampered = False
         #: Fault kinds fired through the per-action injector, and pages
         #: whose tainted blobs were consumed without an abort.
         self.silent_consumption = []
@@ -216,6 +224,8 @@ class World:
             self.reason,
             self.recoveries,
             self.squeezed,
+            self.suspended,
+            self.suspend_tampered,
             tuple(self.violations),
             tuple(self.oracle.violations),
         )).encode()
@@ -241,6 +251,16 @@ def enabled_actions(world):
     if world.terminal:
         return []
     policy = world.policy_name
+    if world.suspended:
+        # §5.2.1: a suspended enclave cannot run.  The host's only
+        # moves are resuming it, forging its suspend-set blobs, or
+        # killing it outright.
+        actions = ["resume"]
+        if policy not in ("pin_all", "oram") and \
+                not world.suspend_tampered:
+            actions.append("tamper")
+        actions.append("crash")
+        return actions
     actions = [f"touch:{i}" for i in range(len(world.pool))]
     actions.append("progress")
     pager = world.runtime.pager
@@ -266,6 +286,11 @@ def enabled_actions(world):
     if policy not in ("pin_all", "oram") and world.swapped_pool():
         actions.append("deny:2")
         actions.append("deny:6")
+    # Whole-enclave suspension is the OS's §5.2.1 big hammer; it is
+    # never used on a sealed (pin_all) working set, and the ORAM
+    # policy's tree pages are not suspend-restorable in the model.
+    if policy not in ("pin_all", "oram"):
+        actions.append("suspend")
     actions.append("crash")
     actions.append("rollback")
     return actions
@@ -328,7 +353,17 @@ def _dispatch(world, action):
         _unmap_resident(world)
         return
     if action == "tamper":
-        _tamper_backing(world)
+        if world.suspended:
+            _tamper_suspend_set(world)
+        else:
+            _tamper_backing(world)
+        return
+    if action == "suspend":
+        world.kernel.driver.suspend_enclave(world.enclave)
+        world.suspended = True
+        return
+    if action == "resume":
+        _resume_suspended(world)
         return
     if action.startswith("deny:"):
         _deny_fetch(world, int(action.split(":", 1)[1]))
@@ -377,6 +412,41 @@ def _tamper_backing(world):
     world.engine.data_access(target)
     world.violations.append(
         f"enclave resumed on tampered page {target:#x} without aborting")
+
+
+def _tamper_suspend_set(world):
+    """Forge one sealed blob of a *suspended* enclave.  Suspension
+    (§5.2.1) evicts the whole working set into the kernel backing
+    store — under either SGX version, since the driver's big hammer
+    bypasses enclave-managed paging — so the consumption point is the
+    resume's ELDU train, not a page fault.  The forgery itself is
+    silent; ``resume`` must reject it."""
+    import dataclasses
+
+    state = world.driver_state()
+    in_pool = [base for base in state.suspend_set if base in world.pool]
+    target = min(in_pool) if in_pool else min(state.suspend_set)
+    backing = world.kernel.backing
+    eid = world.enclave.enclave_id
+    blob = backing.get(eid, target)
+    backing.substitute(
+        eid, target,
+        dataclasses.replace(blob, mac="forged-by-model"))
+    world.suspend_tampered = True
+
+
+def _resume_suspended(world):
+    """Resume a suspended enclave: every suspend-set blob is ELDU-
+    restored, and a blob forged while suspended must fail integrity
+    verification there — resuming onto forged state is the leak."""
+    tampered = world.suspend_tampered
+    world.kernel.driver.resume_enclave(world.enclave)
+    world.suspended = False
+    world.suspend_tampered = False
+    if tampered:
+        world.violations.append(
+            "resume restored a forged suspend-set blob without "
+            "aborting")
 
 
 #: Single-event plans for the deny actions, one per SGX version: the
@@ -449,8 +519,12 @@ def _adopt(world, runtime):
         from repro.modelcheck.toys import break_policy
         break_policy(runtime)
     world.engine = world.program.engine(runtime)
-    # Pending quota restores belonged to the dead incarnation.
+    # Pending quota restores belonged to the dead incarnation, and the
+    # relaunched incarnation boots unsuspended (any forged suspend-set
+    # blob died with the old enclave id).
     world.squeezed = 0
+    world.suspended = False
+    world.suspend_tampered = False
 
 
 def _post_checks(world, action):

@@ -93,8 +93,20 @@ class RecoverySupervisor:
     # -- lifecycle ---------------------------------------------------------
 
     def launch(self, name, program, restart_policy=None):
-        """Launch a program, attest it, seal its base checkpoint."""
-        runtime = program.launch(self.kernel)
+        """Launch a program, attest it, seal its base checkpoint.
+
+        A launch that dies mid-build (warm-up cannot pin its pages
+        under EPC pressure, the program's own policy aborts it) leaves
+        no handle behind — reclaim the partial enclave before
+        re-raising, exactly like a failed restore, or its frames leak
+        until kernel shutdown."""
+        before = set(self.kernel.instr.enclaves)
+        try:
+            runtime = program.launch(self.kernel)
+        except (EnclaveTerminated, EnclaveCrashed, HostCallDenied,
+                SgxError):
+            self._reclaim_new_incarnations(before)
+            raise
         manager = RecoveryManager(
             runtime,
             auto_checkpoint_every=self.auto_checkpoint_every,
@@ -214,12 +226,17 @@ class RecoverySupervisor:
             # replay itself aborted).  Reclaim the new incarnation
             # before re-raising, or its frames leak — ``record`` never
             # gets a handle to find them by later.
-            for eid in set(self.kernel.instr.enclaves) - before:
-                self.kernel.driver.reclaim_enclave(
-                    self.kernel.instr.enclaves[eid]
-                )
+            self._reclaim_new_incarnations(before)
             raise
         record.runtime = runtime
+
+    def _reclaim_new_incarnations(self, before):
+        """Reclaim every enclave built since the ``before`` snapshot of
+        the kernel's enclave table (failed launch/restore cleanup)."""
+        for eid in set(self.kernel.instr.enclaves) - before:
+            self.kernel.driver.reclaim_enclave(
+                self.kernel.instr.enclaves[eid]
+            )
 
     # -- observability -----------------------------------------------------
 

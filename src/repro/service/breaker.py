@@ -59,11 +59,18 @@ class CircuitBreaker:
         self.trip_count = 0
         self.open_until_cycles = 0
         self.latched = False
+        #: Whether the HALF_OPEN probe is actually outstanding.  The
+        #: state alone is not enough: a probe can vanish without an
+        #: outcome report (shed by a departure drain, cancelled by its
+        #: deadline) and a breaker that trusts "HALF_OPEN means a probe
+        #: is in flight" then rejects every request forever.
+        self.probe_in_flight = False
         # Lifetime transition counters (metrics snapshot).
         self.trips = 0
         self.half_opens = 0
         self.closes = 0
         self.rejections = 0
+        self.probe_cancels = 0
 
     # -- admission ---------------------------------------------------------
 
@@ -83,10 +90,16 @@ class CircuitBreaker:
             if now_cycles >= self.open_until_cycles:
                 self.state = HALF_OPEN
                 self.half_opens += 1
+                self.probe_in_flight = True
                 return True
             self.rejections += 1
             return False
-        # HALF_OPEN: the single probe is already in flight.
+        # HALF_OPEN: admit exactly one probe.  If the last probe was
+        # lost without an outcome report, re-arm rather than rejecting
+        # until the heat-death of the run.
+        if not self.probe_in_flight:
+            self.probe_in_flight = True
+            return True
         self.rejections += 1
         return False
 
@@ -100,6 +113,7 @@ class CircuitBreaker:
             self.trip_count = 0
             self.recent_failures.clear()
             self.closes += 1
+            self.probe_in_flight = False
 
     def record_failure(self, now_cycles):
         """A request aborted; trip once the window holds enough."""
@@ -115,22 +129,28 @@ class CircuitBreaker:
             self._trip(now_cycles)
 
     def cancel_probe(self):
-        """The half-open probe was cancelled (deadline, tenant down)
-        before the enclave could prove anything: return to OPEN without
-        escalating the cooldown, so the next ``allow`` re-probes."""
+        """The half-open probe was cancelled (deadline, tenant down,
+        departure drain) before the enclave could prove anything:
+        return to OPEN without escalating the cooldown, so the next
+        ``allow`` re-probes.  Idempotent and safe in any state — a
+        departing tenant cancels unconditionally."""
         if self.state == HALF_OPEN:
             self.state = OPEN
+            self.probe_cancels += 1
+        self.probe_in_flight = False
 
     def latch_open(self):
         """Permanently open (tenant quarantined by the supervisor)."""
         self.latched = True
         self.state = OPEN
+        self.probe_in_flight = False
         self.trips += 1
 
     def _trip(self, now_cycles):
         self.state = OPEN
         self.trips += 1
         self.trip_count += 1
+        self.probe_in_flight = False
         attempt = min(self.trip_count, self.cooldown.max_attempts)
         self.open_until_cycles = (
             now_cycles + self.cooldown.wait_cycles(attempt)
@@ -148,4 +168,5 @@ class CircuitBreaker:
             self.closes,
             self.rejections,
             self.latched,
+            self.probe_cancels,
         )

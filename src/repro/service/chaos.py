@@ -14,6 +14,15 @@ behaved (or hostile) *tenants* and the host squeezing the whole fleet:
   tenant; the next fetch must fail stop with ``IntegrityAbort``, the
   breaker must trip, and recovery + half-open must bring the tenant
   back.
+* ``AEX_STORM``     — the host fires a train of asynchronous exits
+  (interrupt + resume) at a tenant's primary replica — the §3.2
+  interrupt-based controlled channel at service scale.  The storm
+  must cost only simulated cycles; it must not change any request's
+  outcome or the run digest's safety verdict.
+* ``REPLICA_SUSPEND`` / ``REPLICA_RESUME`` — the host suspends one
+  replica (evicting its whole working set, §5.2.1) and later resumes
+  it.  A suspended replica is unhealthy: the pool must fail requests
+  over to a sibling, and resume must restore the replica verbatim.
 
 These are a separate enum from :class:`repro.chaos.plan.FaultKind` on
 purpose: the campaign's ``_apply`` dispatch and its frozen
@@ -32,6 +41,9 @@ class ServiceFaultKind(str, Enum):
     TENANT_BURST = "tenant-burst"
     TENANT_STALL = "tenant-stall"
     TENANT_TAMPER = "tenant-tamper"
+    AEX_STORM = "aex-storm"
+    REPLICA_SUSPEND = "replica-suspend"
+    REPLICA_RESUME = "replica-resume"
 
 
 @dataclass(frozen=True)
@@ -43,9 +55,36 @@ class ServiceFaultEvent:
     tenant_index: int
     #: Burst: load multiplier.  Stall: extra cycles per op.  Tamper:
     #: unused (the target page is drawn from live swapped state).
+    #: AEX storm: number of interrupt/resume rounds.  Replica
+    #: suspend/resume: replica index within the tenant's pool.
     param: int = 0
     #: Ticks the effect persists (burst / stall windows).
     duration: int = 0
+
+    def to_json(self):
+        return {
+            "kind": self.kind.value,
+            "at_tick": self.at_tick,
+            "tenant_index": self.tenant_index,
+            "param": self.param,
+            "duration": self.duration,
+        }
+
+    @staticmethod
+    def from_json(payload):
+        try:
+            kind = ServiceFaultKind(payload["kind"])
+        except ValueError:
+            raise ValueError(
+                f"unknown service fault kind {payload['kind']!r}"
+            ) from None
+        return ServiceFaultEvent(
+            kind=kind,
+            at_tick=int(payload["at_tick"]),
+            tenant_index=int(payload["tenant_index"]),
+            param=int(payload.get("param", 0)),
+            duration=int(payload.get("duration", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -54,7 +93,11 @@ class ServiceFaultPlan:
 
     Regenerating with the same ``(seed, ticks, n_tenants, tamperable)``
     yields the identical plan — the property that lets a service
-    failure be replayed from nothing but its seed.
+    failure be replayed from nothing but its seed.  Plans also
+    round-trip through JSON (``to_json``/``from_json``) so a
+    model-checker witness or a hand-built regression scenario can be
+    frozen under ``tests/fixtures/chaos/`` and replayed with
+    ``repro serve --plan``.
     """
 
     seed: int
@@ -70,8 +113,27 @@ class ServiceFaultPlan:
     def kinds(self):
         return {event.kind for event in self.events}
 
+    def to_json(self):
+        return {
+            "seed": self.seed,
+            "ticks": self.ticks,
+            "events": [event.to_json() for event in self.events],
+        }
+
     @staticmethod
-    def generate(seed, ticks, n_tenants, tamperable=()):
+    def from_json(payload):
+        events = tuple(
+            ServiceFaultEvent.from_json(entry)
+            for entry in payload.get("events", ())
+        )
+        return ServiceFaultPlan(
+            seed=int(payload["seed"]),
+            ticks=int(payload["ticks"]),
+            events=events,
+        )
+
+    @staticmethod
+    def generate(seed, ticks, n_tenants, tamperable=(), replicas=1):
         """Generate a plan for a fleet of ``n_tenants``.
 
         ``tamperable`` lists tenant indices with pageable working sets
@@ -81,10 +143,18 @@ class ServiceFaultPlan:
         two tampers against one victim — the acceptance criterion
         requires an observable breaker trip *and* half-open recovery,
         which needs repeated integrity failures on one tenant.
+
+        With ``replicas > 1`` the plan also attacks the pool layer:
+        an AEX storm against the victim, a suspend/resume pair against
+        replica 0 of one tenant (forcing a failover window), and a
+        *quarantine ladder* — enough extra tampers against the victim
+        that its primary replica exhausts the restart budget and the
+        pool must re-elect.
         """
         rng = random.Random((seed << 8) ^ 0x5EC7)
         events = []
         tamperable = tuple(sorted(tamperable))
+        victim = None
         if tamperable and ticks >= 8:
             victim = tamperable[rng.randrange(len(tamperable))]
             first = 2 + rng.randrange(max(1, ticks // 4))
@@ -94,6 +164,44 @@ class ServiceFaultPlan:
             ))
             events.append(ServiceFaultEvent(
                 ServiceFaultKind.TENANT_TAMPER, second, victim
+            ))
+            if replicas > 1:
+                # Quarantine ladder: the supervisor allows
+                # max_restarts relaunches per replica; two more
+                # tampers push the primary past the budget so the
+                # failover path (not just recovery) must carry the
+                # tenant.  Spaced two ticks apart so each abort has a
+                # dispatch window to land in.
+                events.append(ServiceFaultEvent(
+                    ServiceFaultKind.TENANT_TAMPER, second + 2, victim
+                ))
+                events.append(ServiceFaultEvent(
+                    ServiceFaultKind.TENANT_TAMPER, second + 4, victim
+                ))
+        if replicas > 1 and ticks >= 8:
+            storm_target = (victim if victim is not None
+                            else rng.randrange(n_tenants))
+            events.append(ServiceFaultEvent(
+                ServiceFaultKind.AEX_STORM,
+                1 + rng.randrange(max(1, ticks // 3)),
+                storm_target,
+                param=4 + rng.randrange(8),
+            ))
+            # Suspension is never used on a sealed (pin_all) working
+            # set, so draw the target from the pageable tenants.
+            suspend_tenant = (
+                tamperable[rng.randrange(len(tamperable))]
+                if tamperable else rng.randrange(n_tenants)
+            )
+            suspend_at = 2 + rng.randrange(max(1, ticks // 3))
+            events.append(ServiceFaultEvent(
+                ServiceFaultKind.REPLICA_SUSPEND, suspend_at,
+                suspend_tenant, param=0,
+            ))
+            events.append(ServiceFaultEvent(
+                ServiceFaultKind.REPLICA_RESUME,
+                suspend_at + 2 + rng.randrange(2),
+                suspend_tenant, param=0,
             ))
         n_random = max(2, ticks // 10)
         for i in range(n_random):

@@ -12,20 +12,35 @@ Two modes:
 * ``--sweep``: the cross-tenant contention sweep (seeds × the three
   paper policies, over-committed EPC), with ``--jobs N`` fan-out that
   must be bit-identical to serial, emitting ``BENCH_service.json``.
+  With ``--pool`` it also runs the pool-failover sweep (two-replica
+  pools under tamper ladders, AEX storms, and suspend/resume) and
+  embeds the throughput/fairness frontier as ``pool_frontier``.
+
+* ``--plan FILE``: replay a frozen service fault plan (mirrors the
+  chaos ``--plan`` envelope) — the promotion path for model-checker
+  witnesses and hand-frozen failover regressions under
+  ``tests/fixtures/chaos/``.
+
+``--baseline FILE`` gates any sweep output against a committed
+``BENCH_service.json``: per-point digests must match bit-for-bit.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 
+from repro.service.chaos import ServiceFaultPlan
 from repro.service.router import ServiceConfig, run_service
 from repro.service.sweep import (
     SWEEP_POLICIES,
+    pool_report,
+    run_pool_sweep,
     run_sweep,
     sweep_report,
 )
-from repro.service.tenant import default_tenants
+from repro.service.tenant import TenantSpec, default_tenants
 
 #: Smoke sizing: 4 tenants × (2+3+2+3) arrivals/tick × 20 ticks = 200.
 SMOKE_TENANTS = 4
@@ -46,6 +61,22 @@ def build_parser():
         "--sweep", action="store_true",
         help="cross-tenant EPC contention sweep (seeds x policies), "
              "emitting a JSON report",
+    )
+    parser.add_argument(
+        "--pool", action="store_true",
+        help="with --sweep: also run the pool-failover sweep "
+             "(2-replica pools) and embed the throughput/fairness "
+             "frontier in the report",
+    )
+    parser.add_argument(
+        "--plan", metavar="FILE",
+        help="replay a frozen service fault plan (JSON envelope with "
+             "plan/config/expected_outcome, or a bare plan)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="gate the sweep report against a committed "
+             "BENCH_service.json (per-point digest equality)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, metavar="N",
@@ -155,16 +186,65 @@ def run_smoke(args):
     return 0 if ok else 1
 
 
+def _baseline_gate(report, baseline_path):
+    """Compare per-point digests (contention + pool frontier) against
+    a committed report; returns a list of mismatch messages."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    def digests(payload, section):
+        block = payload.get(section) if section else payload
+        if not block:
+            return {}
+        return {
+            (p["seed"], p["policy"]): p["digest"]
+            for p in block.get("points", ())
+        }
+
+    mismatches = []
+    for section in (None, "pool_frontier"):
+        fresh = digests(report, section)
+        frozen = digests(baseline, section)
+        label = section or "contention"
+        for key in sorted(set(fresh) & set(frozen)):
+            if fresh[key] != frozen[key]:
+                mismatches.append(
+                    f"{label} point seed={key[0]} policy={key[1]}: "
+                    f"{fresh[key]} != baseline {frozen[key]}"
+                )
+        if frozen and not fresh:
+            mismatches.append(f"{label}: baseline has points, run has none")
+    return mismatches
+
+
 def run_contention_sweep(args):
     seeds = range(args.seeds)
+    check = not args.no_determinism_check
     sweep = run_sweep(
         seeds,
         policies=SWEEP_POLICIES,
-        check_determinism=not args.no_determinism_check,
+        check_determinism=check,
         jobs=args.jobs,
     )
     report = sweep_report(sweep, list(seeds), list(SWEEP_POLICIES),
                           args.jobs)
+    pool_sweep = None
+    if args.pool:
+        pool_sweep = run_pool_sweep(
+            seeds,
+            policies=SWEEP_POLICIES,
+            check_determinism=check,
+            jobs=args.jobs,
+        )
+        report["pool_frontier"] = pool_report(
+            pool_sweep, list(seeds), list(SWEEP_POLICIES), args.jobs
+        )
+    baseline_mismatches = []
+    if args.baseline:
+        baseline_mismatches = _baseline_gate(report, args.baseline)
+    ok = sweep.ok and not baseline_mismatches
+    if pool_sweep is not None:
+        ok = ok and pool_sweep.ok
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     if args.format == "json":
@@ -185,13 +265,114 @@ def run_contention_sweep(args):
             print("DETERMINISM FAILURES:")
             for seed, policy, first, second in sweep.determinism_failures:
                 print(f"  seed={seed} policy={policy}: {first} != {second}")
+        if pool_sweep is not None:
+            print(f"pool-failover frontier: {len(pool_sweep.points)} "
+                  f"points, classes {pool_sweep.class_counts()}")
+            for policy, row in report["pool_frontier"]["frontier"].items():
+                print(f"  {policy:12s} "
+                      f"tp={row['mean_throughput_milli_per_mcycle']} "
+                      f"fair={row['mean_fairness_milli']} "
+                      f"failovers={row['failovers']}")
+            if pool_sweep.violations:
+                print("POOL SWEEP VIOLATIONS:")
+                for seed, policy, message in pool_sweep.violations:
+                    print(f"  seed={seed} policy={policy}: {message}")
+        for message in baseline_mismatches:
+            print(f"BASELINE MISMATCH: {message}")
         print(f"  report written to {args.output}")
-        print("verdict:", "OK" if sweep.ok else "FAIL")
-    return 0 if sweep.ok else 1
+        print("verdict:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+# -- frozen-plan replay ------------------------------------------------------
+
+_SPEC_FIELDS = {f.name for f in dataclasses.fields(TenantSpec)}
+
+
+def _spec_from_json(payload):
+    known = {k: v for k, v in payload.items() if k in _SPEC_FIELDS}
+    return TenantSpec(**known)
+
+
+def _config_from_json(payload, plan):
+    tenants = [
+        _spec_from_json(entry) for entry in payload.get("tenants", ())
+    ] or default_tenants(4, replicas=2)
+    return ServiceConfig(
+        seed=int(payload.get("seed", plan.seed)),
+        tenants=tenants,
+        epc_pages=int(payload.get("epc_pages", 320)),
+        ticks=int(payload.get("ticks", plan.ticks)),
+        fault_plan=plan,
+    )
+
+
+def run_plan(args):
+    """Replay a frozen service fault plan and check its expectations —
+    exit 0 only if the run is safe, deterministic, and every expected
+    floor (failovers, quarantines, completions...) holds."""
+    with open(args.plan, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    envelope = payload if "plan" in payload else {"plan": payload}
+    plan = ServiceFaultPlan.from_json(envelope["plan"])
+    config = _config_from_json(envelope.get("config", {}), plan)
+    rerun_config = _config_from_json(envelope.get("config", {}), plan)
+    result = run_service(config)
+    rerun = run_service(rerun_config)
+    expected = envelope.get("expected_outcome", {})
+    checks = {
+        "safe": result.safe,
+        "digest_equal": result.digest == rerun.digest,
+    }
+    floors = {
+        "min_failovers": result.failovers,
+        "min_quarantines": result.quarantines,
+        "min_recoveries": result.recoveries,
+        "min_completed": result.outcome_counts["completed"],
+        "min_breaker_trips": result.breaker_trips,
+    }
+    for key, actual in floors.items():
+        if key in expected:
+            checks[key] = actual >= int(expected[key])
+    if "outcome_class" in expected:
+        from repro.service.sweep import classify
+        checks["outcome_class"] = (
+            classify(result) == expected["outcome_class"]
+        )
+    ok = all(checks.values())
+    report = {
+        "ok": ok,
+        "plan": args.plan,
+        "checks": checks,
+        "outcomes": result.outcome_counts,
+        "shed_by_reason": result.shed_by_reason,
+        "failovers": result.failovers,
+        "quarantines": result.quarantines,
+        "recoveries": result.recoveries,
+        "violations": list(result.violations),
+        "digest": result.digest,
+    }
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"service plan replay: {args.plan}")
+        print(f"  outcomes={result.outcome_counts}")
+        print(f"  failovers={result.failovers} "
+              f"quarantines={result.quarantines} "
+              f"recoveries={result.recoveries}")
+        for name, passed in checks.items():
+            if not passed:
+                print(f"  CHECK FAILED: {name}")
+        for violation in result.violations:
+            print(f"  VIOLATION: {violation}")
+        print("verdict:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
 
 
 def run(argv=None):
     args = build_parser().parse_args(argv)
+    if args.plan:
+        return run_plan(args)
     if args.sweep:
         return run_contention_sweep(args)
     # --smoke is also the default mode.

@@ -23,6 +23,7 @@ ordering hazards.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 OUTCOME_COMPLETED = "completed"
@@ -41,11 +42,61 @@ RATE_LIMITED = "rate-limited"               # token bucket exhausted
 PAGING_BUDGET = "paging-budget"             # paging debt unpaid
 BREAKER_OPEN = "breaker-open"               # circuit breaker rejecting
 DEADLINE = "deadline"                       # cancelled mid-execution
+SLO_PRESSURE = "slo-pressure"               # tenant violating its SLO
+POOL_UNAVAILABLE = "pool-unavailable"       # every replica unhealthy
+TENANT_RETIRED = "tenant-retired"           # shed by departure drain
 
 SHED_REASONS = (
     SERVICE_OVERLOADED, QUEUE_FULL, RATE_LIMITED, PAGING_BUDGET,
-    BREAKER_OPEN, DEADLINE,
+    BREAKER_OPEN, DEADLINE, SLO_PRESSURE, POOL_UNAVAILABLE,
+    TENANT_RETIRED,
 )
+
+
+class LatencyWindow:
+    """Sliding window of per-request latencies on the simulated clock.
+
+    Integer nearest-rank percentiles over the last ``capacity``
+    terminal requests — deterministic (no floats, no interpolation),
+    cheap (the window is tiny), and computed on demand so recording
+    stays O(1).  The SLO admission check reads :meth:`percentile`
+    every tick; the run digest folds in :meth:`snapshot`.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, capacity=32):
+        if capacity < 1:
+            raise ValueError("latency window needs at least one slot")
+        self._samples = deque(maxlen=capacity)
+
+    def record(self, cycles):
+        """Fold one request's simulated-cycle latency into the window."""
+        if cycles < 0:
+            raise ValueError(f"negative latency: {cycles}")
+        self._samples.append(cycles)
+
+    def __len__(self):
+        return len(self._samples)
+
+    def percentile(self, p_milli):
+        """Nearest-rank percentile (``p_milli`` in thousandths, e.g.
+        950 = p95) over the window, or ``None`` while empty."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = (p_milli * len(ordered) + 999) // 1000   # ceil
+        rank = min(max(rank, 1), len(ordered))
+        return ordered[rank - 1]
+
+    def snapshot(self):
+        """Canonical ``(n, p50, p95, p99)`` tuple for digests."""
+        return (
+            len(self._samples),
+            self.percentile(500),
+            self.percentile(950),
+            self.percentile(990),
+        )
 
 
 @dataclass(frozen=True)
@@ -79,6 +130,14 @@ class ServiceMetrics:
     tier_changes: int = 0
     peak_queue_depth: int = 0
     peak_epc_pressure_milli: int = 0
+    failovers: int = 0
+    skipped_probes: int = 0
+    aex_interrupts: int = 0
+    replica_suspends: int = 0
+    replica_resumes: int = 0
+    arrivals: int = 0
+    departures: int = 0
+    arrival_refusals: int = 0
 
     def record(self, result):
         """Fold one :class:`RequestResult` into the counters."""
@@ -117,6 +176,9 @@ class ServiceMetrics:
             self.recoveries, self.quarantines,
             self.balloon_reclaimed_pages, self.tier_changes,
             self.peak_queue_depth, self.peak_epc_pressure_milli,
+            self.failovers, self.skipped_probes, self.aex_interrupts,
+            self.replica_suspends, self.replica_resumes,
+            self.arrivals, self.departures, self.arrival_refusals,
         )
 
 

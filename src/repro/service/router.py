@@ -1,30 +1,42 @@
 """The multi-tenant enclave service: a deterministic request router.
 
 One long-lived front door admits YCSB-style traffic from many tenants,
-each backed by its own enclave on one shared kernel, all contending
-for one EPC.  The robustness core, in admission order:
+each backed by a *pool* of replica enclaves on one shared kernel, all
+contending for one EPC.  The robustness core, in admission order:
 
 1. **degradation tier 2** — under extreme EPC pressure new work is
    rejected with a structured ``SERVICE_OVERLOADED`` (reject *before*
    evicting pinned tenants — suspension is never used on a sealed
    working set);
-2. **paging budget** — a tenant still in paging debt from earlier
+2. **SLO pressure** — a tenant whose sliding-window p95 latency
+   exceeds its target sheds its *own* new arrivals, so an SLO
+   violator pays for its backlog before healthy tenants degrade;
+3. **paging budget** — a tenant still in paging debt from earlier
    thrashing may not submit;
-3. **token bucket** — per-tenant request-rate admission;
-4. **bounded run queue** — a full queue sheds with ``QUEUE_FULL``
+4. **token bucket** — per-tenant request-rate admission;
+5. **bounded run queue** — a full queue sheds with ``QUEUE_FULL``
    instead of growing without bound;
-5. **circuit breaker** — checked *last* so a half-open probe, once
+6. **circuit breaker** — checked *last* so a half-open probe, once
    admitted, is never lost to a cheaper rejection downstream.
 
-Degradation tier 1 (moderate pressure) shrinks non-pinned tenants'
+Degradation tier 1 (moderate pressure) shrinks non-pinned replicas'
 balloon targets — cooperative ballooning, §5.2.1 — before anything is
 rejected; tier 0 restores the loans once pressure subsides.
 
-Aborted tenants go through the recovery supervisor's bounded-restart /
-verified-replay pipeline; repeated integrity aborts trip the tenant's
-breaker, quarantine latches it open.  Every request ends in exactly
-one of the four terminal outcomes (see :mod:`repro.service.metrics`);
-anything else is recorded as an invariant violation and fails the run.
+Each tenant's requests run on the pool's elected primary
+(:mod:`repro.service.pool`); an aborted replica goes through the
+recovery supervisor's bounded-restart / verified-replay pipeline while
+election fails the *next* request over to a healthy sibling.  Only an
+exhausted pool (every replica down, suspended, or quarantined) latches
+the tenant's breaker.  Tenants also arrive and retire mid-run: arrival
+balloons headroom and boots a fresh pool (refusing structurally when
+the EPC cannot hold it), departure drains the tenant's queued requests
+within a budget — completed or shed ``tenant-retired``, never dropped —
+then tears the pool down with EPC page parity checked.
+
+Every request ends in exactly one of the four terminal outcomes (see
+:mod:`repro.service.metrics`); anything else is recorded as an
+invariant violation and fails the run.
 
 Everything runs on the simulated clock with seeded randomness only, so
 a full service run is double-run digest-identical and ``--jobs N``
@@ -48,6 +60,7 @@ from repro.errors import (
     IntegrityAbort,
     IntegrityError,
     Quarantined,
+    SgxError,
 )
 from repro.host.kernel import HostKernel
 from repro.recovery.supervisor import RUNNING, RecoverySupervisor
@@ -62,13 +75,17 @@ from repro.service.metrics import (
     OUTCOME_SHED,
     OUTCOMES,
     PAGING_BUDGET,
+    POOL_UNAVAILABLE,
     QUEUE_FULL,
     RATE_LIMITED,
     SERVICE_OVERLOADED,
+    SLO_PRESSURE,
+    TENANT_RETIRED,
     RequestResult,
     ServiceMetrics,
     epc_pressure_milli,
 )
+from repro.service.pool import TenantPool
 from repro.service.tenant import BUDGET_FLOOR, Tenant, default_tenants
 
 #: Compute cycles per request op (matches the chaos campaign's rhythm).
@@ -107,6 +124,13 @@ class ServiceConfig:
     shrink_step_pages: int = 16
     #: Fault plan; None generates one from the seed, () disables.
     fault_plan: Optional[ServiceFaultPlan] = None
+    #: Live churn: ``(tick, TenantSpec)`` pairs booted mid-run and
+    #: ``(tick, name)`` pairs retired mid-run (drain-before-retire).
+    arrivals: tuple = ()
+    departures: tuple = ()
+    #: Queued requests a departing tenant may still *execute* during
+    #: its drain; the rest shed structured (``tenant-retired``).
+    drain_budget: int = 8
 
 
 @dataclass(frozen=True)
@@ -120,10 +144,12 @@ class ServiceResult:
     abort_reasons: dict
     metrics: tuple           # ServiceMetrics.canonical()
     tenants: tuple           # per-tenant canonical tuples
+    pools: tuple             # per-pool canonical tuples
     breaker_trips: int
     breaker_closes: int
     recoveries: int
     quarantines: int
+    failovers: int
     cycles: int
     violations: tuple
     digest: str
@@ -145,18 +171,25 @@ class EnclaveService:
             Tenant(spec, i, cfg.seed)
             for i, spec in enumerate(cfg.tenants)
         ]
+        self._next_index = len(self.tenants)
         self.plan = cfg.fault_plan
         if self.plan is None:
+            max_width = max(
+                [t.spec.replicas for t in self.tenants], default=1
+            )
             self.plan = ServiceFaultPlan.generate(
                 cfg.seed, cfg.ticks, len(self.tenants),
                 tamperable=tuple(
                     t.index for t in self.tenants if not t.spec.pinned
                 ),
+                replicas=max_width,
             )
         self._queue = deque()
         self._engines = {}
         self._gates = {}
-        self._pools = {}
+        self._addr_pools = {}
+        self._tenant_pools = {}
+        self._retired_pools = []
         self.metrics = ServiceMetrics()
         self.results = []
         self.violations = []
@@ -170,12 +203,20 @@ class EnclaveService:
     # -- lifecycle ---------------------------------------------------------
 
     def boot(self):
-        """Launch every tenant through the spawn gate (measurement
-        pinning + self-paging attribute check) on top of the recovery
-        supervisor's launch/attest/seal pipeline."""
+        """Launch every tenant's pool through the spawn gate
+        (measurement pinning + self-paging attribute check) on top of
+        the recovery supervisor's launch/attest/seal pipeline."""
         for tenant in self.tenants:
-            name = tenant.spec.name
-            program = tenant.program(self.config.epc_pages)
+            self._boot_pool(tenant)
+        self._booted = True
+        return self
+
+    def _boot_pool(self, tenant):
+        """Boot every replica of one tenant and register the pool."""
+        pool = TenantPool(tenant, self.recovery)
+        for handle in pool.replicas:
+            name = handle.member_name
+            program = tenant.program(self.config.epc_pages, handle.index)
             gate = EnclaveSupervisor(
                 child_factory=lambda n=name, p=program: (
                     self.recovery.launch(n, p).runtime
@@ -183,17 +224,16 @@ class EnclaveService:
             )
             gate.spawn()
             self._gates[name] = gate
-            self._bind(tenant)
-        self._booted = True
-        return self
+            self._bind_replica(tenant, handle)
+        self._tenant_pools[tenant.spec.name] = pool
 
-    def _bind(self, tenant):
-        """(Re)build the engine and pool for a tenant's current
-        incarnation — called at boot and after every recovery."""
-        record = self.recovery.member(tenant.spec.name)
+    def _bind_replica(self, tenant, handle):
+        """(Re)build the engine and address pool for one replica's
+        current incarnation — at boot and after every recovery."""
+        record = self.recovery.member(handle.member_name)
         program = record.program
-        self._engines[tenant.spec.name] = program.engine(record.runtime)
-        self._pools[tenant.spec.name] = tenant.pool(record.runtime)
+        self._engines[handle.member_name] = program.engine(record.runtime)
+        self._addr_pools[handle.member_name] = tenant.pool(record.runtime)
 
     def shutdown(self):
         """Tear the fleet down and verify EPC parity.  Both supervisor
@@ -208,6 +248,96 @@ class EnclaveService:
                 f"EPC leak after shutdown: {self.kernel.epc.free_pages} "
                 f"free of {self.kernel.epc.total_pages}"
             )
+
+    # -- live churn --------------------------------------------------------
+
+    def _arrive(self, spec):
+        """Boot a new tenant mid-run.  Headroom is ballooned first; a
+        boot the EPC cannot hold is *refused* structurally (partial
+        pool reclaimed, counter bumped) — never a crash."""
+        tenant = Tenant(spec, self._next_index, self.config.seed)
+        self._next_index += 1
+        self.tenants.append(tenant)
+        self._make_headroom(RELAUNCH_HEADROOM_PAGES * spec.replicas)
+        try:
+            self._boot_pool(tenant)
+        except (SgxError, EnclaveTerminated, EnclaveCrashed,
+                HostCallDenied) as exc:
+            for r in range(spec.replicas):
+                name = tenant.replica_name(r)
+                self.recovery.teardown(name)
+                gate = self._gates.pop(name, None)
+                if gate is not None:
+                    gate.shutdown()
+                self._engines.pop(name, None)
+                self._addr_pools.pop(name, None)
+            self._tenant_pools.pop(spec.name, None)
+            tenant.departed = True
+            self.metrics.arrival_refusals += 1
+            self.skipped_events.append(
+                (self.tick, "arrive-refused", spec.name,
+                 type(exc).__name__)
+            )
+            return False
+        self.metrics.arrivals += 1
+        return True
+
+    def _retire(self, name):
+        """Drain-before-retire: every queued request of the departing
+        tenant ends terminal (executed within the drain budget or shed
+        ``tenant-retired``), the half-open probe is cancelled so the
+        breaker cannot wedge, and the pool is torn down with EPC page
+        parity checked."""
+        tenant = next(
+            (t for t in self.tenants if t.spec.name == name), None
+        )
+        if tenant is None or tenant.departed:
+            self.skipped_events.append((self.tick, "retire", name))
+            return
+        tenant.departed = True
+        self.metrics.departures += 1
+        kept = deque()
+        drained = []
+        for queued_tenant, request in self._queue:
+            if queued_tenant is tenant:
+                drained.append(request)
+            else:
+                kept.append((queued_tenant, request))
+        self._queue = kept
+        for i, request in enumerate(drained):
+            if i < self.config.drain_budget:
+                self._finish(self._execute(tenant, request))
+            else:
+                self._finish(self._shed(request, TENANT_RETIRED))
+        # A probe lost to departure must not wedge the breaker
+        # half-open (the satellite regression this PR fixes).
+        tenant.breaker.cancel_probe()
+        tenant.pending_probe = None
+        pool = self._tenant_pools.pop(name, None)
+        if pool is None:
+            return
+        free_before = self.kernel.epc.free_pages
+        held = 0
+        fleet_names = {r.name for r in self.recovery.fleet()}
+        for handle in pool.replicas:
+            member = handle.member_name
+            if member in fleet_names:
+                record = self.recovery.member(member)
+                if record.runtime is not None:
+                    held += len(record.runtime.enclave.backed)
+            self.recovery.teardown(member)
+            gate = self._gates.pop(member, None)
+            if gate is not None:
+                gate.shutdown()
+            self._engines.pop(member, None)
+            self._addr_pools.pop(member, None)
+        freed = self.kernel.epc.free_pages - free_before
+        if freed != held:
+            self.violations.append(
+                f"EPC parity broken retiring {name}: pool held {held} "
+                f"pages but teardown freed {freed}"
+            )
+        self._retired_pools.append(pool)
 
     # -- probes ------------------------------------------------------------
 
@@ -244,6 +374,10 @@ class EnclaveService:
                 t.spec.name: t.breaker.state
                 for t in sorted(self.tenants, key=lambda t: t.spec.name)
             },
+            "pools": {
+                name: self._tenant_pools[name].healthy_count()
+                for name in sorted(self._tenant_pools)
+            },
         }
 
     # -- the drive loop ----------------------------------------------------
@@ -254,9 +388,19 @@ class EnclaveService:
         if not self._booted:
             self.boot()
         events = self.plan.by_tick()
+        arrivals_at = {}
+        for at_tick, spec in self.config.arrivals:
+            arrivals_at.setdefault(at_tick, []).append(spec)
+        departures_at = {}
+        for at_tick, name in self.config.departures:
+            departures_at.setdefault(at_tick, []).append(name)
         for tick in range(self.config.ticks):
             self.tick = tick
             self.kernel.clock.charge(self.config.tick_cycles, Category.OS)
+            for name in departures_at.get(tick, ()):
+                self._retire(name)
+            for spec in arrivals_at.get(tick, ()):
+                self._arrive(spec)
             for event in events.get(tick, ()):
                 self._apply_fault(event)
             self._evaluate_tiers()
@@ -278,7 +422,17 @@ class EnclaveService:
     # -- fault application -------------------------------------------------
 
     def _apply_fault(self, event):
+        if not 0 <= event.tenant_index < len(self.tenants):
+            self.skipped_events.append(
+                (self.tick, event.kind.value, "no-such-tenant")
+            )
+            return
         tenant = self.tenants[event.tenant_index]
+        if tenant.departed:
+            self.skipped_events.append(
+                (self.tick, event.kind.value, "departed")
+            )
+            return
         if event.kind is ServiceFaultKind.TENANT_BURST:
             tenant.burst_until_tick = self.tick + event.duration
             tenant.burst_factor = max(2, event.param)
@@ -287,17 +441,38 @@ class EnclaveService:
             tenant.stall_cycles = event.param
         elif event.kind is ServiceFaultKind.TENANT_TAMPER:
             self._tamper(tenant, event)
+        elif event.kind is ServiceFaultKind.AEX_STORM:
+            self._aex_storm(tenant, event)
+        elif event.kind is ServiceFaultKind.REPLICA_SUSPEND:
+            self._suspend_replica(tenant, event)
+        elif event.kind is ServiceFaultKind.REPLICA_RESUME:
+            self._resume_replica(tenant, event)
         else:
             raise ValueError(f"unhandled service fault {event.kind}")
 
+    def _primary_runtime(self, tenant, what):
+        """The pool primary's (handle, record) for a fault target, or
+        ``None`` (with a skipped-event record) when nothing can serve."""
+        pool = self._tenant_pools.get(tenant.spec.name)
+        handle = pool.elect_primary() if pool is not None else None
+        if handle is None:
+            self.skipped_events.append((self.tick, what, "pool-down"))
+            return None
+        record = self.recovery.member(handle.member_name)
+        if record.runtime is None or record.state != RUNNING:
+            self.skipped_events.append((self.tick, what, "down"))
+            return None
+        return handle, record
+
     def _tamper(self, tenant, event):
-        """Forge one swapped-out heap blob of the tenant; the tenant's
-        next request probes it first, which must fail stop."""
-        record = self.recovery.member(tenant.spec.name)
-        runtime = record.runtime
-        if runtime is None or record.state != RUNNING:
-            self.skipped_events.append((self.tick, "tamper", "down"))
+        """Forge one swapped-out heap blob of the tenant's primary; the
+        tenant's next request on that replica probes it first, which
+        must fail stop."""
+        target_pair = self._primary_runtime(tenant, "tamper")
+        if target_pair is None:
             return
+        handle, record = target_pair
+        runtime = record.runtime
         backing = self.kernel.backing
         eid = runtime.enclave.enclave_id
         heap = runtime.regions["heap"]
@@ -317,7 +492,82 @@ class EnclaveService:
             eid, target,
             dataclasses.replace(blob, mac="forged-by-chaos"),
         )
-        tenant.pending_probe = target
+        tenant.pending_probe = (handle.index, target)
+
+    def _aex_storm(self, tenant, event):
+        """A train of host interrupts against the primary — the §3.2
+        interrupt channel.  Must cost only cycles, never correctness."""
+        target_pair = self._primary_runtime(tenant, "aex-storm")
+        if target_pair is None:
+            return
+        _, record = target_pair
+        runtime = record.runtime
+        cpu, tcs = self.kernel.cpu, runtime.tcs
+        rounds = max(1, event.param)
+        for _ in range(rounds):
+            cpu.interrupt(runtime.enclave, tcs)
+            cpu.resume_from_interrupt(runtime.enclave, tcs)
+        self.metrics.aex_interrupts += rounds
+
+    def _suspend_replica(self, tenant, event):
+        """§5.2.1 whole-enclave swap of one replica: every page is
+        evicted and the replica is unhealthy until resumed, so the
+        pool must carry the tenant on siblings."""
+        if tenant.spec.pinned:
+            # Suspension is never used on a sealed working set.
+            self.skipped_events.append((self.tick, "suspend", "pinned"))
+            return
+        pool = self._tenant_pools.get(tenant.spec.name)
+        if pool is None:
+            self.skipped_events.append((self.tick, "suspend", "no-pool"))
+            return
+        idx = event.param if 0 <= event.param < len(pool.replicas) else 0
+        handle = pool.replicas[idx]
+        if handle.suspended:
+            self.skipped_events.append(
+                (self.tick, "suspend", "already-suspended")
+            )
+            return
+        record = self.recovery.member(handle.member_name)
+        if record.runtime is None or record.state != RUNNING:
+            self.skipped_events.append((self.tick, "suspend", "down"))
+            return
+        self.kernel.driver.suspend_enclave(record.runtime.enclave)
+        handle.suspended = True
+        self.metrics.replica_suspends += 1
+
+    def _resume_replica(self, tenant, event):
+        """Resume a suspended replica: every suspend-set page must be
+        restored (verbatim, MAC-checked) before it serves again."""
+        pool = self._tenant_pools.get(tenant.spec.name)
+        if pool is None:
+            self.skipped_events.append((self.tick, "resume", "no-pool"))
+            return
+        idx = event.param if 0 <= event.param < len(pool.replicas) else 0
+        handle = pool.replicas[idx]
+        if not handle.suspended:
+            self.skipped_events.append(
+                (self.tick, "resume", "not-suspended")
+            )
+            return
+        record = self.recovery.member(handle.member_name)
+        if record.runtime is None or record.state != RUNNING:
+            self.skipped_events.append((self.tick, "resume", "down"))
+            return
+        enclave = record.runtime.enclave
+        need = len(self.kernel.driver.state(enclave).suspend_set)
+        self._make_headroom(need)
+        try:
+            self.kernel.driver.resume_enclave(enclave)
+        except SgxError:
+            # EPC could not hold the restore; the replica stays
+            # suspended (still structurally unhealthy, still counted).
+            self.skipped_events.append(
+                (self.tick, "resume", "epc-full")
+            )
+            return
+        handle.suspended = False
+        self.metrics.replica_resumes += 1
 
     # -- degradation tiers -------------------------------------------------
 
@@ -342,21 +592,29 @@ class EnclaveService:
             self._restore_one()
 
     def _shrinkable(self):
-        return [
-            t for t in self.tenants
-            if not t.spec.pinned
-            and self.recovery.member(t.spec.name).state == RUNNING
-        ]
+        """(tenant, replica handle) pairs that can balloon down:
+        non-pinned, not departed, replica RUNNING and not suspended."""
+        pairs = []
+        for tenant in self.tenants:
+            if tenant.spec.pinned or tenant.departed:
+                continue
+            pool = self._tenant_pools.get(tenant.spec.name)
+            if pool is None:
+                continue
+            for handle in pool.replicas:
+                if pool.healthy(handle):
+                    pairs.append((tenant, handle))
+        return pairs
 
     def _shrink_one(self):
-        """Tier 1: ask one non-pinned tenant (round-robin) to balloon
+        """Tier 1: ask one non-pinned replica (round-robin) to balloon
         down one step.  Pinned tenants are exempt by definition."""
         candidates = self._shrinkable()
         if not candidates:
             return
-        tenant = candidates[self._shrink_cursor % len(candidates)]
+        tenant, handle = candidates[self._shrink_cursor % len(candidates)]
         self._shrink_cursor += 1
-        record = self.recovery.member(tenant.spec.name)
+        record = self.recovery.member(handle.member_name)
         runtime = record.runtime
         freed = self.kernel.request_memory_reduction(
             runtime.enclave, self.config.shrink_step_pages
@@ -368,17 +626,18 @@ class EnclaveService:
         runtime.pager.budget_pages = max(
             BUDGET_FLOOR, runtime.pager.budget_pages - freed
         )
+        handle.shrunk_pages += freed
         tenant.shrunk_pages += freed
         self.metrics.balloon_reclaimed_pages += freed
 
     def _make_headroom(self, pages):
         """Tier-1 ballooning in service of recovery: a relaunch under a
         full EPC cannot even pin its runtime, so shrink the surviving
-        non-pinned tenants (bounded rounds) until ``pages`` frames are
+        non-pinned replicas (bounded rounds) until ``pages`` frames are
         free.  Falling short is survivable — the supervisor's
         pre-flight check fails the attempt cleanly and quarantines the
-        tenant once the restart budget is gone."""
-        for _ in range(4 * max(1, len(self.tenants))):
+        replica once the restart budget is gone."""
+        for _ in range(8 * max(1, len(self.tenants))):
             if self.kernel.epc.free_pages >= pages:
                 return
             before = self.metrics.balloon_reclaimed_pages
@@ -387,21 +646,27 @@ class EnclaveService:
                 return  # nobody can give any more
 
     def _restore_one(self):
-        """Tier 0: repay one shrunk tenant (round-robin) one step."""
-        shrunk = [
-            t for t in self.tenants
-            if t.shrunk_pages > 0
-            and self.recovery.member(t.spec.name).state == RUNNING
-        ]
+        """Tier 0: repay one shrunk replica (round-robin) one step."""
+        shrunk = []
+        for tenant in self.tenants:
+            if tenant.departed:
+                continue
+            pool = self._tenant_pools.get(tenant.spec.name)
+            if pool is None:
+                continue
+            for handle in pool.replicas:
+                if handle.shrunk_pages > 0 and pool.healthy(handle):
+                    shrunk.append((tenant, handle))
         if not shrunk:
             return
-        tenant = shrunk[self._restore_cursor % len(shrunk)]
+        tenant, handle = shrunk[self._restore_cursor % len(shrunk)]
         self._restore_cursor += 1
-        back = min(self.config.shrink_step_pages, tenant.shrunk_pages)
-        record = self.recovery.member(tenant.spec.name)
+        back = min(self.config.shrink_step_pages, handle.shrunk_pages)
+        record = self.recovery.member(handle.member_name)
         runtime = record.runtime
         self.kernel.driver.state(runtime.enclave).quota_pages += back
         runtime.pager.budget_pages += back
+        handle.shrunk_pages -= back
         tenant.shrunk_pages -= back
 
     # -- admission ---------------------------------------------------------
@@ -409,6 +674,8 @@ class EnclaveService:
     def _admit_arrivals(self, tick):
         now = self.kernel.clock.cycles
         for tenant in self.tenants:
+            if tenant.departed:
+                continue
             for _ in range(tenant.arrivals(tick)):
                 request = tenant.make_request(now, tick)
                 self.metrics.submitted += 1
@@ -425,6 +692,14 @@ class EnclaveService:
                         fetches=0,
                     ))
 
+    def _slo_violated(self, tenant):
+        """Whether the tenant's own served-latency p95 exceeds its SLO
+        (with enough samples that a cold window cannot fire)."""
+        if len(tenant.latency) < tenant.spec.slo_min_samples:
+            return False
+        p95 = tenant.latency.percentile(950)
+        return p95 is not None and p95 > tenant.spec.slo_p95_cycles
+
     def _admit(self, tenant, request, now):
         """The admission chain; returns a shed reason or None.
 
@@ -433,6 +708,8 @@ class EnclaveService:
         breaker half-open)."""
         if self.tier >= 2:
             return SERVICE_OVERLOADED
+        if self._slo_violated(tenant):
+            return SLO_PRESSURE
         if not tenant.paging.admits(now):
             return PAGING_BUDGET
         if not tenant.bucket.try_take(now):
@@ -466,15 +743,20 @@ class EnclaveService:
             self._finish(self._execute(tenant, request))
 
     def _execute(self, tenant, request):
-        """Run one admitted request to a terminal outcome."""
+        """Run one admitted request to a terminal outcome on the pool's
+        elected primary."""
         name = tenant.spec.name
-        record = self.recovery.member(name)
-        if record.state != RUNNING:
-            # Queued before the tenant went down and recovery failed.
+        pool = self._tenant_pools.get(name)
+        handle = pool.elect_primary() if pool is not None else None
+        if handle is None:
+            # Every replica is down, suspended, or quarantined: the
+            # structured all-unhealthy outcome (never a blind retry).
             tenant.breaker.cancel_probe()
-            return self._shed(request, BREAKER_OPEN)
-        engine = self._engines[name]
-        pool = self._pools[name]
+            return self._shed(request, POOL_UNAVAILABLE)
+        member = handle.member_name
+        record = self.recovery.member(member)
+        engine = self._engines[member]
+        addr_pool = self._addr_pools[member]
         runtime = record.runtime
         clock = self.kernel.clock
         start = clock.cycles
@@ -483,7 +765,18 @@ class EnclaveService:
         retried0 = runtime.paging_ops.retried_calls
         try:
             if request.probe_vaddr is not None:
-                engine.data_access(request.probe_vaddr)
+                probe_replica, probe_vaddr = request.probe_vaddr
+                if probe_replica == handle.index:
+                    engine.data_access(probe_vaddr)
+                else:
+                    # The probe names a page in another replica's
+                    # address space; a failed-over request must skip
+                    # it, not touch a foreign vaddr.  The forged blob
+                    # stays armed for that replica's next access.
+                    self.metrics.skipped_probes += 1
+                    self.skipped_events.append(
+                        (self.tick, "probe", "failover")
+                    )
             for key, write in zip(request.keys, request.writes):
                 if clock.cycles > request.deadline_cycles:
                     tenant.breaker.cancel_probe()
@@ -493,14 +786,15 @@ class EnclaveService:
                         cycles=clock.cycles - start,
                         fetches=runtime.pager.fetches - fetches0,
                     )
-                engine.data_access(pool[key], write=write)
+                engine.data_access(addr_pool[key], write=write)
                 engine.compute(OP_COMPUTE_CYCLES + request.stall_cycles)
                 tenant.ops_executed += 1
                 tenant.progress_if_due(engine)
         except (EnclaveTerminated, IntegrityError) as exc:
-            return self._handle_abort(tenant, request, exc, start)
+            return self._handle_abort(tenant, handle, request, exc, start)
         tenant.breaker.record_success()
         self._charge_paging(tenant, runtime, fetches0)
+        tenant.latency.record(clock.cycles - request.issued_cycles)
         absorbed = (
             runtime.pager.degradations > degradations0
             or runtime.paging_ops.retried_calls > retried0
@@ -527,10 +821,13 @@ class EnclaveService:
             fetches=fetches,
         )
 
-    def _handle_abort(self, tenant, request, exc, start):
-        """Structured abort: report to the breaker, route the tenant
-        through the recovery supervisor, latch on quarantine."""
-        name = tenant.spec.name
+    def _handle_abort(self, tenant, handle, request, exc, start):
+        """Structured abort on one replica: report to the tenant's
+        breaker, route the *replica* through the recovery supervisor,
+        and latch the breaker only when the whole pool is exhausted —
+        a quarantined primary with a healthy sibling is a failover,
+        not an outage."""
+        member = handle.member_name
         clock = self.kernel.clock
         tenant.aborts += 1
         if isinstance(exc, EnclaveTerminated) and exc.reason:
@@ -540,26 +837,31 @@ class EnclaveService:
         else:
             reason = f"unclassified({type(exc).__name__})"
         tenant.breaker.record_failure(clock.cycles)
-        self.recovery.mark_down(name, exc)
+        self.recovery.mark_down(member, exc)
         self._make_headroom(RELAUNCH_HEADROOM_PAGES)
+        quarantined = False
         try:
-            self.recovery.recover(name)
-            self._bind(tenant)
+            self.recovery.recover(member)
+            self._bind_replica(tenant, handle)
             tenant.recoveries += 1
             self.metrics.recoveries += 1
         except Quarantined:
-            tenant.breaker.latch_open()
-            self.metrics.quarantines += 1
+            quarantined = True
         except IntegrityAbort:
             # Tamper/rollback evidence during restore itself: retrying
-            # cannot launder it — take the tenant out of rotation.
-            tenant.breaker.latch_open()
-            self.metrics.quarantines += 1
+            # cannot launder it — take the replica out of rotation.
+            quarantined = True
         except (EnclaveCrashed, ChaosAbort, HostCallDenied):
-            tenant.breaker.latch_open()
+            quarantined = True
+        if quarantined:
             self.metrics.quarantines += 1
+            pool = self._tenant_pools.get(tenant.spec.name)
+            if pool is None or pool.healthy_count() == 0:
+                # No replica left to fail over to: only now does the
+                # tenant itself go dark.
+                tenant.breaker.latch_open()
         return RequestResult(
-            tenant=name,
+            tenant=tenant.spec.name,
             request_id=request.request_id,
             outcome=OUTCOME_ABORTED,
             reason=reason,
@@ -593,17 +895,20 @@ class EnclaveService:
                 f"{len(self._queue)} requests left on the queue after "
                 f"drain"
             )
+        fleet_names = {r.name for r in self.recovery.fleet()}
         for tenant in self.tenants:
-            record = self.recovery.member(tenant.spec.name) \
-                if tenant.spec.name in [
-                    r.name for r in self.recovery.fleet()
-                ] else None
-            if record is not None:
-                self.violations.append(
-                    f"tenant {tenant.spec.name} survived shutdown"
-                )
+            for r in range(tenant.spec.replicas):
+                if tenant.replica_name(r) in fleet_names:
+                    self.violations.append(
+                        f"replica {tenant.replica_name(r)} survived "
+                        f"shutdown"
+                    )
+        bases = {
+            tenant.layout(r).base
+            for tenant in self.tenants
+            for r in range(tenant.spec.replicas)
+        }
         for fault in self.kernel.fault_log:
-            bases = {t.layout.base for t in self.tenants}
             if (fault.vaddr not in bases or fault.write or fault.exec_
                     or fault.present):
                 self.violations.append(
@@ -611,14 +916,27 @@ class EnclaveService:
                 )
                 break
 
+    def _pool_canonicals(self):
+        pools = list(self._retired_pools) + [
+            self._tenant_pools[name]
+            for name in sorted(self._tenant_pools)
+        ]
+        return tuple(sorted(p.canonical() for p in pools))
+
     def _result(self):
         stats = self.recovery.stats()
+        self.metrics.failovers = sum(
+            p.failovers for p in self._retired_pools
+        ) + sum(
+            p.failovers for p in self._tenant_pools.values()
+        )
         fingerprint = repr((
             self.config.seed,
             self.config.ticks,
             self.plan.canonical(),
             self.metrics.canonical(),
             tuple(t.canonical() for t in self.tenants),
+            self._pool_canonicals(),
             tuple(sorted(stats.items())),
             self.kernel.clock.cycles,
             self.tier,
@@ -637,10 +955,12 @@ class EnclaveService:
             )),
             metrics=self.metrics.canonical(),
             tenants=tuple(t.canonical() for t in self.tenants),
+            pools=self._pool_canonicals(),
             breaker_trips=sum(t.breaker.trips for t in self.tenants),
             breaker_closes=sum(t.breaker.closes for t in self.tenants),
             recoveries=self.metrics.recoveries,
             quarantines=self.metrics.quarantines,
+            failovers=self.metrics.failovers,
             cycles=self.kernel.clock.cycles,
             violations=tuple(self.violations),
             digest=hashlib.sha256(fingerprint).hexdigest()[:16],

@@ -42,10 +42,18 @@ SWEEP_TENANTS = 4
 SWEEP_EPC_PAGES = 224
 SWEEP_TICKS = 20
 
+#: Pool-failover sweep sizing: the same four-tenant fleets, but two
+#: replica enclaves per tenant.  The EPC doubles (a pin_all fleet
+#: seals every replica's working set) while quotas still over-commit
+#: it, so pool failover happens *under* tier pressure, not beside it.
+POOL_REPLICAS = 2
+POOL_EPC_PAGES = 448
+POOL_TICKS = 20
+
 _DISTRIBUTIONS = ("zipf", "uniform", "hotspot90", "hotspot99")
 
 
-def homogeneous_tenants(policy, n=SWEEP_TENANTS):
+def homogeneous_tenants(policy, n=SWEEP_TENANTS, replicas=1):
     """N tenants all under one paper policy, varied distributions."""
     return [
         TenantSpec(
@@ -54,6 +62,7 @@ def homogeneous_tenants(policy, n=SWEEP_TENANTS):
             distribution=_DISTRIBUTIONS[i % len(_DISTRIBUTIONS)],
             arrivals_per_tick=2 + (i % 2),
             quota_pages=128,
+            replicas=replicas,
         )
         for i in range(n)
     ]
@@ -64,6 +73,17 @@ def sweep_config(seed, policy, tenants=SWEEP_TENANTS,
     return ServiceConfig(
         seed=seed,
         tenants=homogeneous_tenants(policy, tenants),
+        epc_pages=epc_pages,
+        ticks=ticks,
+    )
+
+
+def pool_sweep_config(seed, policy, tenants=SWEEP_TENANTS,
+                      epc_pages=POOL_EPC_PAGES, ticks=POOL_TICKS,
+                      replicas=POOL_REPLICAS):
+    return ServiceConfig(
+        seed=seed,
+        tenants=homogeneous_tenants(policy, tenants, replicas=replicas),
         epc_pages=epc_pages,
         ticks=ticks,
     )
@@ -124,19 +144,47 @@ def _sweep_point(task):
     return result, rerun_digest
 
 
-def run_sweep(seeds, policies=SWEEP_POLICIES, check_determinism=True,
-              jobs=1):
-    """Sweep ``seeds`` × ``policies``; returns a :class:`SweepResult`.
+def _pool_point(task):
+    """Worker for one pool-failover ``(seed, policy, check)`` point —
+    same contract as :func:`_sweep_point`, pooled fleets."""
+    seed, policy, check = task
+    result = run_service(pool_sweep_config(seed, policy))
+    rerun_digest = (
+        run_service(pool_sweep_config(seed, policy)).digest
+        if check else None
+    )
+    return result, rerun_digest
 
-    Results merge in canonical seed-outer, policy-inner order, so the
-    sweep is identical at any ``jobs`` width."""
+
+def throughput_milli(result):
+    """Served requests (completed + degraded) per million simulated
+    cycles, in thousandths — integer, so frontier maths stays exact."""
+    served = (result.outcome_counts["completed"]
+              + result.outcome_counts["degraded-in-budget"])
+    if result.cycles <= 0:
+        return 0
+    return served * 1_000_000_000 // result.cycles
+
+
+def fairness_milli(result):
+    """Jain's fairness index over per-tenant executed ops, in
+    thousandths (1000 = perfectly even service across tenants)."""
+    ops = [canon[3] for canon in result.tenants]
+    total = sum(ops)
+    squares = sum(x * x for x in ops)
+    if not ops or squares == 0:
+        return 1000
+    return (total * total * 1000) // (len(ops) * squares)
+
+
+def _run_points(worker, seeds, policies, check_determinism, jobs):
     from repro.parallel import run_indexed
 
     tasks = [
         (seed, policy, check_determinism)
         for seed in seeds for policy in policies
     ]
-    outcomes = run_indexed(_sweep_point, tasks, jobs=jobs)
+    outcomes = run_indexed(worker, tasks, jobs=jobs)
     sweep = SweepResult()
     for (seed, policy, _), (result, rerun_digest) in zip(tasks, outcomes):
         if rerun_digest is not None and rerun_digest != result.digest:
@@ -145,6 +193,26 @@ def run_sweep(seeds, policies=SWEEP_POLICIES, check_determinism=True,
             )
         sweep.points.append((seed, policy, classify(result), result))
     return sweep
+
+
+def run_sweep(seeds, policies=SWEEP_POLICIES, check_determinism=True,
+              jobs=1):
+    """Sweep ``seeds`` × ``policies``; returns a :class:`SweepResult`.
+
+    Results merge in canonical seed-outer, policy-inner order, so the
+    sweep is identical at any ``jobs`` width."""
+    return _run_points(_sweep_point, seeds, policies,
+                       check_determinism, jobs)
+
+
+def run_pool_sweep(seeds, policies=SWEEP_POLICIES,
+                   check_determinism=True, jobs=1):
+    """The pool-failover frontier: ``seeds`` × ``policies`` with
+    two-replica pools under the pooled fault family (tamper ladders,
+    AEX storms, suspend/resume).  Same merge discipline as
+    :func:`run_sweep`: identical at any ``jobs`` width."""
+    return _run_points(_pool_point, seeds, policies,
+                       check_determinism, jobs)
 
 
 def sweep_report(sweep, seeds, policies, jobs):
@@ -182,4 +250,56 @@ def sweep_report(sweep, seeds, policies, jobs):
             }
             for seed, policy, klass, result in sweep.points
         ],
+    }
+
+
+def pool_report(sweep, seeds, policies, jobs):
+    """The pool-failover throughput/fairness frontier — the
+    ``pool_frontier`` section of ``BENCH_service.json``.  Integers
+    only (milli units) so the committed baseline diffs bit-exactly."""
+    by_policy = {}
+    points = []
+    for seed, policy, klass, result in sweep.points:
+        tp = throughput_milli(result)
+        fair = fairness_milli(result)
+        points.append({
+            "seed": seed,
+            "policy": policy,
+            "class": klass,
+            "throughput_milli_per_mcycle": tp,
+            "fairness_milli": fair,
+            "failovers": result.failovers,
+            "quarantines": result.quarantines,
+            "recoveries": result.recoveries,
+            "shed_by_reason": result.shed_by_reason,
+            "digest": result.digest,
+        })
+        bucket = by_policy.setdefault(policy, {"tp": [], "fair": [],
+                                               "failovers": 0})
+        bucket["tp"].append(tp)
+        bucket["fair"].append(fair)
+        bucket["failovers"] += result.failovers
+    frontier = {
+        policy: {
+            "mean_throughput_milli_per_mcycle":
+                sum(b["tp"]) // max(1, len(b["tp"])),
+            "mean_fairness_milli":
+                sum(b["fair"]) // max(1, len(b["fair"])),
+            "failovers": b["failovers"],
+        }
+        for policy, b in sorted(by_policy.items())
+    }
+    return {
+        "ok": sweep.ok,
+        "seeds": list(seeds),
+        "policies": list(policies),
+        "jobs": jobs,
+        "replicas": POOL_REPLICAS,
+        "classes": sweep.class_counts(),
+        "frontier": frontier,
+        "determinism_failures": [
+            {"seed": seed, "policy": policy, "digests": [first, second]}
+            for seed, policy, first, second in sweep.determinism_failures
+        ],
+        "points": points,
     }

@@ -26,12 +26,18 @@ from repro.runtime.libos import EnclaveLayout
 from repro.runtime.rate_limit import ProgressKind
 from repro.service.admission import PagingBudget, TokenBucket
 from repro.service.breaker import CircuitBreaker
+from repro.service.metrics import LatencyWindow
 from repro.sgx.params import PAGE_SIZE
 from repro.workloads.ycsb import make_generator
 
 #: Address-space stride between tenant enclaves (distinct bases, the
 #: multi-enclave idiom from experiments/multi_enclave.py).
 BASE_STRIDE = 0x10_0000_0000
+
+#: Hard ceiling on pool width; fixes the replica address-space grid so
+#: a tenant's replica bases never collide with another tenant's,
+#: whatever mix of pool sizes a config chooses.
+MAX_REPLICAS = 4
 
 #: Heap pages each tenant's workload churns over.  Larger than any
 #: tenant's resident budget, so every tenant pages under load.
@@ -100,6 +106,26 @@ class TenantSpec:
     deadline_cycles: int = 60_000_000
     #: Breaker trip threshold (consecutive structured aborts).
     breaker_trip_after: int = 2
+    #: Pool width: replica enclaves booted for this tenant.  Requests
+    #: run on the elected primary and fail over to siblings when it is
+    #: down, suspended, or quarantined.
+    replicas: int = 1
+    #: SLO: p95 latency target on the simulated clock.  A tenant whose
+    #: sliding-window p95 exceeds this sheds its own new arrivals
+    #: (structured, ``slo-pressure``) before healthy tenants degrade.
+    slo_p95_cycles: int = 50_000_000
+    #: Latency samples required before the SLO check can fire (a cold
+    #: window must not shed the first requests of the run).
+    slo_min_samples: int = 8
+    #: Sliding-window size for the latency percentiles.
+    slo_window: int = 32
+
+    def __post_init__(self):
+        if not 1 <= self.replicas <= MAX_REPLICAS:
+            raise ValueError(
+                f"pool width must be 1..{MAX_REPLICAS}, "
+                f"got {self.replicas}"
+            )
 
     @property
     def pinned(self):
@@ -121,8 +147,10 @@ class Request:
     #: Extra compute charged per op while the tenant is stalled
     #: (TENANT_STALL fault) — drives the request into its deadline.
     stall_cycles: int = 0
-    #: Page the first op must touch (TENANT_TAMPER probe), or None.
-    probe_vaddr: Optional[int] = None
+    #: ``(replica_index, vaddr)`` the first op must touch
+    #: (TENANT_TAMPER probe), or None.  Replica-scoped because the
+    #: vaddr only exists in the forged replica's address space.
+    probe_vaddr: Optional[tuple] = None
 
 
 class Tenant:
@@ -131,11 +159,6 @@ class Tenant:
     def __init__(self, spec, index, service_seed):
         self.spec = spec
         self.index = index
-        self.layout = EnclaveLayout(
-            base=BASE_STRIDE * (index + 1),
-            runtime_pages=8, code_pages=16, data_pages=16,
-            heap_pages=256,
-        )
         self.pool_pages = (
             PINNED_POOL_PAGES if spec.pinned else POOL_PAGES
         )
@@ -156,12 +179,19 @@ class Tenant:
             cycles_per_page=spec.cycles_per_page,
         )
         self.breaker = CircuitBreaker(trip_after=spec.breaker_trip_after)
+        self.latency = LatencyWindow(capacity=spec.slo_window)
         # Fault-plan state (set by the service chaos layer).
         self.burst_until_tick = -1
         self.burst_factor = 1
         self.stall_until_tick = -1
         self.stall_cycles = 0
+        #: Pending integrity probe: ``(replica_index, vaddr)``.  The
+        #: vaddr lives in one replica's address space; a request that
+        #: fails over to a sibling must *skip* the probe (and the
+        #: router re-arms it) rather than touch a foreign address.
         self.pending_probe = None
+        #: Retired mid-run (live churn): no new arrivals, no faults.
+        self.departed = False
         # Degradation bookkeeping (tier-1 balloon shrink, restorable).
         self.shrunk_pages = 0
         # Lifetime counters.
@@ -172,15 +202,31 @@ class Tenant:
 
     # -- launch ------------------------------------------------------------
 
-    def program(self, epc_pages):
-        """The relaunchable recipe the recovery supervisor drives."""
+    def layout(self, replica=0):
+        """Address-space layout for one replica.  Replicas occupy a
+        fixed grid of ``MAX_REPLICAS`` slots per tenant so a request
+        address unambiguously names ``(tenant, replica)``."""
+        slot = self.index * MAX_REPLICAS + replica
+        return EnclaveLayout(
+            base=BASE_STRIDE * (slot + 1),
+            runtime_pages=8, code_pages=16, data_pages=16,
+            heap_pages=256,
+        )
+
+    def replica_name(self, replica):
+        return f"{self.spec.name}/r{replica}"
+
+    def program(self, epc_pages, replica=0):
+        """The relaunchable recipe the recovery supervisor drives for
+        one replica.  All replicas share the tenant's config and
+        warmup, so any replica can serve any request verbatim."""
         return EnclaveProgram(
             config=tenant_config(
                 self.spec.policy, epc_pages, self.spec.quota_pages
             ),
-            layout=self.layout,
+            layout=self.layout(replica),
             warmup=self._warmup,
-            name=self.spec.name,
+            name=self.replica_name(replica),
         )
 
     def _warmup(self, runtime):
@@ -255,10 +301,11 @@ class Tenant:
             self.recoveries,
             self.shrunk_pages,
             self.breaker.snapshot(),
+            self.latency.snapshot(),
         )
 
 
-def default_tenants(n, seed=0):
+def default_tenants(n, seed=0, replicas=1):
     """A deterministic mixed fleet: the three paper policies round-
     robin across ``n`` tenants, with varied distributions and loads."""
     policies = ("rate_limit", "clusters", "pin_all")
@@ -272,5 +319,6 @@ def default_tenants(n, seed=0):
             distribution=distributions[i % len(distributions)],
             arrivals_per_tick=2 + (i % 2),
             quota_pages=128,
+            replicas=replicas,
         ))
     return specs

@@ -1,0 +1,51 @@
+"""Golden fixture for ``robustness/unguarded-failover``.
+
+Analyzed as ``repro.service.fixture_failover``: exactly one finding,
+on the marked loop in :func:`pick_primary_unguarded`.  Every other
+shape is a replica loop the rule must *not* flag — guarded by a
+post-loop ``return``, by a ``raise``, by a ``for``/``else`` escape,
+a sweep that selects nothing, or a selection over something that is
+not a replica pool.
+"""
+
+
+def pick_primary_unguarded(pool):
+    for handle in pool.replicas:           # FINDING: no all-down guard
+        if pool.healthy(handle):
+            return handle
+
+
+def pick_primary_guarded(pool):
+    for handle in pool.replicas:
+        if pool.healthy(handle):
+            return handle
+    return None
+
+
+def pick_primary_aborting(pool, exhausted):
+    for handle in pool.replicas:
+        if pool.healthy(handle):
+            return handle
+    raise exhausted("every replica is down")
+
+
+def pick_primary_else_guarded(pool):
+    for handle in pool.replicas:
+        if pool.healthy(handle):
+            break
+    else:
+        return None
+    return handle
+
+
+def teardown_sweep(pool, recovery):
+    # Visits every replica, selects nothing: not a failover loop.
+    for handle in pool.replicas:
+        recovery.teardown(handle.member_name)
+
+
+def pick_worker_not_replica(workers):
+    # Selection, but not over a replica pool: out of the rule's scope.
+    for worker in workers:
+        if worker.idle:
+            return worker

@@ -1295,6 +1295,55 @@ class TestRobustness:
             """, module="repro.apps.batch")
         assert report.ok(), report.render_text()
 
+    def test_unguarded_failover_flagged(self):
+        report = check("""
+            def elect(pool):
+                for handle in pool.replicas:
+                    if pool.healthy(handle):
+                        return handle
+            """, module="repro.service.pool")
+        assert rules_of(report) == ["robustness/unguarded-failover"]
+        assert "pool.replicas" in report.findings[0].message
+
+    def test_guarded_failover_clean(self):
+        report = check("""
+            def elect(pool):
+                for handle in pool.replicas:
+                    if pool.healthy(handle):
+                        return handle
+                return None
+            """, module="repro.service.pool")
+        assert report.ok(), report.render_text()
+
+    def test_failover_raise_guard_clean(self):
+        report = check("""
+            def elect(pool):
+                for handle in pool.replicas:
+                    if pool.healthy(handle):
+                        return handle
+                raise RuntimeError("pool exhausted")
+            """, module="repro.service.pool")
+        assert report.ok(), report.render_text()
+
+    def test_failover_visit_sweep_clean(self):
+        # No return/break in the body: a sweep, not a selection.
+        report = check("""
+            def retire(pool, recovery):
+                for handle in pool.replicas:
+                    recovery.teardown(handle.member_name)
+            """, module="repro.service.router")
+        assert report.ok(), report.render_text()
+
+    def test_failover_rule_scoped_to_service(self):
+        # Same shape outside repro.service. is not a finding.
+        report = check("""
+            def elect(pool):
+                for handle in pool.replicas:
+                    if pool.healthy(handle):
+                        return handle
+            """, module="repro.runtime.pool")
+        assert report.ok(), report.render_text()
+
 
 # -- golden fixtures ----------------------------------------------------------
 
@@ -1334,6 +1383,13 @@ class TestGoldenFixtures:
                                "repro.service.fixture_queue")
         assert [(f.line, f.rule) for f in report.sorted_findings()] == [
             (13, "robustness/unbounded-queue"),
+        ], report.render_text()
+
+    def test_unguarded_failover_fixture_exact_findings(self):
+        report = check_fixture("robustness_unguarded_failover.py",
+                               "repro.service.fixture_failover")
+        assert [(f.line, f.rule) for f in report.sorted_findings()] == [
+            (13, "robustness/unguarded-failover"),
         ], report.render_text()
 
     def test_real_oram_is_oblivious(self):

@@ -14,6 +14,8 @@ import pytest
 
 from repro.chaos.campaign import run_plan
 from repro.chaos.plan import FaultPlan
+from repro.errors import SgxError
+from repro.modelcheck import poolworld
 from repro.modelcheck.explorer import explore
 from repro.modelcheck.export import (
     export_witnesses,
@@ -26,6 +28,7 @@ from repro.modelcheck.model import (
     POLICIES,
     apply_action,
     boot,
+    enabled_actions,
     replay,
     successor,
 )
@@ -110,6 +113,49 @@ class TestWorld:
         world = replay("rate_limit", ("touch:0", "balloon", "crash"))
         apply_action(world, "balloon")
         assert world.oracle.violations == []
+        assert check_world(world) == []
+
+
+# -- whole-enclave suspend/resume (§5.2.1) -----------------------------------
+
+class TestSuspendResume:
+    def test_suspend_is_not_offered_to_sealed_policies(self):
+        assert "suspend" not in enabled_actions(boot("pin_all"))
+        assert "suspend" not in enabled_actions(boot("oram"))
+        assert "suspend" in enabled_actions(boot("rate_limit"))
+
+    def test_suspended_world_has_the_narrow_alphabet(self):
+        world = replay("rate_limit", ("touch:0", "suspend"))
+        assert world.suspended
+        assert enabled_actions(world) == ["resume", "tamper", "crash"]
+
+    def test_clean_suspend_resume_round_trip(self):
+        world = replay("rate_limit", ("touch:0", "suspend", "resume"))
+        assert world.outcome == "running"
+        assert not world.suspended
+        assert world.violations == []
+        assert check_world(world) == []
+
+    def test_tamper_while_suspended_is_silent_until_resume(self):
+        world = replay("rate_limit", ("touch:0", "suspend", "tamper"))
+        assert world.outcome == "running"   # consumption point: resume
+        assert world.suspend_tampered
+        # Only one blob can be forged per suspension window.
+        assert "tamper" not in enabled_actions(world)
+
+    def test_tampered_suspend_set_fail_stops_on_resume(self):
+        world = replay(
+            "rate_limit", ("touch:0", "suspend", "tamper", "resume"))
+        assert world.outcome == "aborted"
+        assert world.reason == "integrity"
+        assert world.violations == []
+
+    def test_crash_while_suspended_recovers_clean(self):
+        world = replay("rate_limit", ("touch:0", "suspend", "crash"))
+        assert world.outcome == "running"
+        assert world.recoveries == 1
+        assert not world.suspended
+        assert world.violations == []
         assert check_world(world) == []
 
 
@@ -225,6 +271,75 @@ class TestWitnessExport:
         assert run_.outcome == payload["expected_outcome"]
 
 
+# -- the two-tenant pool world -----------------------------------------------
+
+class TestPoolWorld:
+    def test_depth_three_is_safe_and_bounded(self):
+        result = explore("pool", depth=3, max_states=400, jobs=1)
+        assert result.ok, result.violations
+        assert not result.truncated
+        assert result.states > 50
+
+    def test_jobs_two_is_bit_identical_to_jobs_one(self):
+        serial = explore("pool", depth=2, max_states=400, jobs=1)
+        fanned = explore("pool", depth=2, max_states=400, jobs=2)
+        assert serial.digest == fanned.digest
+        assert serial.as_json() == fanned.as_json()
+
+    def test_enabled_actions_are_pure(self):
+        world = poolworld.boot("pool")
+        key = world.state_key()
+        first = poolworld.enabled_actions(world)
+        assert poolworld.enabled_actions(world) == first
+        assert world.state_key() == key
+
+    def test_quarantine_ladder_fails_over_to_the_sibling(self):
+        # Two tamper-under-suspension aborts on t0/r0: the first burns
+        # the restart budget (a recovery), the second quarantines the
+        # replica, and the next request must elect the sibling.
+        trace = ("suspend", "tamper", "resume") * 2 + ("req:0",)
+        world = poolworld.replay("pool", trace)
+        assert world.violations == []
+        assert poolworld.check_world(world) == []
+        assert world.recoveries[0] == 1
+        assert world.quarantines[0] == 1
+        assert world.failovers[0] == 1
+        assert world.served[0] == 1
+        assert world.last_primary[0] == 1
+
+    def test_pool_down_request_sheds_structurally(self):
+        # Suspend both of tenant 0's replicas: a request must shed,
+        # never crash (the unguarded-failover case, exercised live).
+        world = poolworld.replay("pool", ("suspend", "suspend", "req:0"))
+        assert world.violations == []
+        assert world.issued[0] == 1
+        assert world.shed[0] == 1
+        assert world.served[0] == 0
+
+    def test_retire_then_arrive_round_trip(self):
+        world = poolworld.replay("pool", ("retire",))
+        assert world.violations == []
+        assert world.departed[1]
+        assert world.departures == 1
+        assert "req:1" not in poolworld.enabled_actions(world)
+        assert "arrive" in poolworld.enabled_actions(world)
+        back = poolworld.successor(world, "arrive")
+        assert back.violations == []
+        assert back.arrivals == 1
+        assert not back.departed[1]
+        assert poolworld.check_world(back) == []
+
+    def test_storm_costs_cycles_never_correctness(self):
+        stormed = poolworld.replay("pool", ("storm", "req:0"))
+        assert stormed.violations == []
+        assert stormed.aex == poolworld.STORM_ROUNDS
+        assert stormed.served[0] == 1
+
+    def test_unknown_world_is_rejected(self):
+        with pytest.raises(SgxError):
+            poolworld.boot("nonsense")
+
+
 # -- the CLI -----------------------------------------------------------------
 
 class TestCli:
@@ -235,6 +350,14 @@ class TestCli:
         report = json.loads(capsys.readouterr().out)
         assert report["ok"]
         assert report["policies"][0]["policy"] == "pin_all"
+
+    def test_pool_world_exits_zero(self, capsys):
+        from repro.modelcheck.cli import run
+        assert run(["--policy", "pool", "--depth", "2",
+                    "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        assert report["policies"][0]["policy"] == "pool"
 
     def test_broken_policy_exits_one_with_minimized_trace(self, capsys):
         from repro.modelcheck.cli import run

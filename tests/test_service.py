@@ -1,11 +1,15 @@
 """Multi-tenant service tests: admission, backpressure, degradation,
-breaker recovery, cross-tenant EPC contention, and determinism."""
+breaker recovery, pools and failover, live churn, SLO shedding,
+cross-tenant EPC contention, and determinism."""
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.errors import EnclaveCrashed, EpcExhausted, Quarantined
 from repro.host.kernel import HostKernel
-from repro.recovery.supervisor import RecoverySupervisor
+from repro.recovery.supervisor import RUNNING, RecoverySupervisor
 from repro.service.admission import PagingBudget, TokenBucket
 from repro.service.breaker import (
     CLOSED,
@@ -13,29 +17,41 @@ from repro.service.breaker import (
     OPEN,
     CircuitBreaker,
 )
-from repro.service.chaos import ServiceFaultKind, ServiceFaultPlan
+from repro.service.chaos import (
+    ServiceFaultEvent,
+    ServiceFaultKind,
+    ServiceFaultPlan,
+)
 from repro.service.metrics import (
     OUTCOME_ABORTED,
     OUTCOME_COMPLETED,
     OUTCOME_DEGRADED,
     OUTCOME_SHED,
     OUTCOMES,
+    SLO_PRESSURE,
+    TENANT_RETIRED,
+    LatencyWindow,
 )
+from repro.service.pool import TenantPool
 from repro.service.router import (
     EnclaveService,
     ServiceConfig,
     run_service,
 )
 from repro.service.sweep import (
+    POOL_REPLICAS,
     RUN_ABORTED,
     RUN_COMPLETED,
     RUN_DEGRADED,
     RUN_SHED,
     SWEEP_POLICIES,
     classify,
+    pool_report,
+    run_pool_sweep,
     run_sweep,
     sweep_report,
 )
+from repro.service.tenant import Tenant, TenantSpec, default_tenants
 
 
 # -- admission primitives -----------------------------------------------------
@@ -141,6 +157,95 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert not breaker.allow(10**12)
 
+    # -- the half-open probe-accounting regression this PR fixes -----------
+
+    def test_lost_probe_rearms_instead_of_wedging(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0)
+        now = breaker.open_until_cycles
+        assert breaker.allow(now)          # the probe is admitted
+        # The probe vanishes without ever reporting an outcome (shed
+        # downstream, lost to a drain).  A breaker that equates
+        # HALF_OPEN with "a probe is in flight" rejects forever.
+        breaker.probe_in_flight = False
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow(now)          # re-armed, not wedged
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_cancel_probe_is_idempotent_in_every_state(self):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.cancel_probe()             # CLOSED: harmless no-op
+        assert breaker.state == CLOSED
+        assert breaker.allow(0)
+        breaker.record_failure(0)
+        breaker.cancel_probe()             # OPEN: stays OPEN, no count
+        assert breaker.state == OPEN
+        assert breaker.probe_cancels == 0
+        now = breaker.open_until_cycles
+        assert breaker.allow(now)
+        breaker.cancel_probe()
+        breaker.cancel_probe()             # double cancel: counted once
+        assert breaker.probe_cancels == 1
+        assert breaker.state == OPEN
+
+    def test_stale_success_after_cancel_does_not_close(self):
+        # An outcome report from an already-cancelled probe belongs to
+        # a dead request; it must not re-close the breaker.
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0)
+        now = breaker.open_until_cycles
+        assert breaker.allow(now)
+        breaker.cancel_probe()
+        breaker.record_success()
+        assert breaker.state == OPEN
+        assert breaker.closes == 0
+
+    def test_snapshot_folds_probe_accounting(self):
+        breaker = CircuitBreaker(trip_after=1)
+        base = breaker.snapshot()
+        breaker.record_failure(0)
+        assert breaker.allow(breaker.open_until_cycles)
+        breaker.cancel_probe()
+        assert breaker.snapshot() != base
+        assert breaker.snapshot()[-1] == 1    # probe_cancels is digested
+
+
+# -- the latency window (SLO percentiles) -------------------------------------
+
+class TestLatencyWindow:
+    def test_empty_window_has_no_percentiles(self):
+        window = LatencyWindow(capacity=4)
+        assert window.percentile(950) is None
+        assert window.snapshot() == (0, None, None, None)
+
+    def test_nearest_rank_is_exact_on_integers(self):
+        window = LatencyWindow(capacity=8)
+        for cycles in (10, 20, 30, 40):
+            window.record(cycles)
+        assert window.percentile(500) == 20
+        assert window.percentile(950) == 40
+        assert window.percentile(1000) == 40
+
+    def test_window_slides(self):
+        window = LatencyWindow(capacity=2)
+        for cycles in (100, 1, 2):
+            window.record(cycles)
+        assert len(window) == 2
+        assert window.percentile(990) == 2    # the 100 fell out
+
+    def test_snapshot_is_canonical(self):
+        window = LatencyWindow(capacity=8)
+        for cycles in (5, 3, 9):
+            window.record(cycles)
+        assert window.snapshot() == (3, 5, 9, 9)
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=4).record(-1)
+
 
 # -- the fault plan -----------------------------------------------------------
 
@@ -168,6 +273,105 @@ class TestServiceFaultPlan:
         plan = ServiceFaultPlan.generate(0, 20, 4)
         assert ServiceFaultKind.TENANT_BURST in plan.kinds()
         assert ServiceFaultKind.TENANT_STALL in plan.kinds()
+
+    def test_pooled_plan_covers_the_pool_fault_family(self):
+        plan = ServiceFaultPlan.generate(0, 20, 4, tamperable=(0, 1),
+                                         replicas=2)
+        kinds = plan.kinds()
+        assert ServiceFaultKind.AEX_STORM in kinds
+        assert ServiceFaultKind.REPLICA_SUSPEND in kinds
+        assert ServiceFaultKind.REPLICA_RESUME in kinds
+        # The quarantine ladder: enough tampers to exhaust one
+        # replica's restart budget and force a failover.
+        tampers = [e for e in plan.events
+                   if e.kind is ServiceFaultKind.TENANT_TAMPER]
+        assert len(tampers) >= 4
+
+    def test_json_round_trip_is_identity(self):
+        plan = ServiceFaultPlan.generate(3, 20, 4, tamperable=(0, 2),
+                                         replicas=2)
+        clone = ServiceFaultPlan.from_json(
+            json.loads(json.dumps(plan.to_json()))
+        )
+        assert clone == plan
+        assert clone.canonical() == plan.canonical()
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown service fault"):
+            ServiceFaultEvent.from_json(
+                {"kind": "meteor-strike", "at_tick": 1,
+                 "tenant_index": 0}
+            )
+
+    def test_defaults_fill_param_and_duration(self):
+        event = ServiceFaultEvent.from_json(
+            {"kind": "tenant-burst", "at_tick": 4, "tenant_index": 2}
+        )
+        assert event.kind is ServiceFaultKind.TENANT_BURST
+        assert (event.param, event.duration) == (0, 0)
+
+
+# -- pool election ------------------------------------------------------------
+
+class _StubRecord:
+    def __init__(self, state=RUNNING):
+        self.state = state
+
+
+class _StubRecovery:
+    """Health states only — election never touches anything else."""
+
+    def __init__(self, names):
+        self.records = {name: _StubRecord() for name in names}
+
+    def member(self, name):
+        return self.records[name]
+
+
+class TestTenantPool:
+    def _pool(self, replicas=3):
+        tenant = Tenant(
+            TenantSpec(name="t", replicas=replicas), 0, service_seed=0
+        )
+        recovery = _StubRecovery(
+            [tenant.replica_name(r) for r in range(replicas)]
+        )
+        return TenantPool(tenant, recovery), recovery
+
+    def test_lowest_healthy_replica_wins(self):
+        pool, _ = self._pool()
+        assert pool.elect_primary().index == 0
+        assert pool.failovers == 0
+
+    def test_failover_counts_once_per_change(self):
+        pool, recovery = self._pool()
+        recovery.records["t/r0"].state = "corpse"
+        assert pool.elect_primary().index == 1
+        assert pool.failovers == 1
+        assert pool.elect_primary().index == 1   # steady: no recount
+        assert pool.failovers == 1
+
+    def test_suspended_replica_is_skipped(self):
+        pool, recovery = self._pool()
+        recovery.records["t/r0"].state = "corpse"
+        pool.replicas[1].suspended = True
+        assert pool.elect_primary().index == 2
+        assert pool.healthy_count() == 1
+
+    def test_exhausted_pool_elects_none(self):
+        pool, recovery = self._pool()
+        for record in recovery.records.values():
+            record.state = "corpse"
+        assert pool.elect_primary() is None
+        assert pool.healthy_count() == 0
+
+    def test_fail_back_is_a_counted_failover(self):
+        pool, recovery = self._pool()
+        recovery.records["t/r0"].state = "corpse"
+        pool.elect_primary()
+        recovery.records["t/r0"].state = RUNNING
+        assert pool.elect_primary().index == 0
+        assert pool.failovers == 2
 
 
 # -- the full service ---------------------------------------------------------
@@ -226,8 +430,13 @@ class TestProbesAndDegradation:
         assert health["status"] == "ok"
         assert health["ready"] is True
         assert set(health["tenants"]) == {
-            t.spec.name for t in service.tenants
+            t.replica_name(r)
+            for t in service.tenants
+            for r in range(t.spec.replicas)
         }
+        assert all(
+            n >= 1 for n in health["pools"].values()
+        ), health["pools"]
         assert all(s == "closed" for s in health["breakers"].values())
         service.shutdown()
         assert not service.ready()
@@ -253,6 +462,195 @@ class TestProbesAndDegradation:
         assert result.safe, result.violations
         assert service.metrics.peak_queue_depth <= 4
         assert service.metrics.shed_by_reason.get("queue-full", 0) > 0
+
+
+# -- SLO-driven admission -----------------------------------------------------
+
+class TestSloAdmission:
+    def test_slo_violator_sheds_its_own_arrivals(self):
+        # A p95 target of 40k cycles is unmeetable (one tick of queue
+        # wait alone is 400k): once the window warms up, every new
+        # arrival of this tenant sheds with the structured SLO reason.
+        spec = TenantSpec(
+            name="hog", policy="rate_limit", arrivals_per_tick=3,
+            slo_p95_cycles=40_000, slo_min_samples=4,
+        )
+        result = run_service(ServiceConfig(seed=0, tenants=[spec],
+                                           ticks=12))
+        assert result.safe, result.violations
+        assert result.shed_by_reason.get(SLO_PRESSURE, 0) > 0
+        served = (result.outcome_counts[OUTCOME_COMPLETED]
+                  + result.outcome_counts[OUTCOME_DEGRADED])
+        assert served >= spec.slo_min_samples
+
+    def test_cold_window_cannot_fire(self):
+        # Identical run, but the sample floor exceeds what the run can
+        # collect: the default generous SLO machinery must stay quiet.
+        spec = TenantSpec(
+            name="hog", policy="rate_limit", arrivals_per_tick=3,
+            slo_p95_cycles=40_000, slo_min_samples=10_000,
+        )
+        result = run_service(ServiceConfig(seed=0, tenants=[spec],
+                                           ticks=12))
+        assert result.safe, result.violations
+        assert result.shed_by_reason.get(SLO_PRESSURE, 0) == 0
+
+
+# -- live churn: arrivals and drain-before-retire -----------------------------
+
+class TestLiveChurn:
+    def test_departure_drains_before_retiring(self):
+        import dataclasses
+        specs = default_tenants(4)
+        # Boost the departing tenant's offered load so its backlog at
+        # the departure tick provably exceeds the drain budget.
+        specs[1] = dataclasses.replace(specs[1], arrivals_per_tick=6)
+        config = ServiceConfig(
+            seed=0, tenants=specs, ticks=16,
+            departures=((10, "tenant-1"),), drain_budget=1,
+        )
+        service = EnclaveService(config)
+        result = service.run()
+        # `safe` covers the whole drain contract: every submitted
+        # request terminal, the queue empty, EPC parity at teardown.
+        assert result.safe, result.violations
+        assert service.metrics.departures == 1
+        retired = next(t for t in service.tenants
+                       if t.spec.name == "tenant-1")
+        assert retired.departed
+        assert not retired.breaker.probe_in_flight
+        # The backlog beyond the drain budget shed structurally.
+        assert result.shed_by_reason.get(TENANT_RETIRED, 0) >= 1
+        assert "tenant-1" not in service.health()["pools"]
+
+    def test_departure_digest_is_reproducible(self):
+        config = ServiceConfig(
+            seed=0, tenants=default_tenants(4), ticks=16,
+            departures=((10, "tenant-1"),), drain_budget=1,
+        )
+        again = ServiceConfig(
+            seed=0, tenants=default_tenants(4), ticks=16,
+            departures=((10, "tenant-1"),), drain_budget=1,
+        )
+        assert run_service(config).digest == run_service(again).digest
+
+    def test_arrival_boots_and_serves_mid_run(self):
+        config = ServiceConfig(
+            seed=0, tenants=default_tenants(2), ticks=16,
+            arrivals=((4, TenantSpec(name="late", policy="rate_limit",
+                                     distribution="uniform")),),
+        )
+        service = EnclaveService(config)
+        result = service.run()
+        assert result.safe, result.violations
+        assert service.metrics.arrivals == 1
+        late = next(t for t in service.tenants
+                    if t.spec.name == "late")
+        assert late.ops_executed > 0
+
+    def test_arrival_that_cannot_fit_is_refused_structurally(self):
+        # A pin_all whale must pin ~48 frames to seal; the EPC holds
+        # 48 total and the resident tenant's pins never move.  The
+        # boot must be refused whole — the partial enclave reclaimed
+        # (no EPC leak), the counter bumped — never crash the run.
+        config = ServiceConfig(
+            seed=0,
+            tenants=[TenantSpec(name="only", policy="rate_limit",
+                                quota_pages=32)],
+            epc_pages=48, ticks=10,
+            arrivals=((3, TenantSpec(name="whale", policy="pin_all",
+                                     quota_pages=56)),),
+        )
+        service = EnclaveService(config)
+        result = service.run()
+        assert result.safe, result.violations
+        assert service.metrics.arrival_refusals == 1
+        assert service.metrics.arrivals == 0
+        whale = next(t for t in service.tenants
+                     if t.spec.name == "whale")
+        assert whale.departed          # refused tenants never serve
+        assert any(event[1] == "arrive-refused"
+                   for event in service.skipped_events)
+
+
+# -- pooled fleets: failover under the pool fault family ----------------------
+
+def _pooled_config():
+    """The acceptance scenario: a mixed 4-tenant fleet, two replicas
+    each, over an EPC tight enough that the generated seed-0 plan's
+    tamper ladder actually lands (the primary swaps, gets forged,
+    exhausts its restart budget, and the pool must fail over)."""
+    return ServiceConfig(seed=0, tenants=default_tenants(4, replicas=2),
+                         epc_pages=320, ticks=20)
+
+
+@pytest.fixture(scope="module")
+def pooled_run():
+    """One seeded pool-failover run under the generated tamper-ladder /
+    AEX-storm / suspend-resume plan."""
+    service = EnclaveService(_pooled_config())
+    result = service.run()
+    return service, result
+
+
+class TestPooledFailover:
+    def test_run_is_safe(self, pooled_run):
+        _, result = pooled_run
+        assert result.safe, result.violations
+
+    def test_quarantined_primary_fails_over(self, pooled_run):
+        _, result = pooled_run
+        assert result.quarantines >= 1
+        assert result.failovers >= 1
+        assert result.recoveries >= 1
+
+    def test_pool_faults_actually_landed(self, pooled_run):
+        service, _ = pooled_run
+        assert service.metrics.aex_interrupts > 0
+        assert service.metrics.replica_suspends >= 1
+        assert service.metrics.replica_resumes >= 1
+
+    def test_every_tenant_kept_serving(self, pooled_run):
+        service, result = pooled_run
+        assert all(t.ops_executed > 0 for t in service.tenants)
+        assert result.outcome_counts[OUTCOME_COMPLETED] > 0
+
+    def test_pooled_digest_reruns_identically(self, pooled_run):
+        _, result = pooled_run
+        again = run_service(_pooled_config())
+        assert again.digest == result.digest
+
+
+class TestFrozenWitness:
+    def test_pool_failover_witness_replays_green(self, capsys):
+        from repro.service.cli import run
+        fixture = (Path(__file__).parent / "fixtures" / "chaos"
+                   / "service_pool_failover_witness.json")
+        assert run(["--plan", str(fixture), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        assert report["checks"]["digest_equal"]
+        assert report["failovers"] >= 1
+        assert report["quarantines"] >= 1
+
+
+class TestPoolSweep:
+    def test_pool_frontier_jobs_parity_and_shape(self):
+        serial = run_pool_sweep((0,), policies=("rate_limit",),
+                                check_determinism=False, jobs=1)
+        fanned = run_pool_sweep((0,), policies=("rate_limit",),
+                                check_determinism=False, jobs=2)
+        assert serial.ok, serial.violations
+        assert ([r.digest for *_, r in serial.points]
+                == [r.digest for *_, r in fanned.points])
+        report = pool_report(serial, (0,), ("rate_limit",), jobs=1)
+        decoded = json.loads(json.dumps(report, sort_keys=True))
+        assert decoded["ok"] is True
+        assert decoded["replicas"] == POOL_REPLICAS
+        row = decoded["frontier"]["rate_limit"]
+        assert isinstance(row["mean_throughput_milli_per_mcycle"], int)
+        assert isinstance(row["mean_fairness_milli"], int)
+        assert row["failovers"] >= 1
 
 
 # -- cross-tenant EPC contention sweep ---------------------------------------
